@@ -1,0 +1,29 @@
+"""Shared configuration for the figure-reproduction benchmarks.
+
+Scale is controlled by ``MOCKTAILS_BENCH_REQUESTS`` (default 8,000
+requests per trace — minutes, same shapes). Set it higher (e.g. 100000)
+to approach paper scale. Results are cached across benches in one
+session, so figures sharing simulations (6/7/8/9/...) pay once.
+"""
+
+import os
+
+import pytest
+
+BENCH_REQUESTS = int(os.environ.get("MOCKTAILS_BENCH_REQUESTS", "8000"))
+SPEC_REQUESTS = int(os.environ.get("MOCKTAILS_BENCH_SPEC_REQUESTS", "12000"))
+
+
+@pytest.fixture(scope="session")
+def bench_requests():
+    return BENCH_REQUESTS
+
+
+@pytest.fixture(scope="session")
+def spec_requests():
+    return SPEC_REQUESTS
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,21 @@
+"""Fig. 2: requests from a 4KB memory region of a VPU workload (HEVC1)."""
+
+from repro.eval.experiments import figure_2
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig02_region_requests(benchmark, bench_requests, capsys):
+    records = run_once(benchmark, lambda: figure_2(bench_requests))
+
+    assert records, "the busiest 4KB region must contain requests"
+    assert all(0 <= r["offset"] < 4096 for r in records)
+    sizes = {r["size"] for r in records}
+    assert 64 in sizes or 128 in sizes
+
+    rows = [[r["order"], r["offset"], r["size"], r["operation"]] for r in records[:30]]
+    with capsys.disabled():
+        print("\n== Fig. 2: requests in the busiest 4KB region of HEVC1 ==")
+        print(format_table(["order", "byte offset", "size", "op"], rows))
+        print(f"({len(records)} requests total in the region)")

@@ -1,0 +1,23 @@
+"""Fig. 3: the timing (bursts and idle gaps) of HEVC1 requests."""
+
+from repro.eval.experiments import figure_3
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig03_timing_bins(benchmark, bench_requests, capsys):
+    bins = run_once(benchmark, lambda: figure_3(bench_requests))
+
+    assert bins
+    # Burstiness: bins are sparse relative to the time span (idle phases
+    # produce missing bins), which is the signature Fig. 3 plots.
+    span = bins[-1][0] - bins[0][0] + 1
+    assert len(bins) <= span
+
+    rows = [[index, count] for index, count in bins[:40]]
+    with capsys.disabled():
+        print("\n== Fig. 3: HEVC1 requests per 500k-cycle bin ==")
+        print(format_table(["bin", "requests"], rows))
+        occupancy = len(bins) / span
+        print(f"bin occupancy {occupancy:.2%} (sparse bins = idle phases)")

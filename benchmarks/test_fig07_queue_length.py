@@ -1,0 +1,45 @@
+"""Fig. 7: average read and write queue length for each SoC device."""
+
+from repro.eval.experiments import figure_7
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig07_queue_length(benchmark, bench_requests, capsys):
+    result = run_once(benchmark, lambda: figure_7(bench_requests))
+
+    rows = []
+    for device in ("CPU", "DPU", "GPU", "VPU"):
+        read = result[device]["read_queue"]
+        write = result[device]["write_queue"]
+        rows.append(
+            [
+                device,
+                read["baseline"], read["mcc"], read["stm"],
+                write["baseline"], write["mcc"], write["stm"],
+            ]
+        )
+
+    # Paper shape: GPU workloads have the longest queues (large requests
+    # in dense bursts), and write queues are longer than read queues
+    # (write-drain mode buffers writes).
+    gpu = result["GPU"]
+    for device in ("CPU", "DPU"):
+        assert gpu["read_queue"]["baseline"] >= result[device]["read_queue"]["baseline"]
+    for device in ("CPU", "DPU", "GPU", "VPU"):
+        data = result[device]
+        assert data["write_queue"]["baseline"] >= data["read_queue"]["baseline"] * 0.5
+
+    with capsys.disabled():
+        print("\n== Fig. 7: average queue length per device ==")
+        print(
+            format_table(
+                [
+                    "device",
+                    "rdQ base", "rdQ McC", "rdQ STM",
+                    "wrQ base", "wrQ McC", "wrQ STM",
+                ],
+                rows,
+            )
+        )

@@ -1,0 +1,61 @@
+"""Fig. 8: per-channel distribution of write queue lengths seen by
+arriving requests, T-Rex1 GPU workload."""
+
+from repro.eval.experiments import figure_8
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def _histogram_distance(a, b):
+    """Total-variation distance between two queue-length histograms."""
+    total_a = sum(a.values()) or 1
+    total_b = sum(b.values()) or 1
+    keys = set(a) | set(b)
+    return 0.5 * sum(abs(a.get(k, 0) / total_a - b.get(k, 0) / total_b) for k in keys)
+
+
+def test_fig08_queue_dist(benchmark, bench_requests, capsys):
+    result = run_once(benchmark, lambda: figure_8(bench_requests))
+
+    rows = []
+    for channel, series in sorted(result.items()):
+        mcc_distance = _histogram_distance(series["baseline"], series["mcc"])
+        stm_distance = _histogram_distance(series["baseline"], series["stm"])
+        mean = lambda h: (
+            sum(k * v for k, v in h.items()) / (sum(h.values()) or 1)
+        )
+        rows.append(
+            [
+                channel,
+                mean(series["baseline"]),
+                mean(series["mcc"]),
+                mean(series["stm"]),
+                mcc_distance,
+                stm_distance,
+            ]
+        )
+        # The synthetic distribution must resemble the baseline.
+        assert mcc_distance < 0.8
+
+    with capsys.disabled():
+        print("\n== Fig. 8: write-queue-length-seen distribution, T-Rex1 ==")
+        print(
+            format_table(
+                [
+                    "channel",
+                    "mean base", "mean McC", "mean STM",
+                    "TV-dist McC", "TV-dist STM",
+                ],
+                rows,
+            )
+        )
+        channel0 = result[0]
+        buckets = sorted(set(channel0["baseline"]) | set(channel0["mcc"]))[:12]
+        detail = [
+            [b, channel0["baseline"].get(b, 0), channel0["mcc"].get(b, 0),
+             channel0["stm"].get(b, 0)]
+            for b in buckets
+        ]
+        print("\nchannel 0 histogram head:")
+        print(format_table(["queue len", "baseline", "McC", "STM"], detail))

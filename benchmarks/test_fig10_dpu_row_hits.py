@@ -1,0 +1,47 @@
+"""Fig. 10: number of row hits when decompressing frame buffers (DPU),
+linear vs tiled access."""
+
+from repro.eval.experiments import figure_10
+from repro.eval.metrics import percent_error
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig10_dpu_row_hits(benchmark, bench_requests, capsys):
+    result = run_once(benchmark, lambda: figure_10(bench_requests))
+
+    rows = []
+    for workload in ("fbc-linear1", "fbc-tiled1"):
+        for metric in ("read_row_hits", "write_row_hits"):
+            series = result[workload][metric]
+            rows.append(
+                [
+                    workload,
+                    metric,
+                    series["baseline"],
+                    series["mcc"],
+                    series["stm"],
+                    percent_error(series["mcc"], series["baseline"]),
+                    percent_error(series["stm"], series["baseline"]),
+                ]
+            )
+
+    # Paper shape: McC is close on write row hits (< a few %); STM's
+    # memoryless operation model is no better than McC.
+    for workload in ("fbc-linear1", "fbc-tiled1"):
+        write = result[workload]["write_row_hits"]
+        mcc_error = percent_error(write["mcc"], write["baseline"])
+        assert mcc_error < 12
+        read = result[workload]["read_row_hits"]
+        assert percent_error(read["mcc"], read["baseline"]) < 12
+
+    with capsys.disabled():
+        print("\n== Fig. 10: DPU frame-buffer row hits ==")
+        print(
+            format_table(
+                ["workload", "metric", "baseline", "McC", "STM",
+                 "McC err %", "STM err %"],
+                rows,
+            )
+        )

@@ -1,0 +1,43 @@
+"""Fig. 11: average number of reads sent to DRAM before switching to
+writes (reads per turnaround), per memory channel, DPU workloads."""
+
+from repro.eval.experiments import figure_11
+from repro.eval.metrics import percent_error
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig11_turnaround(benchmark, bench_requests, capsys):
+    result = run_once(benchmark, lambda: figure_11(bench_requests))
+
+    rows = []
+    mcc_errors, stm_errors = [], []
+    for workload, channels in result.items():
+        for channel, series in sorted(channels.items()):
+            mcc_error = percent_error(series["mcc"], series["baseline"])
+            stm_error = percent_error(series["stm"], series["baseline"])
+            mcc_errors.append(mcc_error)
+            stm_errors.append(stm_error)
+            rows.append(
+                [
+                    workload, channel,
+                    series["baseline"], series["mcc"], series["stm"],
+                    mcc_error, stm_error,
+                ]
+            )
+
+    # Paper: the injection process is a source of error here (McC 4-56%),
+    # but McC tracks the baseline level; sanity-check the magnitudes.
+    assert all(error < 120 for error in mcc_errors)
+    assert sum(mcc_errors) / len(mcc_errors) < 60
+
+    with capsys.disabled():
+        print("\n== Fig. 11: reads per turnaround per channel (DPU) ==")
+        print(
+            format_table(
+                ["workload", "ch", "baseline", "McC", "STM",
+                 "McC err %", "STM err %"],
+                rows,
+            )
+        )

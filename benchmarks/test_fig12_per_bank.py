@@ -1,0 +1,41 @@
+"""Fig. 12: read/write bursts arriving at each bank, FBC-Linear1 DPU."""
+
+from repro.eval.experiments import figure_12
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+
+def test_fig12_per_bank(benchmark, bench_requests, capsys):
+    result = run_once(benchmark, lambda: figure_12(bench_requests))
+
+    for operation in ("read", "write"):
+        rows = []
+        for channel, series in sorted(result[operation].items()):
+            banks = sorted(series["baseline"])
+            for bank in banks:
+                base = series["baseline"][bank]
+                if base == 0 and series["mcc"][bank] == 0 and series["stm"][bank] == 0:
+                    continue
+                rows.append(
+                    [channel, bank, base, series["mcc"][bank], series["stm"][bank]]
+                )
+        with capsys.disabled():
+            print(f"\n== Fig. 12: {operation} bursts per bank, FBC-Linear1 ==")
+            print(format_table(["channel", "bank", "baseline", "McC", "STM"], rows))
+
+    # Paper signature (Fig. 12b): the baseline issues no writes to some
+    # banks; McC must reproduce write-free banks.
+    for channel, series in result["write"].items():
+        baseline_free = {bank for bank, count in series["baseline"].items() if count == 0}
+        mcc_free = {bank for bank, count in series["mcc"].items() if count == 0}
+        if baseline_free:
+            overlap = len(baseline_free & mcc_free) / len(baseline_free)
+            assert overlap >= 0.5
+
+    # Reads must hit every bank the baseline hits (wide linear scan).
+    for channel, series in result["read"].items():
+        baseline_banks = {b for b, c in series["baseline"].items() if c > 0}
+        mcc_banks = {b for b, c in series["mcc"].items() if c > 0}
+        assert baseline_banks <= mcc_banks | baseline_banks
+        assert len(mcc_banks ^ baseline_banks) <= max(2, len(baseline_banks) // 2)

@@ -1,0 +1,29 @@
+"""Fig. 13: memory access latency error vs temporal partition size."""
+
+from repro.eval.experiments import figure_13
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+INTERVALS = (100_000, 500_000, 1_000_000)
+
+
+def test_fig13_sensitivity(benchmark, bench_requests, capsys):
+    result = run_once(
+        benchmark, lambda: figure_13(bench_requests, intervals=INTERVALS)
+    )
+
+    rows = []
+    for device, series in result.items():
+        for interval, error in series:
+            rows.append([device, interval, error])
+
+    # Paper: error is low (< 8%) for all cycle counts; allow slack at
+    # bench scale but the level must stay moderate.
+    for device, series in result.items():
+        for interval, error in series:
+            assert error < 35, f"{device}@{interval}: {error}"
+
+    with capsys.disabled():
+        print("\n== Fig. 13: avg memory access latency error vs interval ==")
+        print(format_table(["device", "interval (cycles)", "error %"], rows))

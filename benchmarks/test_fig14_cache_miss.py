@@ -1,0 +1,44 @@
+"""Fig. 14: cache miss rates (geomean) for two cache configurations:
+baseline vs Mocktails(Dynamic) vs Mocktails(4KB) vs HRD."""
+
+from repro.eval.experiments import SEC5_SERIES, figure_14
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+# A representative subset keeps the bench quick; set
+# MOCKTAILS_BENCH_SPEC_REQUESTS / pass benchmarks=None for all 23.
+BENCHMARKS = (
+    "gobmk", "h264ref", "hmmer", "libquantum", "mcf", "milc", "soplex", "zeusmp",
+)
+
+
+def test_fig14_cache_miss(benchmark, spec_requests, capsys):
+    result = run_once(
+        benchmark, lambda: figure_14(spec_requests, benchmarks=BENCHMARKS)
+    )
+
+    rows = []
+    for config_label, series in result.items():
+        for name in SEC5_SERIES:
+            rows.append(
+                [
+                    config_label,
+                    name,
+                    series[name]["l1_miss_rate"],
+                    series[name]["l2_miss_rate"],
+                ]
+            )
+
+    for config_label, series in result.items():
+        baseline_l1 = series["baseline"]["l1_miss_rate"]
+        dynamic_error = abs(series["dynamic"]["l1_miss_rate"] - baseline_l1)
+        fixed_error = abs(series["fixed4k"]["l1_miss_rate"] - baseline_l1)
+        # Paper: Mocktails (Dynamic) closely matches the baseline and
+        # Mocktails (4KB) is slightly worse.
+        assert dynamic_error < baseline_l1 * 0.6 + 2
+        assert dynamic_error <= fixed_error + 2.0
+
+    with capsys.disabled():
+        print("\n== Fig. 14: L1/L2 miss rates (geomean %, subset) ==")
+        print(format_table(["config", "series", "L1 miss %", "L2 miss %"], rows))

@@ -1,0 +1,40 @@
+"""Fig. 15: 32KB L1 miss rate across associativities (2/4/8/16) for six
+SPEC benchmarks: baseline vs Mocktails(Dynamic) vs HRD."""
+
+from repro.eval.experiments import figure_15
+from repro.eval.reporting import format_table
+from repro.workloads.spec import FIG15_BENCHMARKS
+
+from conftest import run_once
+
+
+def test_fig15_associativity(benchmark, spec_requests, capsys):
+    result = run_once(benchmark, lambda: figure_15(spec_requests))
+
+    rows = []
+    for name in FIG15_BENCHMARKS:
+        for associativity, series in sorted(result[name].items()):
+            rows.append(
+                [
+                    name,
+                    associativity,
+                    series["baseline"],
+                    series["dynamic"],
+                    series["hrd"],
+                ]
+            )
+
+    # Mocktails must track the baseline level per benchmark.
+    for name in FIG15_BENCHMARKS:
+        for associativity, series in result[name].items():
+            assert abs(series["dynamic"] - series["baseline"]) < max(
+                4.0, series["baseline"] * 0.6
+            )
+
+    with capsys.disabled():
+        print("\n== Fig. 15: L1 miss rate (%) vs associativity ==")
+        print(
+            format_table(
+                ["benchmark", "assoc", "baseline", "Mocktails(Dyn)", "HRD"], rows
+            )
+        )

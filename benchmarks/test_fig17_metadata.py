@@ -1,0 +1,50 @@
+"""Fig. 17: file sizes of traces vs Mocktails models (metadata overhead)."""
+
+from repro.eval.experiments import figure_17
+from repro.eval.reporting import format_table
+
+from conftest import run_once
+
+BENCHMARKS = (
+    "astar", "calculix", "gobmk", "hmmer", "libquantum", "mcf", "milc", "zeusmp",
+)
+
+
+def test_fig17_metadata(benchmark, spec_requests, capsys):
+    result = run_once(
+        benchmark, lambda: figure_17(spec_requests, benchmarks=BENCHMARKS)
+    )
+
+    rows = []
+    total_trace, total_dynamic = 0, 0
+    for name, sizes in result.items():
+        rows.append(
+            [
+                name,
+                sizes["trace"],
+                sizes["dynamic"],
+                sizes["fixed4k"],
+                sizes["dynamic"] / sizes["trace"],
+            ]
+        )
+        total_trace += sizes["trace"]
+        total_dynamic += sizes["dynamic"]
+
+    # Paper: profiles are smaller than traces overall (84% smaller across
+    # SPEC). Highly regular benchmarks compress the most.
+    assert total_dynamic < total_trace
+    assert result["libquantum"]["dynamic"] < result["libquantum"]["trace"] * 0.5
+    # Dynamic partitioning produces more leaves than fixed 4KB for most
+    # benchmarks (finer partitions -> more metadata).
+    finer = sum(1 for s in result.values() if s["dynamic"] >= s["fixed4k"])
+    assert finer >= len(result) // 2
+
+    with capsys.disabled():
+        print("\n== Fig. 17: trace vs profile sizes (bytes, gzip) ==")
+        print(
+            format_table(
+                ["benchmark", "trace", "dynamic prof", "4KB prof", "ratio"], rows
+            )
+        )
+        reduction = 1 - total_dynamic / total_trace
+        print(f"overall profile size reduction vs traces: {reduction:.1%}")

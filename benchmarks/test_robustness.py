@@ -1,0 +1,87 @@
+"""Robustness studies backing the paper's methodology notes.
+
+1. **Downscaling** (Sec. IV-A): "Our main goal is to validate that
+   Mocktails recreates the different behaviour ... this can be
+   effectively achieved with down-scaled inputs and/or shortened
+   traces." — accuracy should be stable as the trace shrinks.
+2. **Prefetcher preservation**: a Mocktails clone must present the same
+   stream structure to a hardware prefetcher as the original workload
+   (the cache-consumer analogue of the Sec. V claims).
+"""
+
+from repro.cache.cache import CacheConfig
+from repro.cache.prefetch import PrefetchingCache, StridePrefetcher
+from repro.core.hierarchy import two_level_rs
+from repro.core.profiler import build_profile
+from repro.core.synthesis import synthesize
+from repro.eval.comparison import baseline_trace
+from repro.eval.metrics import percent_error
+from repro.eval.reporting import format_table
+from repro.sim.driver import simulate_trace
+from repro.workloads.registry import make_generator
+
+from conftest import run_once
+
+
+def test_robustness_downscaling(benchmark, bench_requests, capsys):
+    workload = "fbc-linear1"
+
+    def run():
+        results = {}
+        for scale in (bench_requests // 4, bench_requests // 2, bench_requests):
+            trace = baseline_trace(workload, scale)
+            synthetic = synthesize(build_profile(trace), seed=1)
+            base = simulate_trace(trace)
+            synth = simulate_trace(synthetic)
+            results[scale] = (
+                percent_error(synth.read_row_hits, base.read_row_hits),
+                percent_error(synth.write_row_hits, base.write_row_hits),
+            )
+        return results
+
+    results = run_once(benchmark, run)
+    # Accuracy holds at every scale (the paper's downscaling argument).
+    for scale, (read_error, write_error) in results.items():
+        assert read_error < 10, (scale, read_error)
+        assert write_error < 12, (scale, write_error)
+
+    rows = [[scale, e[0], e[1]] for scale, e in sorted(results.items())]
+    with capsys.disabled():
+        print("\n== Robustness: accuracy vs trace length ==")
+        print(format_table(
+            ["requests", "rd row-hit err %", "wr row-hit err %"], rows))
+
+
+def test_robustness_prefetcher_preservation(benchmark, spec_requests, capsys):
+    def run():
+        results = {}
+        for name in ("libquantum", "gobmk"):
+            trace = make_generator(name).generate(min(spec_requests, 15_000))
+            profile = build_profile(trace, two_level_rs(len(trace) // 4))
+            synthetic = synthesize(profile, seed=1)
+            pair = []
+            for source in (trace, synthetic):
+                cache = PrefetchingCache(
+                    CacheConfig(32 * 1024, 4), StridePrefetcher(degree=2)
+                )
+                cache.run(source)
+                pair.append(
+                    (cache.demand_stats.miss_rate * 100, cache.stats.accuracy * 100)
+                )
+            results[name] = pair
+        return results
+
+    results = run_once(benchmark, run)
+    rows = []
+    for name, (base, synth) in results.items():
+        rows.append([name, "baseline", base[0], base[1]])
+        rows.append([name, "mocktails", synth[0], synth[1]])
+        # The clone must preserve both the miss rate under prefetching
+        # and the prefetcher's accuracy class.
+        assert abs(base[0] - synth[0]) < max(3.0, base[0] * 0.4)
+        assert abs(base[1] - synth[1]) < 25
+
+    with capsys.disabled():
+        print("\n== Robustness: prefetcher sees the same structure ==")
+        print(format_table(
+            ["benchmark", "stream", "L1 miss % (w/ pf)", "pf accuracy %"], rows))

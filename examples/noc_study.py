@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""NoC study: how the interconnect shapes memory behaviour.
+
+The paper points out that bursts from different spatial partitions
+"may need to go to different memory controllers, putting strain on the
+interconnection network". This example replays one device per class
+through (a) the flat crossbar and (b) a contention-aware 2D mesh with
+edge-placed memory controllers, and reports what the topology adds:
+hop counts, link hotspots and the latency delta.
+
+Run:  python examples/noc_study.py
+"""
+
+import os
+
+from repro import workload_trace
+from repro.eval.reporting import print_table
+from repro.interconnect.mesh import MeshConfig
+from repro.sim.driver import simulate_trace
+from repro.sim.noc_driver import simulate_trace_mesh
+
+NUM_REQUESTS = int(os.environ.get("EXAMPLE_REQUESTS", "6000"))
+WORKLOADS = {"CPU": "crypto1", "DPU": "fbc-linear1", "GPU": "trex1", "VPU": "hevc1"}
+
+
+def main() -> None:
+    rows = []
+    hotspots = {}
+    for device, name in WORKLOADS.items():
+        trace = workload_trace(name, num_requests=NUM_REQUESTS)
+        flat = simulate_trace(trace)
+        meshed = simulate_trace_mesh(
+            trace, mesh_config=MeshConfig(width=4, height=4, hop_latency=2)
+        )
+        rows.append(
+            [
+                device,
+                f"{flat.avg_access_latency:,.0f}",
+                f"{meshed.memory.avg_access_latency:,.0f}",
+                f"{meshed.mesh.avg_hops:.1f}",
+                f"{meshed.mesh.avg_latency:.0f}",
+            ]
+        )
+        hotspots[device] = meshed.mesh.hottest_links(1)[0]
+
+    print_table(
+        "Crossbar vs 4x4 mesh (device at (0,0), controllers on the edges)",
+        ["device", "xbar latency", "mesh latency", "avg hops", "NoC latency"],
+        rows,
+    )
+
+    print("\nhottest link per device (link, busy cycles):")
+    for device, (link, busy) in hotspots.items():
+        print(f"  {device}: {link[0]} -> {link[1]}  ({busy:,} cycles)")
+    print(
+        "\nLinks near the injection point saturate first — the NoC "
+        "dimension matters most for the bursty GPU/VPU streams."
+    )
+
+
+if __name__ == "__main__":
+    main()

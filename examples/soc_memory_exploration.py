@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""SoC memory-system exploration using Mocktails profiles.
+
+The paper's motivating use case (Sec. VI): an academic has *profiles* of
+proprietary IP blocks — never the traces — and wants to explore memory
+controller design points. Here we compare page policies and channel
+counts across one workload per device class, driving every simulation
+from synthesized requests only.
+
+Run:  python examples/soc_memory_exploration.py
+"""
+
+import os
+
+from repro import build_profile, synthesize, workload_trace
+from repro.dram.config import MemoryConfig
+from repro.eval.reporting import print_table
+from repro.sim.driver import simulate_trace
+
+NUM_REQUESTS = int(os.environ.get("EXAMPLE_REQUESTS", "10000"))
+WORKLOADS = {"CPU": "crypto1", "DPU": "fbc-linear1", "GPU": "trex1", "VPU": "hevc1"}
+
+
+def make_profiles():
+    """The artifacts industry would ship: one profile per device."""
+    profiles = {}
+    for device, name in WORKLOADS.items():
+        trace = workload_trace(name, num_requests=NUM_REQUESTS)
+        profiles[device] = build_profile(trace, name=name)
+    return profiles
+
+
+def explore_page_policy(profiles) -> None:
+    rows = []
+    for device, profile in profiles.items():
+        synthetic = synthesize(profile, seed=1)
+        hits = {}
+        for policy in ("open", "open_adaptive"):
+            stats = simulate_trace(synthetic, MemoryConfig(page_policy=policy))
+            hits[policy] = stats.read_row_hits + stats.write_row_hits
+        rows.append([device, hits["open"], hits["open_adaptive"]])
+    print_table(
+        "Row hits: open vs open-adaptive page policy (synthetic traffic)",
+        ["device", "open", "open_adaptive"],
+        rows,
+    )
+
+
+def explore_channel_count(profiles) -> None:
+    rows = []
+    for device, profile in profiles.items():
+        synthetic = synthesize(profile, seed=1)
+        latencies = []
+        for channels in (1, 2, 4):
+            stats = simulate_trace(synthetic, MemoryConfig(num_channels=channels))
+            latencies.append(stats.avg_access_latency)
+        rows.append([device] + latencies)
+    print_table(
+        "Average access latency (cycles) vs channel count",
+        ["device", "1 channel", "2 channels", "4 channels"],
+        rows,
+    )
+
+
+def main() -> None:
+    profiles = make_profiles()
+    explore_page_policy(profiles)
+    explore_channel_count(profiles)
+    print(
+        "\nEvery number above came from synthesized requests — the"
+        " original traces were never needed after profiling."
+    )
+
+
+if __name__ == "__main__":
+    main()

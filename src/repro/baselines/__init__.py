@@ -1,0 +1,36 @@
+"""Prior-art baseline models the paper compares against.
+
+* :mod:`repro.baselines.stm` — STM (Awad & Solihin, HPCA 2014): stride
+  pattern table + stack distance table, used as the leaf model in the
+  ``2L-TS (STM)`` configuration of Sec. IV.
+* :mod:`repro.baselines.hrd` — HRD (Maeda et al., HPCA 2017):
+  hierarchical reuse distance at 64B/4KB granularities, the Sec. V
+  comparison point.
+* :mod:`repro.baselines.reuse` — shared stack-distance machinery.
+"""
+
+from .hrd import CleanDirtyModel, HRDModel
+from .reuse import COLD, LRUStack, ReuseHistogram, stack_distances
+from .stm import (
+    STMAddressModel,
+    STMOperationModel,
+    StrideTable,
+    stm_address_leaf_factory,
+    stm_leaf_factory,
+    stm_operation_leaf_factory,
+)
+
+__all__ = [
+    "COLD",
+    "CleanDirtyModel",
+    "HRDModel",
+    "LRUStack",
+    "ReuseHistogram",
+    "STMAddressModel",
+    "STMOperationModel",
+    "StrideTable",
+    "stack_distances",
+    "stm_address_leaf_factory",
+    "stm_leaf_factory",
+    "stm_operation_leaf_factory",
+]

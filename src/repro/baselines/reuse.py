@@ -1,0 +1,205 @@
+"""Reuse/stack distance computation and histograms.
+
+Stack distance (LRU stack processing, Mattson et al. [29]; Bennett &
+Kruskal [7]) is the number of *unique* addresses referenced between
+consecutive accesses to the same address. The STM and HRD baselines are
+built on these profiles.
+
+The scan uses a Fenwick (binary indexed) tree over access positions, the
+standard O(n log n) formulation, so full SPEC-scale traces profile
+quickly.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Sequence
+
+COLD = -1  # marker for an infinite (cold-miss) stack distance
+
+
+class _FenwickTree:
+    """Prefix-sum tree used to count distinct elements between positions."""
+
+    def __init__(self, size: int):
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & (-index)
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of entries in [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & (-index)
+        return total
+
+
+def stack_distances(items: Sequence[Hashable]) -> List[int]:
+    """Per-access LRU stack distances; ``COLD`` (-1) marks first touches.
+
+    A distance of 0 means the immediately-preceding unique item was the
+    same item (back-to-back reuse).
+    """
+    tree = _FenwickTree(len(items))
+    last_position: Dict[Hashable, int] = {}
+    distances: List[int] = []
+    for position, item in enumerate(items):
+        previous = last_position.get(item)
+        if previous is None:
+            distances.append(COLD)
+        else:
+            # Number of distinct items touched strictly between the two
+            # accesses: each distinct item contributes one marker at its
+            # most recent position.
+            between = tree.prefix_sum(position - 1) - tree.prefix_sum(previous)
+            distances.append(between)
+            tree.add(previous, -1)
+        tree.add(position, 1)
+        last_position[item] = position
+    return distances
+
+
+class LRUStack:
+    """An LRU stack with O(log n) access, depth-selection and removal.
+
+    Backed by a Fenwick tree over monotonically increasing time slots:
+    the item in the highest occupied slot is the most-recently used.
+    Used by HRD synthesis, where stack depths can reach the workload
+    footprint (a plain list would make synthesis quadratic).
+    """
+
+    def __init__(self):
+        self._slot_of: Dict[Hashable, int] = {}
+        self._item_at: Dict[int, Hashable] = {}
+        self._tree = _FenwickTree(1024)
+        self._tree_size = 1024
+        self._next_slot = 0
+
+    def __len__(self) -> int:
+        return len(self._slot_of)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._slot_of
+
+    def _grow(self) -> None:
+        new_size = self._tree_size * 2
+        tree = _FenwickTree(new_size)
+        for slot in self._item_at:
+            tree.add(slot, 1)
+        self._tree = tree
+        self._tree_size = new_size
+
+    def access(self, item: Hashable) -> None:
+        """Move ``item`` to the front (inserting it if absent)."""
+        old_slot = self._slot_of.pop(item, None)
+        if old_slot is not None:
+            del self._item_at[old_slot]
+            self._tree.add(old_slot, -1)
+        if self._next_slot >= self._tree_size:
+            self._grow()
+        slot = self._next_slot
+        self._next_slot += 1
+        self._slot_of[item] = slot
+        self._item_at[slot] = item
+        self._tree.add(slot, 1)
+
+    def remove(self, item: Hashable) -> None:
+        slot = self._slot_of.pop(item)
+        del self._item_at[slot]
+        self._tree.add(slot, -1)
+
+    def depth_of(self, item: Hashable) -> int:
+        """Depth of ``item``: 0 means most-recently used."""
+        slot = self._slot_of[item]
+        occupied_up_to = self._tree.prefix_sum(slot)
+        return len(self._slot_of) - occupied_up_to
+
+    def at_depth(self, depth: int) -> Hashable:
+        """The item at ``depth`` (0 = most recent)."""
+        if not 0 <= depth < len(self._slot_of):
+            raise IndexError(f"depth {depth} out of range for stack of {len(self._slot_of)}")
+        # k-th occupied slot in ascending order, counting from the top.
+        target_rank = len(self._slot_of) - depth
+        low, high = 0, self._tree_size - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self._tree.prefix_sum(mid) >= target_rank:
+                high = mid
+            else:
+                low = mid + 1
+        return self._item_at[low]
+
+
+class ReuseHistogram:
+    """A discrete distribution of stack distances, including cold misses."""
+
+    def __init__(self, counts: Optional[Counter] = None):
+        self.counts: Counter = counts if counts is not None else Counter()
+
+    @classmethod
+    def fit(cls, distances: Sequence[int]) -> "ReuseHistogram":
+        return cls(Counter(distances))
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def cold_count(self) -> int:
+        return self.counts.get(COLD, 0)
+
+    def cold_fraction(self) -> float:
+        total = self.total
+        return self.counts.get(COLD, 0) / total if total else 0.0
+
+    def add(self, distance: int) -> None:
+        self.counts[distance] += 1
+
+    def sample(self, rng: random.Random) -> int:
+        """Sample a distance (may return ``COLD``).
+
+        Keys are sorted so sampling is invariant to insertion order
+        (profiles must behave identically after serialization).
+        """
+        if not self.counts:
+            return COLD
+        distances = sorted(self.counts.keys())
+        weights = [self.counts[d] for d in distances]
+        return rng.choices(distances, weights=weights, k=1)[0]
+
+    def clamped(self, max_rows: int) -> "ReuseHistogram":
+        """Clamp finite distances into ``max_rows`` rows (STM uses 32).
+
+        Distances >= max_rows are folded into the last row; COLD is kept.
+        """
+        if max_rows <= 0:
+            raise ValueError(f"max_rows must be positive, got {max_rows}")
+        folded: Counter = Counter()
+        for distance, count in self.counts.items():
+            if distance == COLD:
+                folded[COLD] += count
+            else:
+                folded[min(distance, max_rows - 1)] += count
+        return ReuseHistogram(folded)
+
+    def to_dict(self) -> dict:
+        return {"counts": sorted(self.counts.items())}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReuseHistogram":
+        return cls(Counter(dict((int(k), int(v)) for k, v in data["counts"])))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReuseHistogram):
+            return NotImplemented
+        return self.counts == other.counts
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReuseHistogram({self.total} samples, {self.cold_count} cold)"

@@ -1,0 +1,40 @@
+"""Set-associative write-back cache hierarchy (atomic mode)."""
+
+from .cache import AccessResult, Cache, CacheConfig, CacheStats
+from .hierarchy import CacheHierarchy, paper_l1_config, paper_l2_config
+from .multilevel import MultiLevelCache
+from .prefetch import (
+    NextLinePrefetcher,
+    PrefetchingCache,
+    PrefetchStats,
+    Prefetcher,
+    StridePrefetcher,
+)
+from .replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "CacheStats",
+    "FIFOPolicy",
+    "LRUPolicy",
+    "MultiLevelCache",
+    "NextLinePrefetcher",
+    "PrefetchStats",
+    "Prefetcher",
+    "PrefetchingCache",
+    "RandomPolicy",
+    "StridePrefetcher",
+    "ReplacementPolicy",
+    "make_policy",
+    "paper_l1_config",
+    "paper_l2_config",
+]

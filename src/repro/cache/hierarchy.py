@@ -1,0 +1,70 @@
+"""A two-level cache hierarchy in atomic mode (paper Sec. V-A).
+
+The default configuration matches the paper: a write-back L1 of varying
+size/associativity in front of a 256KB 8-way L2, 64B blocks everywhere.
+On an L1 miss the L2 is accessed; an L1 dirty eviction is written back
+into the L2 (a write access at the victim's address).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..core.request import MemoryRequest, Operation
+from .cache import AccessResult, Cache, CacheConfig, CacheStats
+
+
+def paper_l1_config(size: int = 32 * 1024, associativity: int = 4) -> CacheConfig:
+    """An L1 configuration from the paper's sweep (default 32KB 4-way)."""
+    return CacheConfig(size=size, associativity=associativity, block_size=64)
+
+
+def paper_l2_config() -> CacheConfig:
+    """The fixed 256KB 8-way L2 used throughout Sec. V."""
+    return CacheConfig(size=256 * 1024, associativity=8, block_size=64)
+
+
+class CacheHierarchy:
+    """L1 + L2, accessed in program order (timestamps ignored)."""
+
+    def __init__(
+        self,
+        l1_config: Optional[CacheConfig] = None,
+        l2_config: Optional[CacheConfig] = None,
+    ):
+        self.l1 = Cache(l1_config if l1_config is not None else paper_l1_config())
+        self.l2 = Cache(l2_config if l2_config is not None else paper_l2_config())
+        if self.l1.config.block_size != self.l2.config.block_size:
+            raise ValueError("L1 and L2 must share a block size")
+
+    @property
+    def l1_stats(self) -> CacheStats:
+        return self.l1.stats
+
+    @property
+    def l2_stats(self) -> CacheStats:
+        return self.l2.stats
+
+    def access(self, request: MemoryRequest) -> None:
+        """Send one CPU request through L1, forwarding misses to L2."""
+        block_size = self.l1.config.block_size
+        is_write = request.operation is Operation.WRITE
+        first = request.address // block_size
+        last = (request.end_address - 1) // block_size
+        for block in range(first, last + 1):
+            result = self.l1.access_block(block, is_write)
+            self._handle_l1_result(block, result)
+
+    def _handle_l1_result(self, block: int, result: AccessResult) -> None:
+        if result.hit:
+            return
+        if result.writeback_address is not None:
+            # Dirty L1 victim is written back into the L2.
+            self.l2.access_block(result.writeback_address, True)
+        # The fill itself reads the block from L2.
+        self.l2.access_block(block, False)
+
+    def run(self, requests: Iterable[MemoryRequest]) -> None:
+        """Replay a whole request sequence (order only, atomic mode)."""
+        for request in requests:
+            self.access(request)

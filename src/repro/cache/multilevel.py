@@ -1,0 +1,73 @@
+"""N-level cache hierarchies.
+
+The paper's Sec. V uses two levels ("modern CPUs contain L3s, but as we
+recreate requests between the CPU and the L1, an L3 is irrelevant to our
+analysis"); this generalization supports the cache-depth studies the
+paper's Sec. VI proposes ("research into appropriate cache sizes, the
+number of levels in a cache hierarchy, and replacement policies").
+
+Semantics per level (all write-back, write-allocate, non-inclusive):
+a miss at level *i* is filled from level *i+1*; a dirty victim at level
+*i* is written into level *i+1*; misses at the last level count as
+memory accesses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from ..core.request import MemoryRequest, Operation
+from .cache import AccessResult, Cache, CacheConfig
+
+
+class MultiLevelCache:
+    """A stack of write-back caches of arbitrary depth."""
+
+    def __init__(self, configs: Sequence[CacheConfig]):
+        if not configs:
+            raise ValueError("need at least one cache level")
+        block_sizes = {config.block_size for config in configs}
+        if len(block_sizes) > 1:
+            raise ValueError("all levels must share a block size")
+        self.levels: List[Cache] = [Cache(config) for config in configs]
+        self.block_size = configs[0].block_size
+        self.memory_reads = 0
+        self.memory_writes = 0
+
+    @property
+    def depth(self) -> int:
+        return len(self.levels)
+
+    def level_stats(self, index: int):
+        return self.levels[index].stats
+
+    def access(self, request: MemoryRequest) -> None:
+        is_write = request.operation is Operation.WRITE
+        first = request.address // self.block_size
+        last = (request.end_address - 1) // self.block_size
+        for block in range(first, last + 1):
+            self._access_block(0, block, is_write)
+
+    def _access_block(self, level: int, block: int, is_write: bool) -> None:
+        if level >= self.depth:
+            # Missed everywhere: goes to memory.
+            if is_write:
+                self.memory_writes += 1
+            else:
+                self.memory_reads += 1
+            return
+        result: AccessResult = self.levels[level].access_block(block, is_write)
+        if result.hit:
+            return
+        if result.writeback_address is not None:
+            # Dirty victim propagates one level down as a write.
+            self._access_block(level + 1, result.writeback_address, True)
+        # The fill reads the block from the next level.
+        self._access_block(level + 1, block, False)
+
+    def run(self, requests: Iterable[MemoryRequest]) -> None:
+        for request in requests:
+            self.access(request)
+
+    def miss_rates(self) -> List[float]:
+        return [cache.stats.miss_rate for cache in self.levels]

@@ -1,0 +1,98 @@
+"""Cache replacement policies.
+
+The paper's Sec. V experiments use LRU ("a least-recently used
+replacement policy"). The policy interface is pluggable so the cache can
+also be driven with FIFO or random replacement for extension studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+
+class ReplacementPolicy:
+    """Tracks recency metadata for one cache and picks victims.
+
+    Ways are identified by index within a set. ``touch`` is called on
+    every hit or fill; ``victim`` must return the way to evict from a
+    full set.
+    """
+
+    name = "abstract"
+
+    def __init__(self, num_sets: int, associativity: int):
+        self.num_sets = num_sets
+        self.associativity = associativity
+
+    def touch(self, set_index: int, way: int) -> None:
+        raise NotImplementedError
+
+    def victim(self, set_index: int) -> int:
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used: evict the way touched longest ago."""
+
+    name = "lru"
+
+    def __init__(self, num_sets: int, associativity: int):
+        super().__init__(num_sets, associativity)
+        self._clock = 0
+        self._last_touch: List[List[int]] = [
+            [-1] * associativity for _ in range(num_sets)
+        ]
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._last_touch[set_index][way] = self._clock
+
+    def victim(self, set_index: int) -> int:
+        touches = self._last_touch[set_index]
+        return min(range(self.associativity), key=touches.__getitem__)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in-first-out: evict the way filled longest ago."""
+
+    name = "fifo"
+
+    def __init__(self, num_sets: int, associativity: int):
+        super().__init__(num_sets, associativity)
+        self._next_way: List[int] = [0] * num_sets
+
+    def touch(self, set_index: int, way: int) -> None:
+        pass  # FIFO ignores reuse
+
+    def victim(self, set_index: int) -> int:
+        way = self._next_way[set_index]
+        self._next_way[set_index] = (way + 1) % self.associativity
+        return way
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim selection (deterministic given the seed)."""
+
+    name = "random"
+
+    def __init__(self, num_sets: int, associativity: int, seed: int = 0):
+        super().__init__(num_sets, associativity)
+        self._rng = random.Random(seed)
+
+    def touch(self, set_index: int, way: int) -> None:
+        pass
+
+    def victim(self, set_index: int) -> int:
+        return self._rng.randrange(self.associativity)
+
+
+_POLICIES = {"lru": LRUPolicy, "fifo": FIFOPolicy, "random": RandomPolicy}
+
+
+def make_policy(name: str, num_sets: int, associativity: int) -> ReplacementPolicy:
+    try:
+        factory = _POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown replacement policy {name!r}; have {sorted(_POLICIES)}")
+    return factory(num_sets, associativity)

@@ -1,0 +1,200 @@
+"""Hierarchical partitioning configuration and leaf extraction.
+
+Mocktails accepts a hierarchical configuration as input (paper
+Sec. III-A): an ordered list of layers, each either temporal
+(``request_count`` or ``cycle_count``) or spatial (``fixed`` or
+``dynamic``). The leaves of the hierarchy are the final partitions of
+requests; each leaf is modeled independently (Sec. III-B).
+
+The paper's recommended configuration — used throughout Sec. IV — is a
+two-level hierarchy that partitions temporally first (500,000-cycle
+intervals, following SynFull) and then spatially with the dynamic
+scheme. We call that ``2L-TS``, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from .partition import partition_by_cycle_count, partition_by_request_count
+from .request import AddressRange, MemoryRequest
+from .spatial import SpatialPartition, partition_dynamic, partition_fixed
+
+TEMPORAL_KINDS = ("request_count", "cycle_count")
+SPATIAL_KINDS = ("fixed", "dynamic")
+
+
+@dataclass(frozen=True)
+class TemporalLayer:
+    """A temporal layer: ``kind`` is ``request_count`` or ``cycle_count``."""
+
+    kind: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in TEMPORAL_KINDS:
+            raise ValueError(f"unknown temporal kind {self.kind!r}; expected {TEMPORAL_KINDS}")
+        if self.size <= 0:
+            raise ValueError(f"temporal layer size must be positive, got {self.size}")
+
+    def split(self, requests: Sequence[MemoryRequest]) -> List[List[MemoryRequest]]:
+        if self.kind == "request_count":
+            return partition_by_request_count(requests, self.size)
+        return partition_by_cycle_count(requests, self.size)
+
+
+@dataclass(frozen=True)
+class SpatialLayer:
+    """A spatial layer: ``kind`` is ``fixed`` (needs ``block_size``) or ``dynamic``."""
+
+    kind: str
+    block_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPATIAL_KINDS:
+            raise ValueError(f"unknown spatial kind {self.kind!r}; expected {SPATIAL_KINDS}")
+        if self.kind == "fixed" and (self.block_size is None or self.block_size <= 0):
+            raise ValueError("fixed spatial layer requires a positive block_size")
+
+    def split(self, requests: Sequence[MemoryRequest]) -> List[SpatialPartition]:
+        if self.kind == "fixed":
+            assert self.block_size is not None
+            return partition_fixed(requests, self.block_size)
+        return partition_dynamic(requests)
+
+
+Layer = Union[TemporalLayer, SpatialLayer]
+
+
+@dataclass
+class LeafPartition:
+    """A leaf of the hierarchy: the unit Mocktails models.
+
+    ``region`` is the address range synthesis is confined to — the region
+    of the innermost spatial layer, or the tight range of the requests if
+    the hierarchy contains no spatial layer.
+    """
+
+    requests: List[MemoryRequest]
+    region: AddressRange
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    @property
+    def start_time(self) -> int:
+        return self.requests[0].timestamp
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """An ordered list of partitioning layers, outermost first."""
+
+    layers: tuple
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise ValueError("hierarchy needs at least one layer")
+        object.__setattr__(self, "layers", tuple(layers))
+
+    def describe(self) -> str:
+        parts = []
+        for layer in self.layers:
+            if isinstance(layer, TemporalLayer):
+                parts.append(f"T({layer.kind}={layer.size})")
+            else:
+                suffix = f"={layer.block_size}" if layer.kind == "fixed" else ""
+                parts.append(f"S({layer.kind}{suffix})")
+        return " -> ".join(parts)
+
+
+def two_level_ts(
+    cycles_per_interval: int = 500_000, spatial: str = "dynamic", block_size: int = 4096
+) -> HierarchyConfig:
+    """The paper's ``2L-TS`` configuration: temporal first, then spatial."""
+    spatial_layer = (
+        SpatialLayer("dynamic") if spatial == "dynamic" else SpatialLayer("fixed", block_size)
+    )
+    return HierarchyConfig([TemporalLayer("cycle_count", cycles_per_interval), spatial_layer])
+
+
+def two_level_rs(
+    requests_per_interval: int = 100_000, spatial: str = "dynamic", block_size: int = 4096
+) -> HierarchyConfig:
+    """Temporal (request_count) then spatial — the Sec. V CPU configuration."""
+    spatial_layer = (
+        SpatialLayer("dynamic") if spatial == "dynamic" else SpatialLayer("fixed", block_size)
+    )
+    return HierarchyConfig([TemporalLayer("request_count", requests_per_interval), spatial_layer])
+
+
+def micro_macro(
+    macro_cycles: int = 500_000,
+    micro_cycles: int = 500,
+    spatial: str = "dynamic",
+    block_size: int = 4096,
+) -> HierarchyConfig:
+    """A SynFull-style three-level hierarchy (paper Sec. III-A).
+
+    SynFull uses cycle-count intervals at two granularities — macro
+    (100,000s of cycles) and micro (100s of cycles) — to capture bursty
+    and idle phases. The spatial layer then splits each micro phase.
+    """
+    spatial_layer = (
+        SpatialLayer("dynamic") if spatial == "dynamic" else SpatialLayer("fixed", block_size)
+    )
+    if micro_cycles >= macro_cycles:
+        raise ValueError("micro interval must be smaller than the macro interval")
+    return HierarchyConfig(
+        [
+            TemporalLayer("cycle_count", macro_cycles),
+            TemporalLayer("cycle_count", micro_cycles),
+            spatial_layer,
+        ]
+    )
+
+
+def _tight_region(requests: Sequence[MemoryRequest]) -> AddressRange:
+    start = min(r.address for r in requests)
+    end = max(r.end_address for r in requests)
+    return AddressRange(start, end)
+
+
+def _build(
+    requests: List[MemoryRequest],
+    layers: Sequence[Layer],
+    region: Optional[AddressRange],
+) -> List[LeafPartition]:
+    if not requests:
+        return []
+    if not layers:
+        leaf_region = region if region is not None else _tight_region(requests)
+        return [LeafPartition(requests, leaf_region)]
+
+    layer, rest = layers[0], layers[1:]
+    leaves: List[LeafPartition] = []
+    if isinstance(layer, TemporalLayer):
+        for chunk in layer.split(requests):
+            leaves.extend(_build(chunk, rest, region))
+    else:
+        for partition in layer.split(requests):
+            leaves.extend(_build(partition.requests, rest, partition.region))
+    return leaves
+
+
+def build_leaves(
+    requests: Sequence[MemoryRequest], config: HierarchyConfig
+) -> List[LeafPartition]:
+    """Apply the hierarchy to a request sequence and return its leaves.
+
+    Requests must be in time order. Leaves come back ordered by
+    (position of their first request), i.e. roughly by start time within
+    each outer partition — the order has no semantic weight since every
+    leaf is modeled independently.
+    """
+    requests = list(requests)
+    for i in range(len(requests) - 1):
+        if requests[i].timestamp > requests[i + 1].timestamp:
+            raise ValueError("requests must be sorted by timestamp")
+    return _build(requests, config.layers, None)

@@ -1,0 +1,123 @@
+"""Profile inspection: summarize what a statistical profile contains.
+
+Used by ``python -m repro.profile info`` and by the examples to show
+what does (and does not) travel when a profile is shared.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from .leaf import McCAddressModel, McCOperationModel
+from .profile import Profile
+
+
+@dataclass
+class ProfileSummary:
+    """Aggregate statistics about a profile's structure."""
+
+    leaf_count: int
+    total_requests: int
+    hierarchy: str
+    name: str
+    # Per feature: how many leaves use a constant vs a Markov chain
+    # (or, for pluggable models, their MODEL_TYPE).
+    feature_kinds: Dict[str, Counter] = field(default_factory=dict)
+    leaf_size_histogram: Counter = field(default_factory=Counter)
+    region_size_histogram: Counter = field(default_factory=Counter)
+    markov_state_total: int = 0
+    time_span: int = 0
+
+    @property
+    def constant_fraction(self) -> float:
+        """Fraction of McC feature models that are constants."""
+        constants = 0
+        total = 0
+        for kinds in self.feature_kinds.values():
+            constants += kinds.get("constant", 0)
+            total += sum(
+                count for kind, count in kinds.items() if kind in ("constant", "markov")
+            )
+        return constants / total if total else 0.0
+
+    @property
+    def mean_leaf_size(self) -> float:
+        if not self.leaf_count:
+            return 0.0
+        return self.total_requests / self.leaf_count
+
+
+def _size_bucket(size: int) -> int:
+    """Bucket sizes by power of two for compact histograms."""
+    bucket = 1
+    while bucket < size:
+        bucket *= 2
+    return bucket
+
+
+def summarize_profile(profile: Profile) -> ProfileSummary:
+    """Compute a structural summary of a profile."""
+    summary = ProfileSummary(
+        leaf_count=len(profile),
+        total_requests=profile.total_requests,
+        hierarchy=profile.hierarchy,
+        name=profile.name,
+        feature_kinds={
+            "delta_time": Counter(),
+            "stride": Counter(),
+            "operation": Counter(),
+            "size": Counter(),
+        },
+    )
+    earliest = None
+    latest = None
+    for leaf in profile:
+        summary.leaf_size_histogram[_size_bucket(leaf.count)] += 1
+        summary.region_size_histogram[_size_bucket(leaf.region.size)] += 1
+        summary.feature_kinds["delta_time"][leaf.delta_time_model.kind] += 1
+        summary.feature_kinds["size"][leaf.size_model.kind] += 1
+
+        if isinstance(leaf.address_model, McCAddressModel):
+            stride_model = leaf.address_model.stride_model
+            summary.feature_kinds["stride"][stride_model.kind] += 1
+            if stride_model.chain is not None:
+                summary.markov_state_total += len(stride_model.chain.states)
+        else:
+            summary.feature_kinds["stride"][leaf.address_model.MODEL_TYPE] += 1
+
+        if isinstance(leaf.operation_model, McCOperationModel):
+            summary.feature_kinds["operation"][leaf.operation_model.model.kind] += 1
+        else:
+            summary.feature_kinds["operation"][leaf.operation_model.MODEL_TYPE] += 1
+
+        for model in (leaf.delta_time_model, leaf.size_model):
+            if model.chain is not None:
+                summary.markov_state_total += len(model.chain.states)
+
+        earliest = leaf.start_time if earliest is None else min(earliest, leaf.start_time)
+        latest = leaf.start_time if latest is None else max(latest, leaf.start_time)
+    if earliest is not None and latest is not None:
+        summary.time_span = latest - earliest
+    return summary
+
+
+def format_summary(summary: ProfileSummary) -> str:
+    """Human-readable rendering of a profile summary."""
+    lines: List[str] = []
+    lines.append(f"name:        {summary.name or '(withheld)'}")
+    lines.append(f"hierarchy:   {summary.hierarchy}")
+    lines.append(f"leaves:      {summary.leaf_count:,}")
+    lines.append(f"requests:    {summary.total_requests:,}")
+    lines.append(f"mean leaf:   {summary.mean_leaf_size:.1f} requests")
+    lines.append(f"time span:   {summary.time_span:,} cycles between leaf starts")
+    lines.append(f"constant feature models: {summary.constant_fraction:.0%}")
+    lines.append(f"total Markov states: {summary.markov_state_total:,}")
+    for feature, kinds in summary.feature_kinds.items():
+        rendered = ", ".join(f"{kind}={count}" for kind, count in sorted(kinds.items()))
+        lines.append(f"  {feature:10} {rendered}")
+    buckets = sorted(summary.leaf_size_histogram.items())
+    rendered = ", ".join(f"<={bucket}: {count}" for bucket, count in buckets[:8])
+    lines.append(f"leaf sizes:  {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,251 @@
+"""Leaf models: the per-partition models a Mocktails profile is made of.
+
+Each leaf of the hierarchy is modeled independently (paper Sec. III-B).
+A :class:`LeafModel` stores per-leaf metadata (start time, starting
+address, address range, request count) plus one model per request
+feature. Delta time and size always use McC; the address and operation
+features are pluggable so the STM baseline can replace them
+(Sec. IV: ``2L-TS (STM)``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from .mcc import McCModel
+from .request import AddressRange, MemoryRequest, Operation
+
+
+class AddressModel:
+    """Generates the address sequence of a leaf."""
+
+    MODEL_TYPE = "abstract"
+
+    def generate(self, rng: random.Random, strict: bool = True) -> List[int]:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+
+class OperationModel:
+    """Generates the operation sequence of a leaf."""
+
+    MODEL_TYPE = "abstract"
+
+    def generate(self, rng: random.Random, strict: bool = True) -> List[Operation]:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+
+def wrap_address(address: int, region: AddressRange) -> int:
+    """Modulo an out-of-range address back into the leaf's memory region.
+
+    Synthesis checks every generated address against the leaf's region and
+    wraps it back to preserve spatial locality (paper Sec. III-C).
+    """
+    span = region.size
+    if span <= 0:
+        return region.start
+    if region.contains(address):
+        return address
+    return region.start + ((address - region.start) % span)
+
+
+class McCAddressModel(AddressModel):
+    """Address generation from a McC stride model, wrapped into the region."""
+
+    MODEL_TYPE = "mcc"
+
+    def __init__(self, start_address: int, region: AddressRange, stride_model: McCModel):
+        self.start_address = start_address
+        self.region = region
+        self.stride_model = stride_model
+
+    @classmethod
+    def fit(cls, addresses: Sequence[int], region: AddressRange) -> "McCAddressModel":
+        if not addresses:
+            raise ValueError("cannot fit an address model to zero addresses")
+        strides = [b - a for a, b in zip(addresses, addresses[1:])]
+        return cls(addresses[0], region, McCModel.fit(strides))
+
+    def generate(self, rng: random.Random, strict: bool = True) -> List[int]:
+        addresses = [self.start_address]
+        for stride in self.stride_model.generate(rng, strict=strict):
+            addresses.append(wrap_address(addresses[-1] + stride, self.region))
+        return addresses
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.MODEL_TYPE,
+            "start_address": self.start_address,
+            "region": [self.region.start, self.region.end],
+            "stride_model": self.stride_model.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "McCAddressModel":
+        return cls(
+            data["start_address"],
+            AddressRange(*data["region"]),
+            McCModel.from_dict(data["stride_model"]),
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, McCAddressModel):
+            return NotImplemented
+        return (
+            self.start_address == other.start_address
+            and self.region == other.region
+            and self.stride_model == other.stride_model
+        )
+
+
+class McCOperationModel(OperationModel):
+    """Operation generation from a McC model over read/write values."""
+
+    MODEL_TYPE = "mcc"
+
+    def __init__(self, model: McCModel):
+        self.model = model
+
+    @classmethod
+    def fit(cls, operations: Sequence[Operation]) -> "McCOperationModel":
+        return cls(McCModel.fit([int(op) for op in operations]))
+
+    def generate(self, rng: random.Random, strict: bool = True) -> List[Operation]:
+        return [Operation(value) for value in self.model.generate(rng, strict=strict)]
+
+    def to_dict(self) -> dict:
+        return {"type": self.MODEL_TYPE, "model": self.model.to_dict()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "McCOperationModel":
+        return cls(McCModel.from_dict(data["model"]))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, McCOperationModel):
+            return NotImplemented
+        return self.model == other.model
+
+
+class LeafModel:
+    """The statistical model of one leaf partition.
+
+    Attributes:
+        start_time: Cycle the leaf begins injecting requests (paper: each
+            model provides a start time so concurrent streams can overlap,
+            which is how bursts are recreated).
+        count: Number of requests the leaf regenerates.
+        region: Address range synthesis is confined to.
+        delta_time_model: McC over inter-arrival times (``count - 1`` values).
+        size_model: McC over request sizes (``count`` values).
+        address_model: Pluggable address generator (``count`` addresses).
+        operation_model: Pluggable operation generator (``count`` values).
+    """
+
+    def __init__(
+        self,
+        start_time: int,
+        count: int,
+        region: AddressRange,
+        delta_time_model: McCModel,
+        size_model: McCModel,
+        address_model: AddressModel,
+        operation_model: OperationModel,
+    ):
+        if count <= 0:
+            raise ValueError("a leaf model must cover at least one request")
+        self.start_time = start_time
+        self.count = count
+        self.region = region
+        self.delta_time_model = delta_time_model
+        self.size_model = size_model
+        self.address_model = address_model
+        self.operation_model = operation_model
+
+    @classmethod
+    def fit(
+        cls,
+        requests: Sequence[MemoryRequest],
+        region: AddressRange,
+        order: int = 1,
+    ) -> "LeafModel":
+        """Fit the default (all-McC) leaf model to a leaf partition.
+
+        ``order`` > 1 fits higher-order Markov chains for every feature
+        (an ablation knob; the paper uses memoryless chains).
+        """
+        requests = list(requests)
+        if not requests:
+            raise ValueError("cannot fit a leaf model to zero requests")
+        times = [r.timestamp for r in requests]
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        addresses = [r.address for r in requests]
+        strides = [b - a for a, b in zip(addresses, addresses[1:])]
+        return cls(
+            start_time=times[0],
+            count=len(requests),
+            region=region,
+            delta_time_model=McCModel.fit(deltas, order=order),
+            size_model=McCModel.fit([r.size for r in requests], order=order),
+            address_model=McCAddressModel(
+                addresses[0], region, McCModel.fit(strides, order=order)
+            ),
+            operation_model=McCOperationModel(
+                McCModel.fit([int(r.operation) for r in requests], order=order)
+            ),
+        )
+
+
+    def generate(self, rng: random.Random, strict: bool = True) -> List[MemoryRequest]:
+        """Synthesize this leaf's requests (a *partial order*, Sec. III-C)."""
+        deltas = self.delta_time_model.generate(rng, strict=strict)
+        sizes = self.size_model.generate(rng, strict=strict)
+        addresses = self.address_model.generate(rng, strict=strict)
+        operations = self.operation_model.generate(rng, strict=strict)
+        if not (len(sizes) == len(addresses) == len(operations) == self.count):
+            raise RuntimeError("feature models disagree on leaf request count")
+        if len(deltas) != self.count - 1:
+            raise RuntimeError("delta-time model must generate count-1 values")
+
+        requests = []
+        timestamp = self.start_time
+        for index in range(self.count):
+            if index > 0:
+                timestamp += max(0, deltas[index - 1])
+            requests.append(
+                MemoryRequest(timestamp, addresses[index], operations[index], sizes[index])
+            )
+        return requests
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LeafModel):
+            return NotImplemented
+        return (
+            self.start_time == other.start_time
+            and self.count == other.count
+            and self.region == other.region
+            and self.delta_time_model == other.delta_time_model
+            and self.size_model == other.size_model
+            and self.address_model == other.address_model
+            and self.operation_model == other.operation_model
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LeafModel(start={self.start_time}, count={self.count}, "
+            f"region=[{self.region.start:#x}, {self.region.end:#x}))"
+        )
+
+
+def make_leaf_factory(order: int = 1):
+    """A leaf factory fitting order-``order`` McC models (ablation knob)."""
+
+    def factory(requests: Sequence[MemoryRequest], region: AddressRange) -> LeafModel:
+        return LeafModel.fit(requests, region, order=order)
+
+    return factory

@@ -1,0 +1,185 @@
+"""First-order Markov chains with strict convergence.
+
+Mocktails models each request feature in a leaf with either a constant
+or a Markov chain (the *McC* model, Sec. III-B). During synthesis the
+paper uses *strict convergence*: each observed transition is consumed as
+it is generated, so the synthetic sequence reproduces the exact multiset
+of values from the original sequence (e.g. "only two 128 sizes and ten
+64 sizes are generated" for Table I).
+
+Naive decrement-the-probability sampling can strand: a random walk may
+reach a state whose remaining transitions are exhausted while other
+transitions remain. We instead generate a *random Eulerian path* through
+the transition multigraph (randomized Hierholzer). The original sequence
+is, by construction, an Eulerian path of that multigraph, so a random
+Eulerian path from the same start state consumes every observed
+transition exactly once — strict convergence with a hard guarantee —
+while still randomizing the order according to the observed structure.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+State = Hashable
+
+
+class MarkovChain:
+    """A first-order Markov chain fit to an observed state sequence."""
+
+    def __init__(
+        self,
+        initial_state: State,
+        transitions: Dict[State, Counter],
+        length: int,
+    ):
+        """Use :meth:`fit` instead of constructing directly.
+
+        Args:
+            initial_state: First state of the observed sequence.
+            transitions: ``transitions[s][t]`` = observed count of s→t.
+            length: Length of the observed sequence.
+        """
+        self.initial_state = initial_state
+        self.transitions = transitions
+        self.length = length
+
+    @classmethod
+    def fit(cls, sequence: Sequence[State]) -> "MarkovChain":
+        if not sequence:
+            raise ValueError("cannot fit a Markov chain to an empty sequence")
+        transitions: Dict[State, Counter] = {}
+        for current, nxt in zip(sequence, sequence[1:]):
+            transitions.setdefault(current, Counter())[nxt] += 1
+        return cls(sequence[0], transitions, len(sequence))
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def states(self) -> List[State]:
+        seen = {self.initial_state}
+        ordered = [self.initial_state]
+        for source, row in self.transitions.items():
+            for state in (source, *row):
+                if state not in seen:
+                    seen.add(state)
+                    ordered.append(state)
+        return ordered
+
+    def transition_probability(self, source: State, target: State) -> float:
+        """P(target | source) from observed counts; 0.0 when unseen."""
+        row = self.transitions.get(source)
+        if not row:
+            return 0.0
+        total = sum(row.values())
+        return row.get(target, 0) / total if total else 0.0
+
+    def value_counts(self) -> Counter:
+        """Multiset of values the chain reproduces under strict convergence."""
+        counts: Counter = Counter({self.initial_state: 1})
+        for row in self.transitions.values():
+            counts.update(row)
+        return counts
+
+    # -- generation ----------------------------------------------------------
+
+    def generate_strict(self, rng: random.Random) -> List[State]:
+        """Generate with strict convergence (random Eulerian path).
+
+        The result has exactly ``self.length`` states, the same value
+        multiset and the same transition multiset as the fitted sequence.
+        """
+        adjacency: Dict[State, List[State]] = {}
+        for source, row in self.transitions.items():
+            edges: List[State] = []
+            # Sorted targets keep generation invariant to row insertion
+            # order (identical output before/after serialization).
+            for target, count in sorted(row.items(), key=lambda kv: repr(kv[0])):
+                edges.extend([target] * count)
+            rng.shuffle(edges)
+            adjacency[source] = edges
+
+        # Randomized Hierholzer: walk until stuck, back up emitting states.
+        stack = [self.initial_state]
+        path: List[State] = []
+        while stack:
+            vertex = stack[-1]
+            edges = adjacency.get(vertex)
+            if edges:
+                stack.append(edges.pop())
+            else:
+                path.append(stack.pop())
+        path.reverse()
+        if len(path) != self.length:  # pragma: no cover - structural guarantee
+            raise RuntimeError(
+                f"Eulerian path length {len(path)} != fitted length {self.length}"
+            )
+        return path
+
+    def generate_sampled(self, rng: random.Random, length: Optional[int] = None) -> List[State]:
+        """Generate by plain probability sampling (no convergence guarantee).
+
+        Used by the strict-convergence ablation. When a state with no
+        outgoing transitions is reached (it can only be the final state of
+        the fitted sequence), the walk restarts its row from the full
+        distribution of all transitions.
+        """
+        length = self.length if length is None else length
+        result = [self.initial_state]
+        current = self.initial_state
+        all_rows = [row for row in self.transitions.values() if row]
+        while len(result) < length:
+            row = self.transitions.get(current)
+            if not row:
+                row = rng.choice(all_rows) if all_rows else None
+                if row is None:
+                    result.append(current)
+                    continue
+            targets = sorted(row.keys(), key=repr)
+            weights = [row[t] for t in targets]
+            current = rng.choices(targets, weights=weights, k=1)[0]
+            result.append(current)
+        return result
+
+    # -- serialization support -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        states = self.states
+        index: Dict[State, int] = {state: i for i, state in enumerate(states)}
+        rows: List[Tuple[int, List[Tuple[int, int]]]] = []
+        for source, row in self.transitions.items():
+            rows.append((index[source], [(index[t], c) for t, c in sorted(row.items(), key=str)]))
+        return {
+            "states": states,
+            "initial": index[self.initial_state],
+            "rows": rows,
+            "length": self.length,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MarkovChain":
+        states = data["states"]
+        transitions: Dict[State, Counter] = {}
+        for source_index, row in data["rows"]:
+            counter = Counter()
+            for target_index, count in row:
+                counter[states[target_index]] = count
+            transitions[states[source_index]] = counter
+        return cls(states[data["initial"]], transitions, data["length"])
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MarkovChain):
+            return NotImplemented
+        return (
+            self.initial_state == other.initial_state
+            and self.transitions == other.transitions
+            and self.length == other.length
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MarkovChain({len(self.states)} states, "
+            f"{sum(sum(r.values()) for r in self.transitions.values())} transitions)"
+        )

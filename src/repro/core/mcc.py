@@ -1,0 +1,147 @@
+"""The McC (Markov chain or Constant) feature model.
+
+Each leaf models four features independently — delta time, stride,
+operation and size (paper Sec. III-B). If a feature shows no variability
+in the leaf, a single constant value regenerates its sequence; otherwise
+a first-order Markov chain with strict convergence is used.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Hashable, List, Optional, Sequence
+
+from .markov import MarkovChain
+
+Value = Hashable
+
+CONSTANT = "constant"
+MARKOV = "markov"
+
+
+class McCModel:
+    """A per-feature model: either a constant value or a Markov chain.
+
+    The paper uses first-order (memoryless) chains and argues hierarchical
+    partitioning makes longer history unnecessary (Sec. IV-B). ``order``
+    > 1 fits the chain over sliding windows of that length — kept as an
+    ablation knob to test exactly that claim.
+    """
+
+    def __init__(
+        self,
+        kind: str,
+        count: int,
+        constant: Optional[Value] = None,
+        chain: Optional[MarkovChain] = None,
+        order: int = 1,
+    ):
+        if kind not in (CONSTANT, MARKOV):
+            raise ValueError(f"unknown McC kind {kind!r}")
+        if kind == MARKOV and chain is None:
+            raise ValueError("markov McC model requires a chain")
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        expected_length = count if order == 1 else count - order + 1
+        if kind == MARKOV and chain is not None and chain.length != expected_length:
+            raise ValueError("markov chain length must match model count")
+        self.kind = kind
+        self.count = count
+        self.constant = constant
+        self.chain = chain
+        self.order = order
+
+    @classmethod
+    def fit(cls, values: Sequence[Value], order: int = 1) -> "McCModel":
+        """Fit a McC model to the observed feature sequence.
+
+        An empty sequence yields a degenerate model that generates nothing
+        (leaves with a single request have empty delta sequences).
+        """
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        values = list(values)
+        if not values:
+            return cls(CONSTANT, 0, constant=None)
+        first = values[0]
+        if all(value == first for value in values):
+            return cls(CONSTANT, len(values), constant=first)
+        if order == 1 or len(values) <= order:
+            return cls(MARKOV, len(values), chain=MarkovChain.fit(values))
+        windows = [
+            tuple(values[i : i + order]) for i in range(len(values) - order + 1)
+        ]
+        return cls(MARKOV, len(values), chain=MarkovChain.fit(windows), order=order)
+
+    @property
+    def is_constant(self) -> bool:
+        return self.kind == CONSTANT
+
+    def generate(self, rng: random.Random, strict: bool = True) -> List[Value]:
+        """Generate a feature sequence of ``self.count`` values."""
+        if self.count == 0:
+            return []
+        if self.kind == CONSTANT:
+            return [self.constant] * self.count
+        assert self.chain is not None
+        states = (
+            self.chain.generate_strict(rng)
+            if strict
+            else self.chain.generate_sampled(rng)
+        )
+        if self.order == 1:
+            return states
+        # Decode overlapping windows back into the value sequence: the
+        # first window in full, then the trailing element of each next.
+        decoded = list(states[0])
+        decoded.extend(window[-1] for window in states[1:])
+        return decoded
+
+    # -- serialization support -------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data: dict = {"kind": self.kind, "count": self.count}
+        if self.order != 1:
+            data["order"] = self.order
+        if self.kind == CONSTANT:
+            data["constant"] = self.constant
+        else:
+            assert self.chain is not None
+            data["chain"] = self.chain.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "McCModel":
+        order = data.get("order", 1)
+        if data["kind"] == CONSTANT:
+            return cls(CONSTANT, data["count"], constant=data.get("constant"))
+        chain = MarkovChain.from_dict(data["chain"])
+        if order != 1:
+            # JSON turns tuple states into lists; restore tuples.
+            chain = MarkovChain(
+                tuple(chain.initial_state),
+                {
+                    tuple(source): type(row)(
+                        {tuple(target): count for target, count in row.items()}
+                    )
+                    for source, row in chain.transitions.items()
+                },
+                chain.length,
+            )
+        return cls(MARKOV, data["count"], chain=chain, order=order)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, McCModel):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.count == other.count
+            and self.constant == other.constant
+            and self.chain == other.chain
+            and self.order == other.order
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.kind == CONSTANT:
+            return f"McCModel(constant={self.constant!r}, count={self.count})"
+        return f"McCModel(markov, count={self.count})"

@@ -1,0 +1,64 @@
+"""Temporal partitioning of memory requests.
+
+The paper (Sec. III-A) supports two styles of fixed-size temporal
+partitions, both drawn from prior art:
+
+* ``request_count`` intervals: at most N requests per interval (STM [3]
+  uses 100,000 requests).
+* ``cycle_count`` intervals: fixed number of cycles per interval
+  (SynFull [4] uses 500,000-cycle macro phases). Intervals that contain
+  no requests produce no partition.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .request import MemoryRequest
+
+
+def partition_by_request_count(
+    requests: Sequence[MemoryRequest], max_requests: int
+) -> List[List[MemoryRequest]]:
+    """Split ``requests`` into consecutive chunks of at most ``max_requests``.
+
+    Requests must already be in time order; the chunking preserves order.
+    """
+    if max_requests <= 0:
+        raise ValueError(f"max_requests must be positive, got {max_requests}")
+    requests = list(requests)
+    return [requests[i : i + max_requests] for i in range(0, len(requests), max_requests)]
+
+
+def partition_by_cycle_count(
+    requests: Sequence[MemoryRequest], cycles_per_interval: int
+) -> List[List[MemoryRequest]]:
+    """Split ``requests`` into fixed-duration intervals.
+
+    Intervals are aligned to the timestamp of the first request. Empty
+    intervals (idle phases) are skipped — they contribute no partitions,
+    which is how burst/idle behaviour surfaces as leaves with distant
+    start times.
+    """
+    if cycles_per_interval <= 0:
+        raise ValueError(f"cycles_per_interval must be positive, got {cycles_per_interval}")
+    requests = list(requests)
+    if not requests:
+        return []
+
+    origin = requests[0].timestamp
+    partitions: List[List[MemoryRequest]] = []
+    current: List[MemoryRequest] = []
+    current_bin = 0
+    for request in requests:
+        if request.timestamp < origin:
+            raise ValueError("requests must be sorted by timestamp")
+        bin_index = (request.timestamp - origin) // cycles_per_interval
+        if bin_index != current_bin and current:
+            partitions.append(current)
+            current = []
+        current_bin = bin_index
+        current.append(request)
+    if current:
+        partitions.append(current)
+    return partitions

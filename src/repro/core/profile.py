@@ -1,0 +1,77 @@
+"""The Mocktails statistical profile.
+
+A profile is a collection of independent leaf models plus a description
+of the hierarchy that produced them (paper Sec. III-B). The profile is
+the artifact industry would distribute instead of a proprietary trace:
+it contains Markov transition counts and constants, never the original
+request sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from .leaf import LeafModel
+
+
+class Profile:
+    """A collection of leaf models forming one workload's statistical profile."""
+
+    def __init__(
+        self,
+        leaves: Sequence[LeafModel],
+        hierarchy: str = "",
+        name: str = "",
+    ):
+        """Args:
+        leaves: The independent leaf models.
+        hierarchy: Human-readable hierarchy description (for provenance).
+        name: Workload name (for provenance; may be left blank to
+            avoid leaking workload identity).
+        """
+        self._leaves: List[LeafModel] = list(leaves)
+        self.hierarchy = hierarchy
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._leaves)
+
+    def __iter__(self) -> Iterator[LeafModel]:
+        return iter(self._leaves)
+
+    def __getitem__(self, index: int) -> LeafModel:
+        return self._leaves[index]
+
+    @property
+    def leaves(self) -> Sequence[LeafModel]:
+        return self._leaves
+
+    @property
+    def total_requests(self) -> int:
+        """Number of requests a (strict) synthesis run will produce."""
+        return sum(leaf.count for leaf in self._leaves)
+
+    def constant_model_count(self) -> int:
+        """How many feature models are constants (metadata-size driver, Fig. 17)."""
+        count = 0
+        for leaf in self._leaves:
+            count += leaf.delta_time_model.is_constant
+            count += leaf.size_model.is_constant
+            address_model = getattr(leaf.address_model, "stride_model", None)
+            if address_model is not None:
+                count += address_model.is_constant
+            operation_model = getattr(leaf.operation_model, "model", None)
+            if operation_model is not None:
+                count += operation_model.is_constant
+        return count
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Profile):
+            return NotImplemented
+        return self._leaves == other._leaves and self.hierarchy == other.hierarchy
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Profile({len(self._leaves)} leaves, {self.total_requests} requests, "
+            f"hierarchy={self.hierarchy!r})"
+        )

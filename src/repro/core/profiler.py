@@ -1,0 +1,47 @@
+"""The Mocktails model generator: trace -> statistical profile.
+
+This is the "Model Generator" box of the paper's Fig. 1. Industry runs
+it on a proprietary trace; the resulting :class:`Profile` can be shared
+without revealing the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .hierarchy import HierarchyConfig, build_leaves, two_level_ts
+from .leaf import LeafModel
+from .request import AddressRange, MemoryRequest
+from .trace import Trace
+
+LeafModelFactory = Callable[[Sequence[MemoryRequest], AddressRange], LeafModel]
+
+
+def build_profile(
+    trace: Trace,
+    config: HierarchyConfig = None,
+    leaf_factory: LeafModelFactory = LeafModel.fit,
+    name: str = "",
+):
+    """Build a statistical profile from a trace.
+
+    Args:
+        trace: Time-ordered memory request trace.
+        config: Hierarchical partitioning configuration; defaults to the
+            paper's ``2L-TS`` (500k-cycle temporal intervals, then dynamic
+            spatial partitioning).
+        leaf_factory: Builds the model for each leaf. The default fits
+            all-McC leaves; pass :func:`repro.baselines.stm.stm_leaf_factory`
+            for the ``2L-TS (STM)`` comparison point.
+        name: Optional workload name recorded in the profile.
+
+    Returns:
+        A :class:`repro.core.profile.Profile`.
+    """
+    from .profile import Profile
+
+    if config is None:
+        config = two_level_ts()
+    leaves = build_leaves(trace.requests, config)
+    models = [leaf_factory(leaf.requests, leaf.region) for leaf in leaves]
+    return Profile(models, hierarchy=config.describe(), name=name)

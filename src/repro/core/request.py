@@ -1,0 +1,135 @@
+"""Memory request primitives.
+
+Mocktails models the four request features visible at the interface
+between a compute device and the memory system (paper Sec. III):
+*timestamp* (cycle the request is injected), *address*, *operation*
+(read or write) and *size* (bytes requested).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Operation(enum.IntEnum):
+    """The operation feature of a memory request."""
+
+    READ = 0
+    WRITE = 1
+
+    @property
+    def is_read(self) -> bool:
+        return self is Operation.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self is Operation.WRITE
+
+    @classmethod
+    def parse(cls, text: str) -> "Operation":
+        """Parse an operation from a trace-file token (``R``/``W`` etc.)."""
+        token = text.strip().upper()
+        if token in ("R", "READ", "0"):
+            return cls.READ
+        if token in ("W", "WRITE", "1"):
+            return cls.WRITE
+        raise ValueError(f"unknown operation token: {text!r}")
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "R" if self is Operation.READ else "W"
+
+
+@dataclass(order=False)
+class MemoryRequest:
+    """A single memory request.
+
+    Attributes:
+        timestamp: Injection time in cycles.
+        address: Byte address of the first byte accessed.
+        operation: Read or write.
+        size: Number of bytes requested (must be positive).
+    """
+
+    __slots__ = ("timestamp", "address", "operation", "size")
+
+    timestamp: int
+    address: int
+    operation: Operation
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"request size must be positive, got {self.size}")
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+
+    @property
+    def end_address(self) -> int:
+        """One past the last byte touched by this request."""
+        return self.address + self.size
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation is Operation.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.operation is Operation.WRITE
+
+    def overlaps(self, other: "MemoryRequest") -> bool:
+        """True when the byte ranges of two requests intersect or touch.
+
+        Adjacency counts as overlap because dynamic spatial partitioning
+        (paper Alg. 1) merges requests that access *overlapping or
+        adjacent* memory regions.
+        """
+        return self.address <= other.end_address and other.address <= self.end_address
+
+    def copy(self) -> "MemoryRequest":
+        return MemoryRequest(self.timestamp, self.address, self.operation, self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryRequest(t={self.timestamp}, addr=0x{self.address:x}, "
+            f"op={self.operation}, size={self.size})"
+        )
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A half-open byte range ``[start, end)`` used by spatial partitioning."""
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"empty/negative range: [{self.start}, {self.end})")
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start
+
+    def contains(self, address: int) -> bool:
+        return self.start <= address < self.end
+
+    def contains_range(self, other: "AddressRange") -> bool:
+        return self.start <= other.start and other.end <= self.end
+
+    def intersects(self, other: "AddressRange") -> bool:
+        """True when ranges overlap *or are adjacent* (Alg. 1 semantics)."""
+        return self.start <= other.end and other.start <= self.end
+
+    def expand(self, other: "AddressRange") -> "AddressRange":
+        """The smallest range covering both ranges."""
+        return AddressRange(min(self.start, other.start), max(self.end, other.end))
+
+    @classmethod
+    def of_request(cls, request: MemoryRequest) -> "AddressRange":
+        return cls(request.address, request.end_address)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AddressRange(0x{self.start:x}, 0x{self.end:x})"

@@ -1,0 +1,165 @@
+"""Trace container and on-disk formats.
+
+A :class:`Trace` is an ordered sequence of :class:`MemoryRequest` objects,
+sorted by timestamp. Two on-disk formats are provided:
+
+* a human-readable gzip CSV (``.csv.gz``) for interchange, and
+* a compact struct-packed binary (``.mtr.gz``) used for the Fig. 17
+  trace-size comparison (our substitute for the paper's protobuf+gzip).
+"""
+
+from __future__ import annotations
+
+import gzip
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from .request import AddressRange, MemoryRequest, Operation
+
+_BINARY_MAGIC = b"MTR1"
+_RECORD = struct.Struct("<QQBI")  # timestamp, address, operation, size
+
+
+class Trace:
+    """An ordered sequence of memory requests.
+
+    The constructor does not sort; use :meth:`sorted_by_time` or pass
+    requests already ordered by timestamp (ties keep insertion order).
+    """
+
+    def __init__(self, requests: Optional[Iterable[MemoryRequest]] = None):
+        self._requests: List[MemoryRequest] = list(requests) if requests else []
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __iter__(self) -> Iterator[MemoryRequest]:
+        return iter(self._requests)
+
+    def __getitem__(self, index: Union[int, slice]):
+        if isinstance(index, slice):
+            return Trace(self._requests[index])
+        return self._requests[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return self._requests == other._requests
+
+    def append(self, request: MemoryRequest) -> None:
+        self._requests.append(request)
+
+    def extend(self, requests: Iterable[MemoryRequest]) -> None:
+        self._requests.extend(requests)
+
+    @property
+    def requests(self) -> Sequence[MemoryRequest]:
+        return self._requests
+
+    # -- derived properties --------------------------------------------------
+
+    def is_sorted(self) -> bool:
+        reqs = self._requests
+        return all(reqs[i].timestamp <= reqs[i + 1].timestamp for i in range(len(reqs) - 1))
+
+    def sorted_by_time(self) -> "Trace":
+        """A copy sorted by timestamp (stable, preserving tie order)."""
+        return Trace(sorted(self._requests, key=lambda r: r.timestamp))
+
+    @property
+    def start_time(self) -> int:
+        if not self._requests:
+            raise ValueError("empty trace has no start time")
+        return min(r.timestamp for r in self._requests)
+
+    @property
+    def end_time(self) -> int:
+        if not self._requests:
+            raise ValueError("empty trace has no end time")
+        return max(r.timestamp for r in self._requests)
+
+    @property
+    def duration(self) -> int:
+        return self.end_time - self.start_time if self._requests else 0
+
+    def address_range(self) -> AddressRange:
+        """Smallest range covering every byte touched by the trace."""
+        if not self._requests:
+            raise ValueError("empty trace has no address range")
+        start = min(r.address for r in self._requests)
+        end = max(r.end_address for r in self._requests)
+        return AddressRange(start, end)
+
+    def read_count(self) -> int:
+        return sum(1 for r in self._requests if r.is_read)
+
+    def write_count(self) -> int:
+        return len(self._requests) - self.read_count()
+
+    def total_bytes(self) -> int:
+        return sum(r.size for r in self._requests)
+
+    def head(self, count: int) -> "Trace":
+        """The first ``count`` requests (paper uses e.g. first 100k)."""
+        return Trace(self._requests[:count])
+
+    # -- on-disk formats ------------------------------------------------------
+
+    def save_csv(self, path: Union[str, Path]) -> None:
+        """Write a gzip CSV with header ``timestamp,address,operation,size``."""
+        with gzip.open(path, "wt", encoding="ascii") as handle:
+            handle.write("timestamp,address,operation,size\n")
+            for r in self._requests:
+                handle.write(f"{r.timestamp},{r.address:#x},{r.operation},{r.size}\n")
+
+    @classmethod
+    def load_csv(cls, path: Union[str, Path]) -> "Trace":
+        requests = []
+        with gzip.open(path, "rt", encoding="ascii") as handle:
+            header = handle.readline()
+            if not header.startswith("timestamp"):
+                raise ValueError(f"{path}: missing CSV header")
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                time_s, addr_s, op_s, size_s = line.split(",")
+                requests.append(
+                    MemoryRequest(
+                        timestamp=int(time_s),
+                        address=int(addr_s, 0),
+                        operation=Operation.parse(op_s),
+                        size=int(size_s),
+                    )
+                )
+        return cls(requests)
+
+    def save_binary(self, path: Union[str, Path]) -> int:
+        """Write the compact gzip binary format; returns bytes written."""
+        payload = bytearray(_BINARY_MAGIC)
+        payload += struct.pack("<Q", len(self._requests))
+        for r in self._requests:
+            payload += _RECORD.pack(r.timestamp, r.address, int(r.operation), r.size)
+        data = gzip.compress(bytes(payload))
+        Path(path).write_bytes(data)
+        return len(data)
+
+    @classmethod
+    def load_binary(cls, path: Union[str, Path]) -> "Trace":
+        payload = gzip.decompress(Path(path).read_bytes())
+        if payload[:4] != _BINARY_MAGIC:
+            raise ValueError(f"{path}: not a Mocktails binary trace")
+        (count,) = struct.unpack_from("<Q", payload, 4)
+        requests = []
+        offset = 12
+        for _ in range(count):
+            timestamp, address, op, size = _RECORD.unpack_from(payload, offset)
+            offset += _RECORD.size
+            requests.append(MemoryRequest(timestamp, address, Operation(op), size))
+        return cls(requests)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace({len(self._requests)} requests)"

@@ -1,0 +1,19 @@
+"""Event-driven DRAM memory-system model (gem5-minimal-controller style)."""
+
+from .address_map import AddressMap, Burst, DramCoordinates
+from .config import DRAMTiming, MemoryConfig
+from .controller import MemoryController
+from .memory_system import MemorySystem
+from .stats import ControllerStats, MemorySystemStats
+
+__all__ = [
+    "AddressMap",
+    "Burst",
+    "ControllerStats",
+    "DRAMTiming",
+    "DramCoordinates",
+    "MemoryConfig",
+    "MemoryController",
+    "MemorySystem",
+    "MemorySystemStats",
+]

@@ -1,0 +1,108 @@
+"""DRAM address decoding and request-to-burst splitting.
+
+Requests are divided into burst-sized packets to match the DRAM
+interface (paper Sec. IV-A, "Read Bursts, Write Bursts"). Each burst is
+decoded to a (channel, rank, bank, row, column) coordinate.
+
+The mapping interleaves channels at burst granularity and places the
+column below the bank (gem5's ``RoRaBaChCo`` spirit): a sequential
+stream walks the columns of one row in one bank — maximizing row hits —
+before moving to the next bank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.request import MemoryRequest, Operation
+from .config import MemoryConfig
+
+
+@dataclass(frozen=True)
+class DramCoordinates:
+    """Decoded location of one burst."""
+
+    channel: int
+    rank: int
+    bank: int  # bank index within the rank
+    row: int
+    column: int
+
+    @property
+    def bank_id(self) -> int:
+        """Flat bank index within the channel (rank-major)."""
+        return self.rank * _BANK_STRIDE + self.bank
+
+
+_BANK_STRIDE = 1 << 20  # large constant so bank_id never collides across ranks
+
+
+@dataclass
+class Burst:
+    """One burst-sized DRAM packet derived from a memory request.
+
+    ``request_id`` links bursts back to their originating request so the
+    memory system can report per-request completion latency.
+    """
+
+    address: int
+    operation: Operation
+    coordinates: DramCoordinates
+    arrival_time: int
+    request_id: int
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation is Operation.READ
+
+
+class AddressMap:
+    """Decodes byte addresses into DRAM coordinates for a configuration."""
+
+    def __init__(self, config: MemoryConfig):
+        self.config = config
+
+    def decode(self, address: int) -> DramCoordinates:
+        """Decode the burst containing ``address``."""
+        config = self.config
+        burst_number = address // config.burst_size
+        if config.address_mapping == "ch_lo":
+            # Channels interleaved at burst granularity (default).
+            channel = burst_number % config.num_channels
+            rest = burst_number // config.num_channels
+        else:
+            # "ch_hi": channel bits above the bank — contiguous memory
+            # stays on one channel for a whole bank sweep.
+            rest = burst_number
+            channel = 0  # placed after bank/rank decode below
+        column = rest % config.columns_per_row
+        rest //= config.columns_per_row
+        bank = rest % config.banks_per_rank
+        rest //= config.banks_per_rank
+        rank = rest % config.ranks_per_channel
+        rest //= config.ranks_per_channel
+        if config.address_mapping == "ch_hi":
+            channel = rest % config.num_channels
+            rest //= config.num_channels
+        row = rest
+        return DramCoordinates(channel, rank, bank, row, column)
+
+    def split_request(self, request: MemoryRequest, request_id: int) -> List[Burst]:
+        """Split a request into aligned bursts covering its byte range."""
+        config = self.config
+        first = request.address // config.burst_size
+        last = (request.end_address - 1) // config.burst_size
+        bursts = []
+        for burst_number in range(first, last + 1):
+            address = burst_number * config.burst_size
+            bursts.append(
+                Burst(
+                    address=address,
+                    operation=request.operation,
+                    coordinates=self.decode(address),
+                    arrival_time=request.timestamp,
+                    request_id=request_id,
+                )
+            )
+        return bursts

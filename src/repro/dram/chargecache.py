@@ -1,0 +1,92 @@
+"""ChargeCache: exploiting temporal row-access locality (Hassan et al.,
+HPCA 2016).
+
+The paper's Discussion (Sec. VI) singles this out as the kind of memory-
+controller optimization Mocktails enables evaluating on heterogeneous
+SoCs: "ChargeCache is evaluated for CPU workloads, but Mocktails enables
+an evaluation with heterogeneous SoCs to determine if non-CPU devices
+also benefit from the design."
+
+Mechanism: a row that was recently closed still holds highly-charged
+cells, so re-activating it can use a reduced tRCD. The controller keeps
+a small LRU table of recently-closed (bank, row) pairs; entries expire
+after the caching duration. An activation that hits a live entry saves
+``t_rcd_saving`` cycles.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ChargeCacheConfig:
+    """ChargeCache parameters (per memory controller)."""
+
+    capacity: int = 128  # (bank, row) entries
+    expiry_cycles: int = 1_000_000  # caching duration
+    t_rcd_saving: int = 8  # activation cycles saved on a hit
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.expiry_cycles <= 0:
+            raise ValueError("expiry_cycles must be positive")
+        if self.t_rcd_saving < 0:
+            raise ValueError("t_rcd_saving must be non-negative")
+
+
+@dataclass
+class ChargeCacheStats:
+    lookups: int = 0
+    hits: int = 0
+    expired: int = 0
+    insertions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ChargeCache:
+    """An LRU table of recently-closed rows with expiry."""
+
+    def __init__(self, config: ChargeCacheConfig):
+        self.config = config
+        self.stats = ChargeCacheStats()
+        self._entries: "OrderedDict[tuple, int]" = OrderedDict()  # key -> closed_at
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def insert(self, bank_id: int, row: int, now: int) -> None:
+        """Record that (bank, row) was closed at time ``now``."""
+        key = (bank_id, row)
+        if key in self._entries:
+            del self._entries[key]
+        self._entries[key] = now
+        self.stats.insertions += 1
+        while len(self._entries) > self.config.capacity:
+            self._entries.popitem(last=False)
+
+    def lookup(self, bank_id: int, row: int, now: int) -> bool:
+        """True when the row was closed recently enough to stay charged."""
+        self.stats.lookups += 1
+        key = (bank_id, row)
+        closed_at = self._entries.get(key)
+        if closed_at is None:
+            return False
+        if now - closed_at > self.config.expiry_cycles:
+            del self._entries[key]
+            self.stats.expired += 1
+            return False
+        # Refresh LRU position on a hit.
+        del self._entries[key]
+        self._entries[key] = closed_at
+        self.stats.hits += 1
+        return True
+
+    @property
+    def activation_saving(self) -> int:
+        return self.config.t_rcd_saving

@@ -1,0 +1,104 @@
+"""Memory system configuration (paper Table III + timing parameters).
+
+Defaults mirror Table III: 4 channels, 1 rank per channel, 8 banks per
+rank, 32-byte bursts, 32-entry read / 64-entry write queues, write-drain
+thresholds at 85% (high) and 50% (low). Timing values are in controller
+cycles and follow the relative magnitudes of gem5's DDR3 model; absolute
+values differ from the paper's testbed, which affects latencies but not
+metric *shapes* (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .chargecache import ChargeCacheConfig
+
+
+@dataclass(frozen=True)
+class DRAMTiming:
+    """DRAM timing parameters in controller cycles."""
+
+    t_rp: int = 15  # precharge
+    t_rcd: int = 15  # activate (row to column delay)
+    t_cl: int = 15  # CAS latency (read data return)
+    t_burst: int = 4  # data bus occupancy per burst
+    t_rtw: int = 8  # read-to-write bus turnaround
+    t_wtr: int = 12  # write-to-read bus turnaround
+    # Refresh: every t_refi cycles the whole channel pauses for t_rfc and
+    # all rows close. t_refi = 0 disables refresh (the default, matching
+    # the short windows of the paper's experiments).
+    t_refi: int = 0
+    t_rfc: int = 160
+
+    def __post_init__(self) -> None:
+        for name in ("t_rp", "t_rcd", "t_cl", "t_burst", "t_rtw", "t_wtr",
+                     "t_refi", "t_rfc"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.t_burst <= 0:
+            raise ValueError("t_burst must be positive")
+        if self.t_refi and self.t_rfc >= self.t_refi:
+            raise ValueError("t_rfc must be smaller than t_refi")
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Full memory-system configuration (Table III defaults)."""
+
+    num_channels: int = 4
+    ranks_per_channel: int = 1
+    banks_per_rank: int = 8
+    burst_size: int = 32  # bytes
+    row_size: int = 2048  # bytes per row per bank
+    read_queue_size: int = 32  # bursts
+    write_queue_size: int = 64  # bursts
+    write_high_threshold: float = 0.85
+    write_low_threshold: float = 0.50
+    page_policy: str = "open_adaptive"  # or "open" (close only on conflict)
+    timing: DRAMTiming = field(default_factory=DRAMTiming)
+    # Optional ChargeCache (Hassan et al., HPCA 2016) per controller —
+    # the extension study the paper's Sec. VI proposes.
+    charge_cache: Optional[ChargeCacheConfig] = None
+    # Address interleaving: "ch_lo" interleaves channels at burst
+    # granularity (default); "ch_hi" places channel bits above the bank.
+    address_mapping: str = "ch_lo"
+
+    def __post_init__(self) -> None:
+        if self.num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if self.ranks_per_channel <= 0:
+            raise ValueError("ranks_per_channel must be positive")
+        if self.banks_per_rank <= 0:
+            raise ValueError("banks_per_rank must be positive")
+        if self.burst_size <= 0 or (self.burst_size & (self.burst_size - 1)):
+            raise ValueError("burst_size must be a positive power of two")
+        if self.row_size % self.burst_size:
+            raise ValueError("row_size must be a multiple of burst_size")
+        if self.read_queue_size <= 0 or self.write_queue_size <= 0:
+            raise ValueError("queue sizes must be positive")
+        if not 0.0 < self.write_low_threshold <= self.write_high_threshold <= 1.0:
+            raise ValueError("need 0 < low <= high <= 1 for write thresholds")
+        if self.page_policy not in ("open", "open_adaptive"):
+            raise ValueError(f"unknown page policy {self.page_policy!r}")
+        if self.address_mapping not in ("ch_lo", "ch_hi"):
+            raise ValueError(f"unknown address mapping {self.address_mapping!r}")
+
+    @property
+    def banks_per_channel(self) -> int:
+        return self.ranks_per_channel * self.banks_per_rank
+
+    @property
+    def columns_per_row(self) -> int:
+        return self.row_size // self.burst_size
+
+    @property
+    def write_high_watermark(self) -> int:
+        """Write-queue occupancy that triggers a write drain."""
+        return max(1, int(self.write_queue_size * self.write_high_threshold))
+
+    @property
+    def write_low_watermark(self) -> int:
+        """Write-queue occupancy at which a drain stops."""
+        return int(self.write_queue_size * self.write_low_threshold)

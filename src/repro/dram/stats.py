@@ -1,0 +1,153 @@
+"""Statistics collected by the DRAM model.
+
+Every metric the paper's evaluation reads off the memory controller is
+collected here: burst counts (Fig. 6), queue lengths seen by arriving
+requests (Figs. 7–8), row hits (Figs. 9–10), reads per turnaround
+(Fig. 11), per-bank burst counts (Fig. 12) and memory access latency
+(Fig. 13).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+def _mean(counter: Counter) -> float:
+    total = sum(counter.values())
+    if not total:
+        return 0.0
+    return sum(value * count for value, count in counter.items()) / total
+
+
+@dataclass
+class ControllerStats:
+    """Per-channel memory controller statistics."""
+
+    read_bursts: int = 0
+    write_bursts: int = 0
+    read_row_hits: int = 0
+    write_row_hits: int = 0
+    # Queue length observed by each arriving burst (paper Fig. 8:
+    # "Queue Length Seen per Request").
+    read_queue_len_seen: Counter = field(default_factory=Counter)
+    write_queue_len_seen: Counter = field(default_factory=Counter)
+    # Bursts serviced per bank (flat bank id -> count), split by op.
+    per_bank_reads: Counter = field(default_factory=Counter)
+    per_bank_writes: Counter = field(default_factory=Counter)
+    # Reads issued between consecutive write drains.
+    reads_per_turnaround: List[int] = field(default_factory=list)
+    # Refresh windows taken (0 unless t_refi is configured).
+    refreshes: int = 0
+    # Data-bus occupancy for utilization accounting.
+    data_bus_busy_cycles: int = 0
+    first_issue_time: int = -1
+    last_finish_time: int = 0
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of the active window the data bus was transferring."""
+        if self.first_issue_time < 0:
+            return 0.0
+        span = self.last_finish_time - self.first_issue_time
+        return self.data_bus_busy_cycles / span if span else 1.0
+
+    @property
+    def avg_read_queue_length(self) -> float:
+        return _mean(self.read_queue_len_seen)
+
+    @property
+    def avg_write_queue_length(self) -> float:
+        return _mean(self.write_queue_len_seen)
+
+    @property
+    def read_row_hit_rate(self) -> float:
+        return self.read_row_hits / self.read_bursts if self.read_bursts else 0.0
+
+    @property
+    def write_row_hit_rate(self) -> float:
+        return self.write_row_hits / self.write_bursts if self.write_bursts else 0.0
+
+    @property
+    def avg_reads_per_turnaround(self) -> float:
+        if not self.reads_per_turnaround:
+            return 0.0
+        return sum(self.reads_per_turnaround) / len(self.reads_per_turnaround)
+
+
+@dataclass
+class MemorySystemStats:
+    """Aggregated statistics across all channels plus request latencies."""
+
+    channels: List[ControllerStats]
+    latency_sum: int = 0
+    latency_count: int = 0
+    backpressure_delay: int = 0
+
+    @property
+    def read_bursts(self) -> int:
+        return sum(c.read_bursts for c in self.channels)
+
+    @property
+    def write_bursts(self) -> int:
+        return sum(c.write_bursts for c in self.channels)
+
+    @property
+    def read_row_hits(self) -> int:
+        return sum(c.read_row_hits for c in self.channels)
+
+    @property
+    def write_row_hits(self) -> int:
+        return sum(c.write_row_hits for c in self.channels)
+
+    @property
+    def avg_read_queue_length(self) -> float:
+        merged: Counter = Counter()
+        for channel in self.channels:
+            merged.update(channel.read_queue_len_seen)
+        return _mean(merged)
+
+    @property
+    def avg_write_queue_length(self) -> float:
+        merged: Counter = Counter()
+        for channel in self.channels:
+            merged.update(channel.write_queue_len_seen)
+        return _mean(merged)
+
+    @property
+    def avg_access_latency(self) -> float:
+        return self.latency_sum / self.latency_count if self.latency_count else 0.0
+
+    @property
+    def avg_bus_utilization(self) -> float:
+        """Mean data-bus utilization across channels (active windows)."""
+        utilizations = [c.bus_utilization for c in self.channels]
+        return sum(utilizations) / len(utilizations) if utilizations else 0.0
+
+    def total_bytes(self, burst_size: int = 32) -> int:
+        """Bytes transferred given the configured burst size."""
+        return (self.read_bursts + self.write_bursts) * burst_size
+
+    def per_bank_counts(self, operation: str = "read") -> Dict[int, Counter]:
+        """``channel -> Counter(bank -> bursts)`` for reads or writes."""
+        if operation not in ("read", "write"):
+            raise ValueError("operation must be 'read' or 'write'")
+        result = {}
+        for index, channel in enumerate(self.channels):
+            result[index] = (
+                channel.per_bank_reads if operation == "read" else channel.per_bank_writes
+            )
+        return result
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline metrics, convenient for error comparison."""
+        return {
+            "read_bursts": self.read_bursts,
+            "write_bursts": self.write_bursts,
+            "read_row_hits": self.read_row_hits,
+            "write_row_hits": self.write_row_hits,
+            "avg_read_queue_length": self.avg_read_queue_length,
+            "avg_write_queue_length": self.avg_write_queue_length,
+            "avg_access_latency": self.avg_access_latency,
+        }

@@ -1,0 +1,27 @@
+"""Evaluation harness: per-figure experiment runners and error metrics."""
+
+from .comparison import WorkloadRun, baseline_trace, clear_cache, dram_comparison
+from .metrics import (
+    absolute_error,
+    arithmetic_mean,
+    geomean_percent_error,
+    geometric_mean,
+    percent_error,
+    summary_errors,
+)
+from .reporting import format_table, print_table
+
+__all__ = [
+    "WorkloadRun",
+    "absolute_error",
+    "arithmetic_mean",
+    "baseline_trace",
+    "clear_cache",
+    "dram_comparison",
+    "format_table",
+    "geomean_percent_error",
+    "geometric_mean",
+    "percent_error",
+    "print_table",
+    "summary_errors",
+]

@@ -1,0 +1,214 @@
+"""Command-line experiment runner: ``python -m repro.eval``.
+
+Examples::
+
+    python -m repro.eval list
+    python -m repro.eval run fig9 --requests 50000
+    python -m repro.eval all --requests 20000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import experiments
+from .reporting import format_table
+
+
+def _print_fig2(records) -> None:
+    rows = [[r["order"], r["offset"], r["size"], r["operation"]] for r in records[:40]]
+    print(format_table(["order", "offset", "size", "op"], rows))
+
+
+def _print_fig3(bins) -> None:
+    print(format_table(["bin", "requests"], bins[:60]))
+
+
+def _print_table1(data) -> None:
+    rows = [
+        [i, s if s is not None else "N/A", size]
+        for i, (s, size) in enumerate(data["one_partition"])
+    ]
+    print(format_table(["#", "stride", "size"], rows))
+
+
+def _print_error_figure(result, metrics) -> None:
+    rows = []
+    for device, data in result.items():
+        row = [device]
+        for metric in metrics:
+            row.extend([data[metric]["mcc"], data[metric]["stm"]])
+        rows.append(row)
+    headers = ["device"]
+    for metric in metrics:
+        headers.extend([f"{metric} McC", f"{metric} STM"])
+    print(format_table(headers, rows))
+
+
+def _print_fig7(result) -> None:
+    rows = [
+        [
+            device,
+            data["read_queue"]["baseline"], data["read_queue"]["mcc"],
+            data["read_queue"]["stm"],
+            data["write_queue"]["baseline"], data["write_queue"]["mcc"],
+            data["write_queue"]["stm"],
+        ]
+        for device, data in result.items()
+    ]
+    print(format_table(
+        ["device", "rdQ base", "rdQ McC", "rdQ STM",
+         "wrQ base", "wrQ McC", "wrQ STM"], rows))
+
+
+def _print_fig8(result) -> None:
+    for channel, series in sorted(result.items()):
+        buckets = sorted(set().union(*[set(h) for h in series.values()]))
+        rows = [
+            [b, series["baseline"].get(b, 0), series["mcc"].get(b, 0),
+             series["stm"].get(b, 0)]
+            for b in buckets
+        ]
+        print(f"channel {channel}:")
+        print(format_table(["queue len", "baseline", "McC", "STM"], rows))
+
+
+def _print_fig10(result) -> None:
+    rows = []
+    for workload, metrics in result.items():
+        for metric, series in metrics.items():
+            rows.append([workload, metric, series["baseline"], series["mcc"],
+                         series["stm"]])
+    print(format_table(["workload", "metric", "baseline", "McC", "STM"], rows))
+
+
+def _print_fig11(result) -> None:
+    rows = []
+    for workload, channels in result.items():
+        for channel, series in sorted(channels.items()):
+            rows.append([workload, channel, series["baseline"], series["mcc"],
+                         series["stm"]])
+    print(format_table(["workload", "channel", "baseline", "McC", "STM"], rows))
+
+
+def _print_fig12(result) -> None:
+    for operation in ("read", "write"):
+        print(f"{operation} bursts:")
+        rows = []
+        for channel, series in sorted(result[operation].items()):
+            for bank in sorted(series["baseline"]):
+                rows.append([channel, bank, series["baseline"][bank],
+                             series["mcc"][bank], series["stm"][bank]])
+        print(format_table(["channel", "bank", "baseline", "McC", "STM"], rows))
+
+
+def _print_fig13(result) -> None:
+    rows = []
+    for device, series in result.items():
+        for interval, error in series:
+            rows.append([device, interval, error])
+    print(format_table(["device", "interval", "latency err %"], rows))
+
+
+def _print_fig14(result) -> None:
+    rows = []
+    for config, series in result.items():
+        for name, data in series.items():
+            rows.append([config, name, data["l1_miss_rate"], data["l2_miss_rate"]])
+    print(format_table(["config", "series", "L1 miss %", "L2 miss %"], rows))
+
+
+def _print_assoc(result) -> None:
+    rows = []
+    for name, per_assoc in result.items():
+        for associativity, series in sorted(per_assoc.items()):
+            rows.append([name, associativity, series["baseline"],
+                         series["dynamic"], series["hrd"]])
+    print(format_table(["benchmark", "assoc", "baseline", "Mocktails", "HRD"], rows))
+
+
+def _print_fig17(result) -> None:
+    rows = [
+        [name, sizes["trace"], sizes["dynamic"], sizes["fixed4k"],
+         sizes["dynamic"] / sizes["trace"]]
+        for name, sizes in result.items()
+    ]
+    print(format_table(["benchmark", "trace B", "dynamic B", "4KB B", "ratio"], rows))
+
+
+EXPERIMENTS = {
+    "fig2": (experiments.figure_2, _print_fig2),
+    "fig3": (experiments.figure_3, _print_fig3),
+    "table1": (experiments.table_1, _print_table1),
+    "fig6": (experiments.figure_6,
+             lambda r: _print_error_figure(r, ("read_bursts", "write_bursts"))),
+    "fig7": (experiments.figure_7, _print_fig7),
+    "fig8": (experiments.figure_8, _print_fig8),
+    "fig9": (experiments.figure_9,
+             lambda r: _print_error_figure(r, ("read_row_hits", "write_row_hits"))),
+    "fig10": (experiments.figure_10, _print_fig10),
+    "fig11": (experiments.figure_11, _print_fig11),
+    "fig12": (experiments.figure_12, _print_fig12),
+    "fig13": (experiments.figure_13, _print_fig13),
+    "fig14": (experiments.figure_14, _print_fig14),
+    "fig15": (experiments.figure_15, _print_assoc),
+    "fig16": (experiments.figure_16, _print_assoc),
+    "fig17": (experiments.figure_17, _print_fig17),
+    "ext-chargecache": (experiments.extension_chargecache, None),
+    "ext-soc": (experiments.extension_soc, None),
+}
+
+
+def _print_generic(result) -> None:
+    """Fallback printer: nested dicts as a flat table."""
+    rows = []
+    headers = ["key"]
+    for key, data in result.items():
+        if isinstance(data, dict):
+            headers = ["key"] + list(data.keys())
+            rows.append([key] + list(data.values()))
+        else:
+            rows.append([key, data])
+    print(format_table(headers, rows))
+
+
+def run_experiment(name: str, num_requests: int) -> None:
+    runner, printer = EXPERIMENTS[name]
+    start = time.time()
+    result = runner(num_requests)
+    elapsed = time.time() - start
+    print(f"\n=== {name} ({num_requests:,} requests/trace, {elapsed:.1f}s) ===")
+    (printer or _print_generic)(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment names")
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--requests", type=int, default=20_000,
+                     help="requests per trace (default 20,000)")
+    everything = sub.add_parser("all", help="run every experiment")
+    everything.add_argument("--requests", type=int, default=20_000)
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.command == "run":
+        run_experiment(args.experiment, args.requests)
+        return 0
+    for name in EXPERIMENTS:
+        run_experiment(name, args.requests)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Cached baseline-vs-synthesis comparison runs.
+
+Most of the paper's DRAM figures (6–12) read different metrics off the
+*same* three simulations per workload: the baseline trace, the
+``2L-TS (McC)`` synthesis and the ``2L-TS (STM)`` synthesis. This module
+runs each combination once and caches the results so every figure
+re-uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..baselines.stm import stm_leaf_factory
+from ..core.hierarchy import two_level_ts
+from ..core.profiler import build_profile
+from ..core.trace import Trace
+from ..dram.config import MemoryConfig
+from ..dram.stats import MemorySystemStats
+from ..sim.driver import simulate_trace
+from ..workloads.registry import device_of, make_generator
+
+DEFAULT_REQUESTS = 20_000
+DEFAULT_INTERVAL = 500_000
+
+
+@dataclass
+class WorkloadRun:
+    """Baseline + synthetic DRAM statistics for one workload."""
+
+    name: str
+    device: Optional[str]
+    num_requests: int
+    interval: int
+    baseline: MemorySystemStats
+    mcc: MemorySystemStats
+    stm: Optional[MemorySystemStats]
+
+
+_trace_cache: Dict[Tuple, Trace] = {}
+_run_cache: Dict[Tuple, WorkloadRun] = {}
+
+
+def clear_cache() -> None:
+    _trace_cache.clear()
+    _run_cache.clear()
+
+
+def baseline_trace(name: str, num_requests: int = DEFAULT_REQUESTS, seed: int = 0) -> Trace:
+    """The (cached) baseline trace for a workload."""
+    key = (name, num_requests, seed)
+    if key not in _trace_cache:
+        _trace_cache[key] = make_generator(name, seed=seed).generate(num_requests)
+    return _trace_cache[key]
+
+
+def dram_comparison(
+    name: str,
+    num_requests: int = DEFAULT_REQUESTS,
+    seed: int = 0,
+    interval: int = DEFAULT_INTERVAL,
+    include_stm: bool = True,
+    config: Optional[MemoryConfig] = None,
+) -> WorkloadRun:
+    """Run (or fetch) the baseline/McC/STM trio for one workload.
+
+    Follows the paper's Sec. IV methodology: profiles use the ``2L-TS``
+    hierarchy (``interval`` cycles temporally, then dynamic spatial
+    partitioning); synthesis is Option A (a synthetic trace replayed on
+    the same platform as the baseline).
+    """
+    key = (name, num_requests, seed, interval, include_stm, config)
+    cached = _run_cache.get(key)
+    if cached is not None:
+        return cached
+
+    from ..core.synthesis import synthesize
+
+    trace = baseline_trace(name, num_requests, seed)
+    hierarchy = two_level_ts(cycles_per_interval=interval)
+
+    baseline_stats = simulate_trace(trace, config)
+
+    mcc_profile = build_profile(trace, hierarchy, name=name)
+    mcc_stats = simulate_trace(synthesize(mcc_profile, seed=seed + 1), config)
+
+    stm_stats = None
+    if include_stm:
+        stm_profile = build_profile(trace, hierarchy, leaf_factory=stm_leaf_factory, name=name)
+        stm_stats = simulate_trace(synthesize(stm_profile, seed=seed + 1), config)
+
+    run = WorkloadRun(
+        name=name,
+        device=device_of(name),
+        num_requests=num_requests,
+        interval=interval,
+        baseline=baseline_stats,
+        mcc=mcc_stats,
+        stm=stm_stats,
+    )
+    _run_cache[key] = run
+    return run

@@ -1,0 +1,61 @@
+"""Error metrics used by the paper's evaluation.
+
+The per-device figures report the *geometric mean* of per-trace percent
+errors (e.g. Fig. 6: "geometric mean error of read and write bursts for
+each SoC device").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Sequence
+
+_EPSILON = 1e-9
+
+
+def percent_error(measured: float, reference: float) -> float:
+    """Absolute percent error of ``measured`` against ``reference``.
+
+    A zero reference with a zero measurement is 0% error; a zero
+    reference with a non-zero measurement is reported as 100%.
+    """
+    if reference == 0:
+        return 0.0 if measured == 0 else 100.0
+    return abs(measured - reference) / abs(reference) * 100.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean; zero values are floored at a tiny epsilon."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(value < 0 for value in values):
+        raise ValueError("geometric mean requires non-negative values")
+    log_sum = sum(math.log(max(value, _EPSILON)) for value in values)
+    return math.exp(log_sum / len(values))
+
+
+def geomean_percent_error(pairs: Iterable[tuple]) -> float:
+    """Geometric mean of percent errors over (measured, reference) pairs."""
+    errors = [percent_error(measured, reference) for measured, reference in pairs]
+    return geometric_mean(errors)
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def absolute_error(measured: float, reference: float) -> float:
+    return abs(measured - reference)
+
+
+def summary_errors(measured: Dict[str, float], reference: Dict[str, float]) -> Dict[str, float]:
+    """Percent error for every metric key shared by two summaries."""
+    return {
+        key: percent_error(measured[key], reference[key])
+        for key in reference
+        if key in measured
+    }

@@ -1,0 +1,5 @@
+"""Interconnect models: the crossbar between device and memory."""
+
+from .crossbar import Crossbar, CrossbarConfig
+
+__all__ = ["Crossbar", "CrossbarConfig"]

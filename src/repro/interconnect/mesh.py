@@ -1,0 +1,148 @@
+"""A 2D-mesh network-on-chip model.
+
+The paper notes that bursts "may need to go to different memory
+controllers, putting strain on the interconnection network" (Sec. III-C,
+citing SynFull). The crossbar model captures serialization at one port;
+this mesh model adds the topology dimension: devices and memory
+controllers sit at mesh nodes, requests are routed XY, and each link is
+a resource with bandwidth (one flit per cycle) and pipeline latency.
+
+The model is contention-aware but flit-approximate: a request occupies
+each link on its path for ``ceil(size / flit_bytes)`` cycles, links are
+reserved in path order, and the arrival time at the destination reflects
+both hop latency and queueing at busy links.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.request import MemoryRequest
+
+Coordinate = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class MeshConfig:
+    width: int = 4
+    height: int = 4
+    hop_latency: int = 2  # cycles per router+link traversal
+    flit_bytes: int = 16  # link width
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("mesh dimensions must be positive")
+        if self.hop_latency <= 0:
+            raise ValueError("hop_latency must be positive")
+        if self.flit_bytes <= 0:
+            raise ValueError("flit_bytes must be positive")
+
+    def contains(self, node: Coordinate) -> bool:
+        x, y = node
+        return 0 <= x < self.width and 0 <= y < self.height
+
+
+@dataclass
+class MeshStats:
+    packets: int = 0
+    total_hops: int = 0
+    total_flits: int = 0
+    total_latency: int = 0
+    link_busy_cycles: Dict[tuple, int] = field(default_factory=dict)
+
+    @property
+    def avg_hops(self) -> float:
+        return self.total_hops / self.packets if self.packets else 0.0
+
+    @property
+    def avg_latency(self) -> float:
+        return self.total_latency / self.packets if self.packets else 0.0
+
+    def hottest_links(self, count: int = 5) -> List[tuple]:
+        """The ``count`` busiest links as (link, busy_cycles)."""
+        ordered = sorted(
+            self.link_busy_cycles.items(), key=lambda item: item[1], reverse=True
+        )
+        return ordered[:count]
+
+
+class MeshNetwork:
+    """XY-routed 2D mesh with per-link next-free-time contention."""
+
+    def __init__(self, config: Optional[MeshConfig] = None):
+        self.config = config if config is not None else MeshConfig()
+        self.stats = MeshStats()
+        self._link_free_at: Dict[tuple, int] = {}
+
+    @staticmethod
+    def xy_route(source: Coordinate, destination: Coordinate) -> List[tuple]:
+        """The ordered list of links of the XY route (X first, then Y)."""
+        links = []
+        x, y = source
+        dx, dy = destination
+        while x != dx:
+            step = 1 if dx > x else -1
+            links.append(((x, y), (x + step, y)))
+            x += step
+        while y != dy:
+            step = 1 if dy > y else -1
+            links.append(((x, y), (x, y + step)))
+            y += step
+        return links
+
+    def flits_for(self, request: MemoryRequest) -> int:
+        return max(1, math.ceil(request.size / self.config.flit_bytes))
+
+    def send(
+        self,
+        request: MemoryRequest,
+        source: Coordinate,
+        destination: Coordinate,
+    ) -> int:
+        """Route a request; returns its arrival time at the destination.
+
+        Each link on the path is reserved for the packet's flit count;
+        the head flit advances one hop per ``hop_latency`` cycles once
+        the link is free.
+        """
+        if not self.config.contains(source):
+            raise ValueError(f"source {source} outside mesh")
+        if not self.config.contains(destination):
+            raise ValueError(f"destination {destination} outside mesh")
+
+        links = self.xy_route(source, destination)
+        flits = self.flits_for(request)
+        head_time = request.timestamp
+        for link in links:
+            free_at = self._link_free_at.get(link, 0)
+            start = max(head_time, free_at)
+            self._link_free_at[link] = start + flits
+            self.stats.link_busy_cycles[link] = (
+                self.stats.link_busy_cycles.get(link, 0) + flits
+            )
+            head_time = start + self.config.hop_latency
+
+        arrival = head_time + max(0, flits - 1)
+        self.stats.packets += 1
+        self.stats.total_hops += len(links)
+        self.stats.total_flits += flits * max(len(links), 1)
+        self.stats.total_latency += arrival - request.timestamp
+        return arrival
+
+
+def controller_placement(config: MeshConfig, num_controllers: int) -> List[Coordinate]:
+    """Spread memory controllers along the mesh edges (common practice)."""
+    if num_controllers <= 0:
+        raise ValueError("num_controllers must be positive")
+    edge_nodes: List[Coordinate] = []
+    for x in range(config.width):
+        edge_nodes.append((x, 0))
+    for x in range(config.width):
+        edge_nodes.append((x, config.height - 1))
+    placements = []
+    step = max(1, len(edge_nodes) // num_controllers)
+    for index in range(num_controllers):
+        placements.append(edge_nodes[(index * step) % len(edge_nodes)])
+    return placements

@@ -1,0 +1,44 @@
+"""Cache simulation drivers for the Sec. V experiments.
+
+Atomic-mode replay: timestamps are ignored and only request order
+matters, matching the paper's gem5 configuration for the CPU/L1 study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cache.cache import CacheConfig, CacheStats
+from ..cache.hierarchy import CacheHierarchy, paper_l2_config
+from ..core.trace import Trace
+
+
+@dataclass
+class CacheRunResult:
+    """L1 + L2 statistics from one atomic-mode replay."""
+
+    l1: CacheStats
+    l2: CacheStats
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1.miss_rate
+
+    @property
+    def l2_miss_rate(self) -> float:
+        return self.l2.miss_rate
+
+
+def run_cache_trace(
+    trace: Trace,
+    l1_config: Optional[CacheConfig] = None,
+    l2_config: Optional[CacheConfig] = None,
+) -> CacheRunResult:
+    """Replay a trace through an L1/L2 hierarchy and return statistics."""
+    hierarchy = CacheHierarchy(
+        l1_config if l1_config is not None else CacheConfig(32 * 1024, 4),
+        l2_config if l2_config is not None else paper_l2_config(),
+    )
+    hierarchy.run(trace)
+    return CacheRunResult(l1=hierarchy.l1_stats, l2=hierarchy.l2_stats)

@@ -1,0 +1,74 @@
+"""Simulation drivers: trace / profile -> crossbar -> memory system.
+
+Mirrors the paper's validation platform (Sec. IV-A): a traffic generator
+feeding main memory through a crossbar. Three entry points:
+
+* :func:`simulate_trace` — replay a trace (the *baseline* runs, and
+  Option A synthesis, where a synthetic trace is produced first);
+* :func:`simulate_profile` — coupled Option B: synthesis pulls requests
+  from a :class:`FeedbackSynthesizer` and feeds backpressure delays back
+  into its timestamps;
+* :func:`simulate_synthetic` — convenience: profile -> trace -> replay.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+from ..core.profile import Profile
+from ..core.synthesis import FeedbackSynthesizer, synthesize
+from ..core.trace import Trace
+from ..dram.config import MemoryConfig
+from ..dram.memory_system import MemorySystem
+from ..dram.stats import MemorySystemStats
+from ..interconnect.crossbar import Crossbar, CrossbarConfig
+
+
+def simulate_trace(
+    trace: Trace,
+    config: Optional[MemoryConfig] = None,
+    crossbar_config: Optional[CrossbarConfig] = None,
+) -> MemorySystemStats:
+    """Replay a time-ordered trace through crossbar + memory system."""
+    memory = MemorySystem(config)
+    crossbar = Crossbar(memory, crossbar_config)
+    for request in trace:
+        crossbar.send(request)
+    memory.drain()
+    return memory.stats
+
+
+def simulate_profile(
+    profile: Profile,
+    config: Optional[MemoryConfig] = None,
+    crossbar_config: Optional[CrossbarConfig] = None,
+    seed: Union[int, random.Random, None] = 0,
+    strict: bool = True,
+) -> MemorySystemStats:
+    """Coupled synthesis (Option B): backpressure feeds back into timing."""
+    memory = MemorySystem(config)
+    crossbar = Crossbar(memory, crossbar_config)
+    synthesizer = FeedbackSynthesizer(profile, seed=seed, strict=strict)
+    while True:
+        request = synthesizer.next_request()
+        if request is None:
+            break
+        delay = crossbar.send(request)
+        if delay > 0:
+            synthesizer.report_backpressure(delay)
+    memory.drain()
+    return memory.stats
+
+
+def simulate_synthetic(
+    profile: Profile,
+    config: Optional[MemoryConfig] = None,
+    crossbar_config: Optional[CrossbarConfig] = None,
+    seed: Union[int, random.Random, None] = 0,
+    strict: bool = True,
+) -> MemorySystemStats:
+    """Option A: synthesize a full trace first, then replay it."""
+    return simulate_trace(
+        synthesize(profile, seed=seed, strict=strict), config, crossbar_config
+    )

@@ -1,0 +1,61 @@
+"""Mesh-based simulation driver: device -> NoC -> memory controllers.
+
+An alternative to the crossbar platform: the device injects at a mesh
+node, each request is routed to the mesh node of the memory channel that
+owns its first burst, and the memory system sees the request at its NoC
+arrival time. Captures the "strain on the interconnection network"
+dimension the paper mentions (Sec. III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.trace import Trace
+from ..dram.address_map import AddressMap
+from ..dram.config import MemoryConfig
+from ..dram.memory_system import MemorySystem
+from ..dram.stats import MemorySystemStats
+from ..interconnect.mesh import (
+    Coordinate,
+    MeshConfig,
+    MeshNetwork,
+    MeshStats,
+    controller_placement,
+)
+
+
+@dataclass
+class NocRunResult:
+    memory: MemorySystemStats
+    mesh: MeshStats
+    controller_nodes: List[Coordinate]
+
+
+def simulate_trace_mesh(
+    trace: Trace,
+    memory_config: Optional[MemoryConfig] = None,
+    mesh_config: Optional[MeshConfig] = None,
+    device_node: Coordinate = (0, 0),
+) -> NocRunResult:
+    """Replay a trace through a mesh NoC into the memory system.
+
+    Requests are routed to the controller owning their *first* burst
+    (requests spanning channels still arrive through one port, like a
+    device's single injection point). Arrival order at the memory is
+    enforced by the shared in-order front end.
+    """
+    memory = MemorySystem(memory_config)
+    mesh = MeshNetwork(mesh_config)
+    placement = controller_placement(mesh.config, memory.config.num_channels)
+    address_map = AddressMap(memory.config)
+
+    last_accept = 0
+    for request in trace:
+        channel = address_map.decode(request.address).channel
+        arrival = mesh.send(request, device_node, placement[channel])
+        at_time = max(arrival, last_accept)
+        last_accept = memory.submit(request, at_time=at_time, injected_at=request.timestamp)
+    memory.drain()
+    return NocRunResult(memory=memory.stats, mesh=mesh.stats, controller_nodes=placement)

@@ -1,0 +1,8 @@
+"""Command-line tools: the boxes of the paper's Fig. 1.
+
+* ``python -m repro.tools.trace`` — the *Trace Generator*: create,
+  inspect and convert trace files.
+* ``python -m repro.tools.profile`` — the *Model Generator* (and its
+  academia-side counterpart): build profiles from traces, inspect them,
+  synthesize traces from them.
+"""

@@ -1,0 +1,84 @@
+"""gem5 traffic-generator interop.
+
+The paper's validation platform feeds traces into gem5's traffic
+generator (Sec. IV-A, footnote 2: "our trace generator takes the
+Mocktails profile and makes a synthetic trace that gets fed into gem5").
+gem5's ``TrafficGen`` TRACE mode consumes a plain-text stream of
+
+    <tick> <r|w> <address> <size>
+
+lines (ticks in simulator time, one request per line). These helpers
+export any :class:`Trace` — baseline or synthetic — to that format and
+read it back, so this reproduction's profiles can drive a real gem5 run
+unchanged (Fig. 1, Option A).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Union
+
+from ..core.request import MemoryRequest, Operation
+from ..core.trace import Trace
+
+DEFAULT_TICKS_PER_CYCLE = 1000  # 1 GHz clock under gem5's 1 ps tick
+
+
+def _open_text(path: Path, mode: str):
+    if str(path).endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_gem5_trace(
+    trace: Trace,
+    path: Union[str, Path],
+    ticks_per_cycle: int = DEFAULT_TICKS_PER_CYCLE,
+) -> int:
+    """Write a gem5 TrafficGen TRACE-mode file; returns request count."""
+    if ticks_per_cycle <= 0:
+        raise ValueError("ticks_per_cycle must be positive")
+    path = Path(path)
+    count = 0
+    with _open_text(path, "w") as handle:
+        for request in trace:
+            command = "r" if request.is_read else "w"
+            handle.write(
+                f"{request.timestamp * ticks_per_cycle} {command} "
+                f"{request.address} {request.size}\n"
+            )
+            count += 1
+    return count
+
+
+def load_gem5_trace(
+    path: Union[str, Path],
+    ticks_per_cycle: int = DEFAULT_TICKS_PER_CYCLE,
+) -> Trace:
+    """Read a gem5 TrafficGen TRACE-mode file back into a Trace."""
+    if ticks_per_cycle <= 0:
+        raise ValueError("ticks_per_cycle must be positive")
+    requests = []
+    with _open_text(Path(path), "r") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 4:
+                raise ValueError(
+                    f"{path}:{line_number}: expected 'tick cmd addr size', got {line!r}"
+                )
+            tick, command, address, size = fields
+            if command not in ("r", "w"):
+                raise ValueError(f"{path}:{line_number}: unknown command {command!r}")
+            requests.append(
+                MemoryRequest(
+                    timestamp=int(tick) // ticks_per_cycle,
+                    address=int(address),
+                    operation=Operation.READ if command == "r" else Operation.WRITE,
+                    size=int(size),
+                )
+            )
+    return Trace(requests)

@@ -1,0 +1,122 @@
+"""Trace tool: generate, inspect and convert trace files.
+
+Examples::
+
+    python -m repro.tools.trace generate hevc1 hevc1.mtr.gz --requests 50000
+    python -m repro.tools.trace info hevc1.mtr.gz
+    python -m repro.tools.trace convert hevc1.mtr.gz hevc1.csv.gz
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from ..core.trace import Trace
+from ..workloads.registry import available_workloads, workload_trace
+
+
+def load_any(path: Path) -> Trace:
+    """Load a trace in either on-disk format, keyed by file suffix."""
+    name = str(path)
+    if name.endswith(".csv.gz"):
+        return Trace.load_csv(path)
+    return Trace.load_binary(path)
+
+
+def save_any(trace: Trace, path: Path) -> int:
+    name = str(path)
+    if name.endswith(".csv.gz"):
+        trace.save_csv(path)
+        return path.stat().st_size
+    return trace.save_binary(path)
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    if args.workload not in available_workloads():
+        print(f"unknown workload {args.workload!r}; use 'list'", file=sys.stderr)
+        return 1
+    trace = workload_trace(args.workload, num_requests=args.requests, seed=args.seed)
+    size = save_any(trace, Path(args.output))
+    print(f"wrote {len(trace):,} requests to {args.output} ({size:,} bytes)")
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    trace = load_any(Path(args.trace))
+    if not len(trace):
+        print("empty trace")
+        return 0
+    address_range = trace.address_range()
+    print(f"requests:    {len(trace):,}")
+    print(f"reads:       {trace.read_count():,}")
+    print(f"writes:      {trace.write_count():,}")
+    print(f"bytes:       {trace.total_bytes():,}")
+    print(f"duration:    {trace.duration:,} cycles")
+    print(f"addresses:   0x{address_range.start:x} .. 0x{address_range.end:x}")
+    print(f"sorted:      {trace.is_sorted()}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    from ..workloads.characterize import characterize, format_character
+
+    trace = load_any(Path(args.trace))
+    print(format_character(characterize(trace)))
+    return 0
+
+
+def cmd_convert(args: argparse.Namespace) -> int:
+    trace = load_any(Path(args.input))
+    size = save_any(trace, Path(args.output))
+    print(f"converted {len(trace):,} requests -> {args.output} ({size:,} bytes)")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    for name in available_workloads():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.trace",
+        description="Generate, inspect and convert memory traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a workload trace")
+    generate.add_argument("workload")
+    generate.add_argument("output")
+    generate.add_argument("--requests", type=int, default=100_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=cmd_generate)
+
+    info = sub.add_parser("info", help="print trace statistics")
+    info.add_argument("trace")
+    info.set_defaults(func=cmd_info)
+
+    characterize = sub.add_parser(
+        "characterize", help="print a Table II-style workload fingerprint"
+    )
+    characterize.add_argument("trace")
+    characterize.set_defaults(func=cmd_characterize)
+
+    convert = sub.add_parser("convert", help="convert between csv.gz and binary")
+    convert.add_argument("input")
+    convert.add_argument("output")
+    convert.set_defaults(func=cmd_convert)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

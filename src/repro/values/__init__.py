@@ -1,0 +1,45 @@
+"""Data-value modeling with differential privacy.
+
+The paper's Sec. VI names this as future work: "Another important
+feature not modeled by Mocktails is the data being communicated.
+Modeling data may give rise to privacy concerns; however we envision
+that techniques such as differential privacy could be applied...
+Mocktails' hierarchical partitioning can complement future models by
+uncovering patterns in the data feature once differential privacy has
+been applied."
+
+This subpackage implements that extension:
+
+* :mod:`repro.values.workloads` — synthetic per-request payloads with
+  device-plausible value locality;
+* :mod:`repro.values.model` — a per-leaf value-delta model reusing the
+  Mocktails hierarchy;
+* :mod:`repro.values.privacy` — Laplace-noised histograms (ε-DP at the
+  profile level);
+* :mod:`repro.values.metrics` — downstream consumers from the paper's
+  motivation (value prediction, compressibility).
+"""
+
+from .metrics import bdi_compressibility, last_value_prediction_rate, value_entropy
+from .model import (
+    LeafValueModel,
+    ValueProfile,
+    build_value_profile,
+    synthesize_with_values,
+)
+from .privacy import histogram_distance, laplace_noise_histogram, laplace_sample
+from .workloads import attach_values
+
+__all__ = [
+    "LeafValueModel",
+    "ValueProfile",
+    "attach_values",
+    "bdi_compressibility",
+    "build_value_profile",
+    "histogram_distance",
+    "laplace_noise_histogram",
+    "laplace_sample",
+    "last_value_prediction_rate",
+    "synthesize_with_values",
+    "value_entropy",
+]

@@ -1,0 +1,63 @@
+"""Downstream consumers of value streams (paper Sec. VI motivation).
+
+The paper motivates value modeling with "memory hierarchy research that
+exploits data value locality, such as: approximate computing, value
+prediction, and compression". Two standard proxies:
+
+* **last-value prediction rate** — fraction of accesses whose value a
+  per-location last-value predictor gets right (Lipasti et al. [26]);
+* **BDI compressibility** — fraction of 8-word blocks encodable as
+  base + small deltas (Pekhimenko et al. [34], simplified).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Sequence
+
+from ..core.trace import Trace
+
+
+def last_value_prediction_rate(trace: Trace, values: Sequence[int]) -> float:
+    """Hit rate of a per-64B-location last-value predictor."""
+    if len(values) != len(trace):
+        raise ValueError("values must align with the trace")
+    if not values:
+        return 0.0
+    last: Dict[int, int] = {}
+    hits = 0
+    predictions = 0
+    for request, value in zip(trace, values):
+        key = request.address // 64
+        if key in last:
+            predictions += 1
+            hits += last[key] == value
+        last[key] = value
+    return hits / predictions if predictions else 0.0
+
+
+def bdi_compressibility(values: Sequence[int], block_words: int = 8) -> float:
+    """Fraction of blocks compressible with base+delta (|delta| < 2^16)."""
+    if not values:
+        return 0.0
+    blocks = [
+        values[i : i + block_words] for i in range(0, len(values), block_words)
+    ]
+    compressible = 0
+    for block in blocks:
+        base = block[0]
+        if all(abs(value - base) < (1 << 16) for value in block):
+            compressible += 1
+    return compressible / len(blocks)
+
+
+def value_entropy(values: Sequence[int]) -> float:
+    """Shannon entropy (bits) of the value distribution."""
+    if not values:
+        return 0.0
+    counts = Counter(values)
+    total = len(values)
+    return -sum(
+        (count / total) * math.log2(count / total) for count in counts.values()
+    )

@@ -1,0 +1,52 @@
+"""Synthetic workload models standing in for the paper's proprietary traces."""
+
+from .base import TraceBuilder, WorkloadGenerator, align
+from .cpu import CryptoWorkload, DeviceDriverWorkload, cpu_variants
+from .dpu import FrameBufferCompression, MultiLayerDisplay, dpu_variants
+from .gpu import GraphicsRender, OpenCLStress, gpu_variants
+from .registry import (
+    TABLE_II_DEVICES,
+    TABLE_II_WORKLOADS,
+    available_workloads,
+    device_of,
+    make_generator,
+    workload_trace,
+)
+from .spec import (
+    FIG15_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    SPEC_PARAMS,
+    SpecParams,
+    SpecWorkload,
+    spec_workloads,
+)
+from .vpu import HEVCDecode, hevc_variants
+
+__all__ = [
+    "CryptoWorkload",
+    "DeviceDriverWorkload",
+    "FIG15_BENCHMARKS",
+    "FrameBufferCompression",
+    "GraphicsRender",
+    "HEVCDecode",
+    "MultiLayerDisplay",
+    "OpenCLStress",
+    "SPEC_BENCHMARKS",
+    "SPEC_PARAMS",
+    "SpecParams",
+    "SpecWorkload",
+    "TABLE_II_DEVICES",
+    "TABLE_II_WORKLOADS",
+    "TraceBuilder",
+    "WorkloadGenerator",
+    "align",
+    "available_workloads",
+    "cpu_variants",
+    "device_of",
+    "dpu_variants",
+    "gpu_variants",
+    "hevc_variants",
+    "make_generator",
+    "spec_workloads",
+    "workload_trace",
+]

@@ -1,0 +1,78 @@
+"""Workload generator infrastructure.
+
+The paper validates Mocktails on proprietary RTL-emulation traces
+(Table II). Those traces cannot be redistributed — which is the paper's
+whole point — so this package provides parametric generators that
+recreate each device's *documented* access structure (see DESIGN.md,
+substitutions). Every generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..core.request import MemoryRequest, Operation
+from ..core.trace import Trace
+
+
+class TraceBuilder:
+    """Accumulates requests while advancing a cycle clock.
+
+    Generators interleave several logical streams; the builder keeps the
+    global clock and guarantees the resulting trace is time-sorted.
+    """
+
+    def __init__(self, start_time: int = 0):
+        self.clock = start_time
+        self._requests: List[MemoryRequest] = []
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def emit(self, address: int, operation: Operation, size: int, gap: int = 1) -> None:
+        """Append a request ``gap`` cycles after the previous one."""
+        if gap < 0:
+            raise ValueError("gap must be non-negative")
+        self.clock += gap
+        self._requests.append(MemoryRequest(self.clock, address, operation, size))
+
+    def idle(self, cycles: int) -> None:
+        """Advance the clock without emitting (burst separation)."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.clock += cycles
+
+    def build(self) -> Trace:
+        trace = Trace(self._requests)
+        if not trace.is_sorted():  # pragma: no cover - builder invariant
+            raise RuntimeError("TraceBuilder produced an unsorted trace")
+        return trace
+
+
+class WorkloadGenerator:
+    """Base class for device workload models.
+
+    Subclasses set ``device`` (CPU/DPU/GPU/VPU) and ``description`` and
+    implement :meth:`generate`.
+    """
+
+    name: str = "abstract"
+    device: str = "abstract"
+    description: str = ""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def generate(self, num_requests: int) -> Trace:
+        raise NotImplementedError
+
+    def _rng(self, salt: int = 0) -> random.Random:
+        return random.Random((hash(self.name) & 0xFFFF_FFFF) ^ self.seed ^ (salt << 16))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r}, seed={self.seed})"
+
+
+def align(address: int, granularity: int) -> int:
+    return (address // granularity) * granularity

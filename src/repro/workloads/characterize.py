@@ -1,0 +1,107 @@
+"""Workload characterization: the quantities behind Table II and Figs. 2-3.
+
+Summarizes a trace the way the paper characterizes its proprietary
+inputs: volume, read/write mix, footprint, request-size mix, burstiness
+and stride regularity. Used by ``repro.tools.trace characterize`` and by
+tests that pin each generator's personality.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..core.trace import Trace
+
+
+@dataclass
+class WorkloadCharacter:
+    """A compact numerical fingerprint of a trace."""
+
+    requests: int
+    read_fraction: float
+    total_bytes: int
+    duration_cycles: int
+    footprint_bytes: int  # unique 64B blocks touched * 64
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+    burstiness: float = 0.0  # CoV^2 of inter-arrival times (1 = Poisson)
+    stride_entropy_bits: float = 0.0
+    dominant_stride: int = 0
+    dominant_stride_fraction: float = 0.0
+    region_count_4k: int = 0  # distinct 4KB regions touched
+
+    @property
+    def mean_request_rate(self) -> float:
+        """Requests per kilocycle."""
+        if not self.duration_cycles:
+            return float(self.requests)
+        return self.requests / self.duration_cycles * 1000.0
+
+
+def characterize(trace: Trace) -> WorkloadCharacter:
+    """Compute the fingerprint of a trace."""
+    if not len(trace):
+        return WorkloadCharacter(0, 0.0, 0, 0, 0)
+
+    addresses = [r.address for r in trace]
+    timestamps = [r.timestamp for r in trace]
+
+    blocks = {address // 64 for address in addresses}
+    regions = {address // 4096 for address in addresses}
+
+    gaps: List[int] = [b - a for a, b in zip(timestamps, timestamps[1:])]
+    burstiness = 0.0
+    if gaps:
+        mean_gap = sum(gaps) / len(gaps)
+        if mean_gap > 0:
+            variance = sum((g - mean_gap) ** 2 for g in gaps) / len(gaps)
+            burstiness = variance / (mean_gap * mean_gap)
+
+    strides = Counter(b - a for a, b in zip(addresses, addresses[1:]))
+    stride_total = sum(strides.values())
+    entropy = 0.0
+    dominant_stride, dominant_count = 0, 0
+    if stride_total:
+        for stride, count in strides.items():
+            probability = count / stride_total
+            entropy -= probability * math.log2(probability)
+            if count > dominant_count:
+                dominant_stride, dominant_count = stride, count
+
+    return WorkloadCharacter(
+        requests=len(trace),
+        read_fraction=trace.read_count() / len(trace),
+        total_bytes=trace.total_bytes(),
+        duration_cycles=trace.duration,
+        footprint_bytes=len(blocks) * 64,
+        size_histogram=dict(Counter(r.size for r in trace)),
+        burstiness=burstiness,
+        stride_entropy_bits=entropy,
+        dominant_stride=dominant_stride,
+        dominant_stride_fraction=(dominant_count / stride_total if stride_total else 0.0),
+        region_count_4k=len(regions),
+    )
+
+
+def format_character(character: WorkloadCharacter) -> str:
+    """Human-readable rendering, mirroring the Table II style."""
+    sizes = ", ".join(
+        f"{size}B:{count}" for size, count in sorted(character.size_histogram.items())
+    )
+    lines = [
+        f"requests:          {character.requests:,}",
+        f"read fraction:     {character.read_fraction:.1%}",
+        f"bytes:             {character.total_bytes:,}",
+        f"duration:          {character.duration_cycles:,} cycles",
+        f"request rate:      {character.mean_request_rate:.2f} per kilocycle",
+        f"footprint:         {character.footprint_bytes:,} bytes "
+        f"({character.region_count_4k:,} x 4KB regions)",
+        f"sizes:             {sizes}",
+        f"burstiness (CoV²): {character.burstiness:,.1f}",
+        f"stride entropy:    {character.stride_entropy_bits:.2f} bits "
+        f"(dominant {character.dominant_stride} at "
+        f"{character.dominant_stride_fraction:.1%})",
+    ]
+    return "\n".join(lines)

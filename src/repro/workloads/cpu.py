@@ -1,0 +1,142 @@
+"""CPU workload models (Table II): cache-filtered CPU traffic.
+
+The paper's CPU traces come from the port *after* the cache hierarchy
+(Sec. IV-A), so requests are 64B-granular, moderately irregular (only
+misses and write-backs escape the caches), and read/write interleaving
+is much less structured than for the fixed-function devices — which is
+exactly why the paper's Fig. 6 shows the highest McC error on CPUs.
+
+* **Crypto**: streaming over an input message + table lookups (S-boxes)
+  + output writes.
+* **CPU-D / CPU-G / CPU-V**: a CPU driving a DPU/GPU/VPU — bursts of
+  descriptor writes and result reads synchronized to the device's frame
+  or kernel cadence, over a heap the cache hierarchy partially filters.
+"""
+
+from __future__ import annotations
+
+from ..core.request import Operation
+from ..core.trace import Trace
+from .base import TraceBuilder, WorkloadGenerator, align
+
+_MESSAGE_BASE = 0x1000_0000
+_TABLE_BASE = 0x1800_0000
+_OUTPUT_BASE = 0x1A00_0000
+_HEAP_BASE = 0x2000_0000
+_SHARED_BASE = 0x3000_0000
+
+
+class CryptoWorkload(WorkloadGenerator):
+    """A cryptography workload: stream + S-box lookups + output stream."""
+
+    device = "CPU"
+    description = "A cryptography workload"
+
+    def __init__(self, seed: int = 0, variant: int = 1, table_bytes: int = 16_384):
+        super().__init__(seed)
+        self.name = f"crypto{variant}"
+        self.variant = variant
+        self.table_bytes = table_bytes
+
+    def generate(self, num_requests: int) -> Trace:
+        rng = self._rng()
+        builder = TraceBuilder()
+        block = 0
+        flushed = 0
+        while len(builder) < num_requests:
+            # One chunk: a burst of misses (the prefetcher pulls several
+            # message lines, S-box lookups escape the cache), then a
+            # compute gap while the rounds run out of the cache. Post-L2
+            # CPU traffic is bursty, not a sustained stream.
+            lines = rng.randint(3, 6)
+            for line in range(lines):
+                in_addr = _MESSAGE_BASE + (block + line) * 64
+                # The coherent interconnect merges adjacent misses, so
+                # read sizes vary (64B lines, 128B pairs).
+                read_size = 128 if rng.random() < 0.25 else 64
+                builder.emit(in_addr, Operation.READ, read_size, gap=rng.randint(2, 5))
+            lookups = rng.randint(1, 3) if self.variant == 1 else rng.randint(2, 5)
+            for _ in range(lookups):
+                table_addr = _TABLE_BASE + align(rng.randrange(self.table_bytes), 64)
+                builder.emit(table_addr, Operation.READ, 64, gap=rng.randint(2, 6))
+            # Encrypted output retires in large write-back sweeps: the L2
+            # holds dirty output lines until eviction pressure flushes a
+            # whole stretch at once (this is what keeps the write queue
+            # deep, as in the paper's Fig. 7 CPU bars).
+            block += lines
+            while block - flushed >= 32:
+                for line in range(32):
+                    out = _OUTPUT_BASE + (flushed + line) * 64
+                    # Partial-line evictions produce 32B writes now and then.
+                    write_size = 32 if rng.random() < 0.15 else 64
+                    builder.emit(out, Operation.WRITE, write_size, gap=rng.randint(1, 3))
+                flushed += 32
+            builder.idle(rng.randint(300, 1_200))  # compute between chunks
+            if block % 512 < lines:
+                builder.idle(rng.randint(20_000, 60_000))  # key schedule / syscall
+        return builder.build().head(num_requests)
+
+
+class DeviceDriverWorkload(WorkloadGenerator):
+    """A CPU workload that interacts with an accelerator (CPU-D/G/V)."""
+
+    device = "CPU"
+
+    # The CPU-side cadence mirrors the device it drives.
+    _CADENCE = {"dpu": 700_000, "gpu": 900_000, "vpu": 1_600_000}
+
+    def __init__(self, seed: int = 0, companion: str = "dpu", heap_bytes: int = 1 << 20):
+        super().__init__(seed)
+        if companion not in self._CADENCE:
+            raise ValueError(f"companion must be one of {sorted(self._CADENCE)}")
+        self.name = f"cpu-{companion[0]}"
+        self.description = f"A workload that interacts with a {companion.upper()}"
+        self.companion = companion
+        self.heap_bytes = heap_bytes
+        self.cadence = self._CADENCE[companion]
+
+    def generate(self, num_requests: int) -> Trace:
+        rng = self._rng()
+        builder = TraceBuilder()
+        job = 0
+        while len(builder) < num_requests:
+            # Prepare work: walk heap structures (irregular reads with
+            # pockets of spatial locality), build a descriptor.
+            walk_length = rng.randint(24, 64)
+            cursor = _HEAP_BASE + align(rng.randrange(self.heap_bytes), 64)
+            emitted = 0
+            for _ in range(walk_length):
+                size = rng.choice((64, 64, 64, 128))
+                builder.emit(cursor, Operation.READ, size, gap=rng.randint(2, 6))
+                emitted += 1
+                if emitted % rng.randint(4, 8) == 0:
+                    builder.idle(rng.randint(200, 800))  # compute on the data
+                if rng.random() < 0.6:
+                    cursor += 64  # sequential pocket
+                else:
+                    cursor = _HEAP_BASE + align(rng.randrange(self.heap_bytes), 64)
+            # Stage the input buffer for the device (linear writes).
+            staging = _SHARED_BASE + (job % 4) * 65_536
+            for offset in range(0, rng.randint(8, 24) * 64, 64):
+                builder.emit(staging + offset, Operation.WRITE, 64, gap=rng.randint(1, 3))
+            # Kick + poll the device, then read back results.
+            builder.emit(_SHARED_BASE + 0x40_0000, Operation.WRITE, 64, gap=4)
+            builder.idle(self.cadence)
+            for offset in range(0, rng.randint(4, 16) * 64, 64):
+                builder.emit(staging + 0x8000 + offset, Operation.READ, 64, gap=rng.randint(1, 4))
+            job += 1
+        return builder.build().head(num_requests)
+
+
+def cpu_variants() -> list:
+    """The five CPU traces of Table II."""
+    return [
+        CryptoWorkload(variant=1),
+        CryptoWorkload(variant=2, seed=1),
+        DeviceDriverWorkload(companion="dpu"),
+        DeviceDriverWorkload(companion="gpu"),
+        DeviceDriverWorkload(companion="vpu"),
+    ]
+
+
+__all__ = ["CryptoWorkload", "DeviceDriverWorkload", "cpu_variants"]

@@ -1,0 +1,182 @@
+"""DPU workload models: display processing.
+
+Three Table II behaviours:
+
+* **FBC-Linear**: scan-out of a compressed frame buffer in linear mode —
+  header reads followed by payload reads marching linearly through the
+  buffer, plus a smaller linear write stream (composition output)
+  confined to a narrow region so some banks see no writes (Fig. 12b).
+* **FBC-Tiled**: the same scan-out but with a tiled layout — sequential
+  bursts inside a tile, then a jump to the next tile, producing the
+  different stride (and thus row-hit) signature Fig. 10 contrasts.
+* **Multi-layer**: several VGA layers fetched concurrently and blended,
+  i.e. multiple interleaved linear streams.
+
+Display engines are periodic: one burst of traffic per scan-line group,
+one group of bursts per frame.
+"""
+
+from __future__ import annotations
+
+from ..core.request import Operation
+from ..core.trace import Trace
+from .base import TraceBuilder, WorkloadGenerator
+
+_FB_BASE = 0x4000_0000
+_HEADER_BASE = 0x4800_0000
+_COMPOSITION_BASE = 0x4900_0000
+_COMPOSITION_REGION = 24 * 1024  # narrow write footprint (see Fig. 12b)
+_LAYER_STRIDE = 0x0100_0000
+
+
+class FrameBufferCompression(WorkloadGenerator):
+    """FBC scan-out, linear or tiled mode."""
+
+    device = "DPU"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        tiled: bool = False,
+        variant: int = 1,
+        line_bytes: int = 8192,
+        lines_per_frame: int = 64,
+        tile_bytes: int = 1024,
+        line_gap: int = 40_000,
+        frame_gap: int = 4_000_000,
+    ):
+        super().__init__(seed)
+        mode = "tiled" if tiled else "linear"
+        self.name = f"fbc-{mode}{variant}"
+        self.description = f"Display compressed frames ({mode} mode)"
+        self.tiled = tiled
+        self.variant = variant
+        self.line_bytes = line_bytes
+        self.lines_per_frame = lines_per_frame
+        self.tile_bytes = tile_bytes
+        # Variants differ in line pitch, standing in for the two traces.
+        if variant == 2:
+            self.line_bytes *= 2
+            self.lines_per_frame //= 2
+        self.line_gap = line_gap
+        self.frame_gap = frame_gap
+
+    def generate(self, num_requests: int) -> Trace:
+        rng = self._rng()
+        builder = TraceBuilder()
+        frame_bytes = self.line_bytes * self.lines_per_frame
+        frame_index = 0
+        while len(builder) < num_requests:
+            base = _FB_BASE + (frame_index % 2) * frame_bytes  # double buffering
+            for line in range(self.lines_per_frame):
+                if len(builder) >= num_requests:
+                    break
+                self._scan_line(builder, rng, base, line)
+                builder.idle(self.line_gap)
+            builder.idle(self.frame_gap)
+            frame_index += 1
+        return builder.build().head(num_requests)
+
+    def _scan_line(self, builder, rng, base, line) -> None:
+        # Compression header for the line: one small read.
+        builder.emit(_HEADER_BASE + line * 64, Operation.READ, 32, gap=rng.randint(1, 3))
+        line_base = base + line * self.line_bytes
+        if self.tiled:
+            # Visit the tiles that intersect this line: a burst of
+            # sequential reads inside each tile, then a jump.
+            tiles = self.line_bytes // self.tile_bytes
+            for tile in range(tiles):
+                tile_base = line_base + tile * self.tile_bytes
+                for offset in range(0, self.tile_bytes // 4, 64):
+                    builder.emit(tile_base + offset, Operation.READ, 64, gap=1)
+                builder.idle(rng.randint(4, 12))
+        else:
+            # Linear payload: constant-stride reads across the line. The
+            # compressed payload skips over runs, so occasionally jump.
+            offset = 0
+            while offset < self.line_bytes // 4:
+                builder.emit(line_base + offset, Operation.READ, 64, gap=1)
+                offset += 64
+                if rng.random() < 0.05:
+                    offset += 256  # compressed run skipped
+        # Composition output: the decompressed line is written out into a
+        # small circular buffer. The write footprint is deliberately much
+        # narrower than the read footprint, so only a subset of banks
+        # ever sees writes (the paper's Fig. 12b signature) while rows
+        # are reused line after line (write row hits, Fig. 10).
+        write_bytes = self.line_bytes // 8
+        out = _COMPOSITION_BASE + (line * write_bytes) % _COMPOSITION_REGION
+        for offset in range(0, write_bytes, 64):
+            if rng.random() < 0.35:
+                # Blend: read the destination before overwriting it. The
+                # resulting read/write *order* inside the region is what a
+                # memoryless operation model (STM) fails to recreate.
+                builder.emit(out + offset, Operation.READ, 64, gap=1)
+            builder.emit(out + offset, Operation.WRITE, 64, gap=1)
+
+
+class MultiLayerDisplay(WorkloadGenerator):
+    """Multiple VGA layers fetched concurrently and composited."""
+
+    device = "DPU"
+    description = "Display multiple VGA layers"
+    name = "multi-layer"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_layers: int = 4,
+        line_bytes: int = 2560,
+        lines_per_frame: int = 64,
+        line_gap: int = 30_000,
+        frame_gap: int = 4_000_000,
+    ):
+        super().__init__(seed)
+        self.num_layers = num_layers
+        self.line_bytes = line_bytes
+        self.lines_per_frame = lines_per_frame
+        self.line_gap = line_gap
+        self.frame_gap = frame_gap
+
+    def generate(self, num_requests: int) -> Trace:
+        rng = self._rng()
+        builder = TraceBuilder()
+        while len(builder) < num_requests:
+            for line in range(self.lines_per_frame):
+                if len(builder) >= num_requests:
+                    break
+                # Interleave fetches from each layer, round-robin per 64B.
+                offsets = [0] * self.num_layers
+                while any(offset < self.line_bytes for offset in offsets):
+                    for layer in range(self.num_layers):
+                        if offsets[layer] >= self.line_bytes:
+                            continue
+                        base = _FB_BASE + layer * _LAYER_STRIDE + line * self.line_bytes
+                        builder.emit(
+                            base + offsets[layer], Operation.READ, 64, gap=rng.randint(1, 2)
+                        )
+                        offsets[layer] += 64
+                # Composited line written out; blending reads back the
+                # destination for every other chunk.
+                out = _COMPOSITION_BASE + (line * self.line_bytes) % _COMPOSITION_REGION
+                for offset in range(0, self.line_bytes, 64):
+                    if (offset // 64) % 2 == 0:
+                        builder.emit(out + offset, Operation.READ, 64, gap=1)
+                    builder.emit(out + offset, Operation.WRITE, 64, gap=1)
+                builder.idle(self.line_gap)
+            builder.idle(self.frame_gap)
+        return builder.build().head(num_requests)
+
+
+def dpu_variants() -> list:
+    """The five DPU traces of Table II."""
+    return [
+        FrameBufferCompression(tiled=False, variant=1),
+        FrameBufferCompression(tiled=False, variant=2, seed=1),
+        FrameBufferCompression(tiled=True, variant=1),
+        FrameBufferCompression(tiled=True, variant=2, seed=1),
+        MultiLayerDisplay(),
+    ]
+
+
+__all__ = ["FrameBufferCompression", "MultiLayerDisplay", "dpu_variants"]

@@ -1,0 +1,156 @@
+"""GPU workload models: graphics benchmarks and OpenCL compute.
+
+Table II includes T-Rex and Manhattan (GFXBench) and an OpenCL stress
+test. The paper's analysis (Fig. 7–8) hinges on GPUs issuing *large
+requests in short time intervals* — dense bursts that pile packets into
+the controller queues — from several concurrent streams (textures,
+geometry, framebuffer, depth). The models recreate that:
+
+* **graphics** (T-Rex / Manhattan): per-frame render bursts mixing
+  blocky texture reads, linear vertex reads, tiled framebuffer writes
+  and read-modify-write depth traffic;
+* **OpenCL**: grid-strided streaming kernels — phases of intense
+  read-compute-write traffic over large buffers.
+"""
+
+from __future__ import annotations
+
+from ..core.request import Operation
+from ..core.trace import Trace
+from .base import TraceBuilder, WorkloadGenerator, align
+
+_TEXTURE_BASE = 0xC000_0000
+_VERTEX_BASE = 0xC800_0000
+_FRAMEBUFFER_BASE = 0xD000_0000
+_DEPTH_BASE = 0xD400_0000
+_BUFFER_BASE = 0xE000_0000
+
+
+class GraphicsRender(WorkloadGenerator):
+    """A GFXBench-style render loop (T-Rex / Manhattan)."""
+
+    device = "GPU"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        benchmark: str = "trex",
+        variant: int = 1,
+        tiles_per_frame: int = 48,
+        texture_bytes: int = 4 << 20,
+        complexity: float = 1.0,
+        tile_gap: int = 8_000,
+        frame_gap: int = 2_000_000,
+    ):
+        super().__init__(seed)
+        self.name = f"{benchmark}{variant}" if benchmark == "trex" else benchmark
+        self.description = f"{benchmark} from GFXBench"
+        self.benchmark = benchmark
+        self.tiles_per_frame = tiles_per_frame
+        self.texture_bytes = texture_bytes
+        # Manhattan is the heavier benchmark: more textures, more overdraw.
+        self.complexity = complexity if benchmark == "trex" else complexity * 1.6
+        self.tile_gap = tile_gap
+        self.frame_gap = frame_gap
+
+    def generate(self, num_requests: int) -> Trace:
+        rng = self._rng()
+        builder = TraceBuilder()
+        tile_bytes = 2048
+        while len(builder) < num_requests:
+            for tile in range(self.tiles_per_frame):
+                if len(builder) >= num_requests:
+                    break
+                self._render_tile(builder, rng, tile, tile_bytes)
+                builder.idle(self.tile_gap)
+            builder.idle(self.frame_gap)
+        return builder.build().head(num_requests)
+
+    def _render_tile(self, builder, rng, tile, tile_bytes) -> None:
+        # Vertex fetch: linear burst.
+        vertex_base = _VERTEX_BASE + tile * 4096
+        for offset in range(0, 1024, 64):
+            builder.emit(vertex_base + offset, Operation.READ, 64, gap=1)
+        # Texture sampling: blocky locality — a few texel neighbourhoods,
+        # each fetched as a short dense run of large reads.
+        samples = int(10 * self.complexity)
+        for _ in range(samples):
+            neighbourhood = _TEXTURE_BASE + align(rng.randrange(self.texture_bytes), 2048)
+            for offset in range(0, rng.choice((256, 256, 512)), 128):
+                builder.emit(neighbourhood + offset, Operation.READ, 128, gap=1)
+        # Depth test: read-modify-write over the tile's depth slice.
+        depth_base = _DEPTH_BASE + tile * tile_bytes
+        for offset in range(0, tile_bytes // 2, 64):
+            builder.emit(depth_base + offset, Operation.READ, 64, gap=1)
+            if rng.random() < 0.6:
+                builder.emit(depth_base + offset, Operation.WRITE, 64, gap=1)
+        # Resolved colour tile written to the framebuffer: a dense burst
+        # of large writes (the queue-filling signature of Fig. 8).
+        fb_base = _FRAMEBUFFER_BASE + tile * tile_bytes
+        for offset in range(0, tile_bytes, 128):
+            builder.emit(fb_base + offset, Operation.WRITE, 128, gap=1)
+
+
+class OpenCLStress(WorkloadGenerator):
+    """An OpenCL stress test: grid-strided streaming kernels."""
+
+    device = "GPU"
+    description = "An OpenCL stress test"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        variant: int = 1,
+        buffer_bytes: int = 8 << 20,
+        work_groups: int = 32,
+        kernel_gap: int = 500_000,
+    ):
+        super().__init__(seed)
+        self.name = f"opencl{variant}"
+        self.variant = variant
+        self.buffer_bytes = buffer_bytes
+        self.work_groups = work_groups
+        self.kernel_gap = kernel_gap
+
+    def generate(self, num_requests: int) -> Trace:
+        rng = self._rng()
+        builder = TraceBuilder()
+        stride = 128 * self.work_groups  # grid stride
+        chunk = self.buffer_bytes // 8
+        kernel = 0
+        while len(builder) < num_requests:
+            # Each kernel: work-groups march through input with a grid
+            # stride, then write output; variant 2 adds a gather phase.
+            in_base = _BUFFER_BASE + (kernel % 4) * chunk
+            out_base = _BUFFER_BASE + 4 * chunk + (kernel % 4) * chunk
+            for group in range(self.work_groups):
+                if len(builder) >= num_requests:
+                    break
+                offset = group * 128
+                while offset < chunk // 4:
+                    builder.emit(in_base + offset, Operation.READ, 128, gap=1)
+                    builder.emit(
+                        out_base + offset, Operation.WRITE, 128, gap=rng.randint(1, 2)
+                    )
+                    offset += stride
+            if self.variant == 2:
+                for _ in range(64):
+                    address = in_base + align(rng.randrange(chunk), 64)
+                    builder.emit(address, Operation.READ, 64, gap=rng.randint(1, 3))
+            builder.idle(self.kernel_gap)
+            kernel += 1
+        return builder.build().head(num_requests)
+
+
+def gpu_variants() -> list:
+    """The five GPU traces of Table II."""
+    return [
+        GraphicsRender(benchmark="trex", variant=1),
+        GraphicsRender(benchmark="trex", variant=2, seed=1),
+        GraphicsRender(benchmark="manhattan"),
+        OpenCLStress(variant=1),
+        OpenCLStress(variant=2, seed=1),
+    ]
+
+
+__all__ = ["GraphicsRender", "OpenCLStress", "gpu_variants"]

@@ -1,0 +1,85 @@
+"""Trace perturbation utilities for robustness experiments.
+
+Statistical-simulation results should be robust to benign transforms of
+the input trace: shifting the address space, scaling time, truncating,
+or dropping a fraction of requests. These helpers produce the perturbed
+variants the robustness tests and ablations consume.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..core.request import MemoryRequest
+from ..core.trace import Trace
+
+
+def shift_addresses(trace: Trace, offset: int) -> Trace:
+    """Translate every address by ``offset`` bytes (must stay >= 0)."""
+    requests = []
+    for request in trace:
+        address = request.address + offset
+        if address < 0:
+            raise ValueError("shift would produce a negative address")
+        requests.append(
+            MemoryRequest(request.timestamp, address, request.operation, request.size)
+        )
+    return Trace(requests)
+
+
+def scale_time(trace: Trace, numerator: int, denominator: int = 1) -> Trace:
+    """Scale all timestamps by ``numerator / denominator`` (rational).
+
+    Rational scaling keeps timestamps integral and preserves order.
+    """
+    if numerator <= 0 or denominator <= 0:
+        raise ValueError("scale must be positive")
+    requests = [
+        MemoryRequest(
+            request.timestamp * numerator // denominator,
+            request.address,
+            request.operation,
+            request.size,
+        )
+        for request in trace
+    ]
+    return Trace(requests)
+
+
+def drop_requests(trace: Trace, fraction: float, seed: int = 0) -> Trace:
+    """Randomly drop ``fraction`` of requests (sampling loss)."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError("fraction must be in [0, 1)")
+    rng = random.Random(seed)
+    return Trace([r for r in trace if rng.random() >= fraction])
+
+
+def truncate_time(trace: Trace, max_cycles: int) -> Trace:
+    """Keep only requests within ``max_cycles`` of the trace start."""
+    if not len(trace):
+        return Trace()
+    origin = trace.start_time
+    return Trace([r for r in trace if r.timestamp - origin <= max_cycles])
+
+
+def interleave(trace_a: Trace, trace_b: Trace, offset_b: int = 0) -> Trace:
+    """Merge two traces in time order, shifting the second by ``offset_b``."""
+    shifted = [
+        MemoryRequest(r.timestamp + offset_b, r.address, r.operation, r.size)
+        for r in trace_b
+    ]
+    merged = list(trace_a) + shifted
+    merged.sort(key=lambda r: r.timestamp)
+    return Trace(merged)
+
+
+def downscale(trace: Trace, keep: Optional[int] = None) -> Trace:
+    """The paper's note: down-scaled inputs suffice for validation.
+
+    Keeps the first ``keep`` requests and rescales their timestamps so
+    the truncated trace spans the same proportion of time.
+    """
+    if keep is None or keep >= len(trace):
+        return Trace(list(trace))
+    return trace.head(keep)

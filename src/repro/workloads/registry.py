@@ -1,0 +1,86 @@
+"""Workload registry: every Table II trace plus the 23 SPEC-like models."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.trace import Trace
+from .base import WorkloadGenerator
+from .cpu import CryptoWorkload, DeviceDriverWorkload
+from .dpu import FrameBufferCompression, MultiLayerDisplay
+from .gpu import GraphicsRender, OpenCLStress
+from .spec import SPEC_BENCHMARKS, SpecWorkload
+from .vpu import HEVCDecode
+
+GeneratorFactory = Callable[[int], WorkloadGenerator]
+
+# Table II of the paper: name -> (device, factory). Seeds passed to the
+# factory keep multi-trace workloads (e.g. crypto1/crypto2) distinct.
+_TABLE_II_FACTORIES: Dict[str, GeneratorFactory] = {
+    "crypto1": lambda seed: CryptoWorkload(variant=1, seed=seed),
+    "crypto2": lambda seed: CryptoWorkload(variant=2, seed=seed + 1),
+    "cpu-d": lambda seed: DeviceDriverWorkload(companion="dpu", seed=seed),
+    "cpu-g": lambda seed: DeviceDriverWorkload(companion="gpu", seed=seed),
+    "cpu-v": lambda seed: DeviceDriverWorkload(companion="vpu", seed=seed),
+    "fbc-linear1": lambda seed: FrameBufferCompression(tiled=False, variant=1, seed=seed),
+    "fbc-linear2": lambda seed: FrameBufferCompression(tiled=False, variant=2, seed=seed + 1),
+    "fbc-tiled1": lambda seed: FrameBufferCompression(tiled=True, variant=1, seed=seed),
+    "fbc-tiled2": lambda seed: FrameBufferCompression(tiled=True, variant=2, seed=seed + 1),
+    "multi-layer": lambda seed: MultiLayerDisplay(seed=seed),
+    "trex1": lambda seed: GraphicsRender(benchmark="trex", variant=1, seed=seed),
+    "trex2": lambda seed: GraphicsRender(benchmark="trex", variant=2, seed=seed + 1),
+    "manhattan": lambda seed: GraphicsRender(benchmark="manhattan", seed=seed),
+    "opencl1": lambda seed: OpenCLStress(variant=1, seed=seed),
+    "opencl2": lambda seed: OpenCLStress(variant=2, seed=seed + 1),
+    "hevc1": lambda seed: HEVCDecode(variant=1, seed=seed),
+    "hevc2": lambda seed: HEVCDecode(variant=2, seed=seed + 1),
+    "hevc3": lambda seed: HEVCDecode(variant=3, seed=seed + 2),
+}
+
+# Device grouping used by the per-device figures (Figs. 6, 7, 9, 13).
+TABLE_II_DEVICES: Dict[str, List[str]] = {
+    "CPU": ["crypto1", "crypto2", "cpu-d", "cpu-g", "cpu-v"],
+    "DPU": ["fbc-linear1", "fbc-linear2", "fbc-tiled1", "fbc-tiled2", "multi-layer"],
+    "GPU": ["trex1", "trex2", "manhattan", "opencl1", "opencl2"],
+    "VPU": ["hevc1", "hevc2", "hevc3"],
+}
+
+TABLE_II_WORKLOADS: List[str] = [
+    name for names in TABLE_II_DEVICES.values() for name in names
+]
+
+_SPEC_FACTORIES: Dict[str, GeneratorFactory] = {
+    name: (lambda seed, _name=name: SpecWorkload(_name, seed=seed))
+    for name in SPEC_BENCHMARKS
+}
+
+_ALL_FACTORIES: Dict[str, GeneratorFactory] = {**_TABLE_II_FACTORIES, **_SPEC_FACTORIES}
+
+
+def available_workloads() -> List[str]:
+    """Names of every registered workload (Table II + SPEC-like)."""
+    return sorted(_ALL_FACTORIES)
+
+
+def make_generator(name: str, seed: int = 0) -> WorkloadGenerator:
+    """Instantiate the generator for a registered workload."""
+    try:
+        factory = _ALL_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; see available_workloads()"
+        ) from None
+    return factory(seed)
+
+
+def workload_trace(name: str, num_requests: int = 100_000, seed: int = 0) -> Trace:
+    """Generate the baseline trace for a registered workload."""
+    return make_generator(name, seed=seed).generate(num_requests)
+
+
+def device_of(name: str) -> Optional[str]:
+    """The Table II device class of a workload, or None for SPEC models."""
+    for device, names in TABLE_II_DEVICES.items():
+        if name in names:
+            return device
+    return None

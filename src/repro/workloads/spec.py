@@ -1,0 +1,218 @@
+"""SPEC CPU2006-like trace models for the Sec. V cache experiments.
+
+The paper collects Pin traces of 23 SPEC CPU2006 benchmarks between the
+CPU and the L1 (so addresses are raw and request sizes are word-sized).
+SPEC binaries and reference inputs are licensed, so we substitute one
+parameterized model per benchmark, tuned to that benchmark's well-known
+memory personality (streaming vs. pointer-chasing vs. phase-heavy; big
+vs. small footprint; read- vs. write-heavy). The Sec. V experiments only
+require that the trace population spans that qualitative space — the
+claims compare *synthesis fidelity per trace*, never absolute SPEC
+numbers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.request import Operation
+from ..core.trace import Trace
+from .base import TraceBuilder, WorkloadGenerator, align
+
+_DATA_BASE = 0x0800_0000
+_STACK_BASE = 0x7F00_0000
+
+
+@dataclass(frozen=True)
+class SpecParams:
+    """The memory personality of one benchmark model."""
+
+    footprint: int  # bytes of the main working set
+    num_streams: int  # concurrent sequential streams
+    stream_strides: tuple  # strides (bytes) the streams may use
+    stream_fraction: float  # accesses served by the streams
+    reuse_fraction: float  # accesses re-touching a recent address
+    write_fraction: float  # write probability
+    phase_count: int  # distinct phases, each over a footprint slice
+    phase_length: int  # requests per phase
+    stride_chaos: float = 0.0  # probability a stream's stride is re-rolled
+    stack_fraction: float = 0.1  # accesses to a small hot stack region
+
+
+# Personalities drawn from the literature's common characterization of
+# SPEC CPU2006 memory behaviour. Footprints are scaled down (the paper
+# itself down-scales inputs for RTL emulation and notes this is fine for
+# validating synthesis fidelity).
+SPEC_PARAMS: Dict[str, SpecParams] = {
+    "astar": SpecParams(2 << 20, 3, (8, 24, 40, 72, 136), 0.45, 0.25, 0.06, 5, 20_000, 0.35),
+    "bzip2": SpecParams(4 << 20, 2, (1, 4, 8), 0.55, 0.25, 0.25, 4, 25_000),
+    "cactusADM": SpecParams(8 << 20, 4, (8, 2048), 0.75, 0.10, 0.30, 2, 50_000),
+    "calculix": SpecParams(1 << 20, 1, (8,), 0.85, 0.10, 0.20, 2, 50_000),
+    "gcc": SpecParams(3 << 20, 2, (4, 8, 16), 0.35, 0.35, 0.25, 8, 12_000, 0.20),
+    "GemsFDTD": SpecParams(12 << 20, 6, (8, 4096), 0.80, 0.05, 0.30, 2, 50_000),
+    "gobmk": SpecParams(1 << 20, 1, (4, 8), 0.30, 0.45, 0.15, 6, 15_000, 0.15),
+    "gromacs": SpecParams(2 << 20, 3, (4, 12, 36), 0.60, 0.25, 0.20, 3, 30_000),
+    "h264ref": SpecParams(2 << 20, 2, (1, 4, 16, 384), 0.60, 0.30, 0.15, 4, 25_000),
+    "hmmer": SpecParams(256 << 10, 2, (4, 8), 0.55, 0.40, 0.30, 2, 50_000),
+    "lbm": SpecParams(16 << 20, 4, (8, 1600), 0.85, 0.02, 0.45, 1, 100_000),
+    "leslie3d": SpecParams(10 << 20, 5, (8, 2048), 0.80, 0.05, 0.30, 2, 50_000),
+    "libquantum": SpecParams(8 << 20, 1, (16,), 0.95, 0.01, 0.25, 1, 100_000),
+    "mcf": SpecParams(24 << 20, 1, (8,), 0.12, 0.20, 0.10, 3, 35_000),
+    "milc": SpecParams(12 << 20, 3, (8, 1152), 0.70, 0.08, 0.25, 3, 35_000),
+    "namd": SpecParams(2 << 20, 3, (4, 8, 24), 0.65, 0.25, 0.15, 2, 50_000),
+    "omnetpp": SpecParams(8 << 20, 1, (8,), 0.15, 0.30, 0.25, 4, 25_000),
+    "perlbench": SpecParams(2 << 20, 2, (4, 8), 0.35, 0.40, 0.25, 8, 12_000, 0.15),
+    "povray": SpecParams(1 << 20, 2, (4, 8, 16), 0.45, 0.40, 0.15, 5, 20_000),
+    "sjeng": SpecParams(6 << 20, 1, (4, 8), 0.25, 0.40, 0.15, 6, 15_000, 0.10),
+    "soplex": SpecParams(8 << 20, 2, (8, 1024), 0.60, 0.15, 0.15, 4, 25_000),
+    "tonto": SpecParams(1 << 20, 2, (8, 16), 0.55, 0.30, 0.25, 4, 25_000),
+    "zeusmp": SpecParams(10 << 20, 4, (8, 512, 4096), 0.75, 0.05, 0.30, 2, 50_000),
+}
+
+SPEC_BENCHMARKS: List[str] = sorted(SPEC_PARAMS)
+
+# The six benchmarks Figs. 15–16 plot individually.
+FIG15_BENCHMARKS = ["gobmk", "h264ref", "libquantum", "milc", "soplex", "zeusmp"]
+
+
+class SpecWorkload(WorkloadGenerator):
+    """One SPEC-like CPU→L1 trace generator."""
+
+    device = "CPU"
+
+    def __init__(self, benchmark: str, seed: int = 0):
+        super().__init__(seed)
+        if benchmark not in SPEC_PARAMS:
+            raise ValueError(f"unknown SPEC benchmark {benchmark!r}")
+        self.name = benchmark
+        self.description = f"SPEC CPU2006-like model of {benchmark}"
+        self.params = SPEC_PARAMS[benchmark]
+
+    def generate(self, num_requests: int) -> Trace:
+        params = self.params
+        rng = self._rng()
+        builder = TraceBuilder()
+        recent: List[int] = []  # small window of recent addresses for reuse
+
+        phase_slice = max(params.footprint // params.phase_count, 8192)
+        request_index = 0
+        while request_index < num_requests:
+            phase = (request_index // params.phase_length) % params.phase_count
+            # Phases occupy disjoint halves of a sparse address space: the
+            # arrays the streams walk, and a scattered heap of objects.
+            phase_base = _DATA_BASE + phase * phase_slice * 4
+            arrays = self._phase_arrays(params, phase_base, phase_slice)
+            objects = self._phase_objects(rng, params, phase_base, phase_slice)
+            cursors = [base for base, _length in arrays]
+            strides = [rng.choice(params.stream_strides) for _ in arrays]
+            phase_end = min(num_requests, request_index + params.phase_length)
+            while request_index < phase_end:
+                addresses, size = self._next_addresses(
+                    rng, params, arrays, objects, cursors, strides, recent
+                )
+                for address in addresses:
+                    if request_index >= phase_end:
+                        break
+                    operation = (
+                        Operation.WRITE
+                        if rng.random() < params.write_fraction
+                        else Operation.READ
+                    )
+                    builder.emit(address, operation, size, gap=rng.randint(1, 4))
+                    recent.append((address, size))
+                    if len(recent) > 64:
+                        recent.pop(0)
+                    request_index += 1
+        return builder.build()
+
+    @staticmethod
+    def _phase_arrays(params, phase_base, phase_slice):
+        """Disjoint contiguous arrays for the streams (70% of the slice)."""
+        array_bytes = max((phase_slice * 7 // 10) // params.num_streams, 4096)
+        pitch = array_bytes * 2  # gaps keep arrays spatially separate
+        return [
+            (phase_base + index * pitch, array_bytes)
+            for index in range(params.num_streams)
+        ]
+
+    @staticmethod
+    def _phase_objects(rng, params, phase_base, phase_slice):
+        """Scattered heap objects covering ~30% of the slice.
+
+        Objects live in a sparse heap above the arrays; random accesses
+        pick an object (hot-skewed) and an offset inside it, which gives
+        the clustered-with-gaps structure real heaps have (and that
+        dynamic spatial partitioning exploits).
+        """
+        heap_base = phase_base + phase_slice * 2
+        object_budget = phase_slice * 3 // 10
+        objects = []
+        offset = 0
+        while object_budget > 0:
+            size = rng.choice((2048, 4096, 4096, 8192, 16384))
+            size = min(size, max(object_budget, 2048))
+            objects.append((heap_base + offset, size))
+            # Sparse placement: gaps between objects.
+            offset += size + rng.choice((2048, 4096, 8192))
+            object_budget -= size
+        return objects
+
+    def _next_addresses(
+        self, rng, params, arrays, objects, cursors, strides, recent
+    ):
+        """The addresses and access size of the next program action.
+
+        Stack and heap-object visits touch a short *run of fields*
+        (consecutive 8B words), the way real code reads a struct; stream
+        accesses read the word their stride steps over. Sizes match the
+        stride so a dense scan covers its region without holes — which is
+        what lets dynamic spatial partitioning coalesce regions instead
+        of fragmenting them into single-word dust.
+        """
+        roll = rng.random()
+        if roll < params.stack_fraction:
+            # Hot stack frame: one of a few slots, a run of words each.
+            slot = _STACK_BASE + int(rng.random() * rng.random() * 8) * 48
+            return [slot + field * 8 for field in range(rng.randint(2, 4))], 8
+        roll -= params.stack_fraction
+        if roll < params.stream_fraction:
+            index = rng.randrange(len(cursors))
+            if params.stride_chaos and rng.random() < params.stride_chaos:
+                strides[index] = rng.choice(params.stream_strides)
+            cursors[index] += strides[index]
+            base, length = arrays[index]
+            if cursors[index] >= base + length:
+                cursors[index] = base
+            word = max(1, min(strides[index], 8))
+            return [cursors[index]], word
+        roll -= params.stream_fraction
+        if roll < params.reuse_fraction and recent:
+            address, size = recent[-rng.randint(1, min(len(recent), 32))]
+            return [address], size
+        # Pointer-chase: a hot-skewed object, a hot-skewed node (64B line)
+        # inside it, then a run of fields from the node's start. Visits
+        # often read every field, so hot neighbouring nodes coalesce.
+        index = min(
+            int(rng.random() * rng.random() * len(objects)), len(objects) - 1
+        )
+        base, size = objects[index]
+        lines = max(size // 64, 1)
+        node = base + min(int(rng.random() * rng.random() * lines), lines - 1) * 64
+        return [node + field * 8 for field in range(rng.randint(4, 8))], 8
+
+
+def spec_workloads(seed: int = 0) -> List[SpecWorkload]:
+    """All 23 SPEC-like generators, in alphabetical order (Fig. 17 x-axis)."""
+    return [SpecWorkload(name, seed=seed) for name in SPEC_BENCHMARKS]
+
+
+__all__ = [
+    "FIG15_BENCHMARKS",
+    "SPEC_BENCHMARKS",
+    "SPEC_PARAMS",
+    "SpecParams",
+    "SpecWorkload",
+    "spec_workloads",
+]

@@ -1,0 +1,102 @@
+"""VPU workload models: HEVC video decode.
+
+The paper's HEVC traces (Table II) decode compressed video. The memory
+behaviour the paper highlights (Figs. 2–3) has three signatures this
+model recreates:
+
+* frame-period bursts separated by long idle gaps (tens of millions of
+  cycles between clusters);
+* motion-compensation reads from one or more *reference frames*: sparse,
+  irregular offsets inside 4KB-scale regions, mixed 64B/128B sizes, with
+  occasional re-reads of the same region (Fig. 2, partition F);
+* linear write-out of the reconstructed frame.
+"""
+
+from __future__ import annotations
+
+from ..core.request import Operation
+from ..core.trace import Trace
+from .base import TraceBuilder, WorkloadGenerator, align
+
+_FRAME_BASE = 0x8000_0000
+_REFERENCE_BASE = 0x8100_0000
+_OUTPUT_BASE = 0x8400_0000
+
+
+class HEVCDecode(WorkloadGenerator):
+    """HEVC decode: reference-frame reads + reconstructed-frame writes."""
+
+    device = "VPU"
+    description = "Decoding compressed video (HEVC)"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        variant: int = 1,
+        width_blocks: int = 64,
+        height_blocks: int = 36,
+        frame_gap: int = 30_000_000,
+        ctu_row_gap: int = 1_500_000,
+    ):
+        super().__init__(seed)
+        self.name = f"hevc{variant}"
+        self.variant = variant
+        self.width_blocks = width_blocks
+        self.height_blocks = height_blocks
+        # Variants differ in burst density and reference count, standing in
+        # for the paper's three separate HEVC traces. Bursts (one per CTU
+        # row) are separated by long idle gaps, as in the paper's Fig. 3.
+        self.reference_frames = 1 + (variant % 3)
+        self.frame_gap = frame_gap // variant
+        self.ctu_row_gap = ctu_row_gap // variant
+
+    def generate(self, num_requests: int) -> Trace:
+        rng = self._rng()
+        builder = TraceBuilder()
+        frame_bytes = self.width_blocks * self.height_blocks * 256
+        row_bytes = self.width_blocks * 256
+
+        while len(builder) < num_requests:
+            # One frame: iterate CTU rows.
+            for row in range(self.height_blocks):
+                if len(builder) >= num_requests:
+                    break
+                self._decode_ctu_row(builder, rng, row, row_bytes, frame_bytes)
+                builder.idle(self.ctu_row_gap)
+            builder.idle(self.frame_gap)
+        return builder.build().head(num_requests)
+
+    def _decode_ctu_row(self, builder, rng, row, row_bytes, frame_bytes) -> None:
+        # Motion compensation: for each CTU, read a small patch from a
+        # reference frame. Patches are sparse within their 4KB-ish region
+        # and sometimes revisited, giving Fig. 2's structure.
+        for ctu in range(self.width_blocks):
+            reference = rng.randrange(self.reference_frames)
+            base = _REFERENCE_BASE + reference * frame_bytes
+            # The co-located region plus a small random motion vector.
+            region = base + align(row * row_bytes + ctu * 256, 4096)
+            patch = region + align(rng.randrange(0, 4096), 8)
+            patch_reads = rng.choice((4, 6, 6, 8))
+            revisit = rng.random() < 0.3
+            for repetition in range(2 if revisit else 1):
+                address = patch
+                for index in range(patch_reads):
+                    size = 128 if index == 0 else 64
+                    builder.emit(address, Operation.READ, size, gap=rng.randint(2, 6))
+                    address += size if index == 0 else 64
+            # Reconstructed pixels written out linearly.
+            out = _OUTPUT_BASE + row * row_bytes + ctu * 256
+            for chunk in range(0, 256, 64):
+                builder.emit(out + chunk, Operation.WRITE, 64, gap=rng.randint(1, 4))
+            if rng.random() < 0.1:
+                # Deblocking filter touches the row above.
+                neighbour = _OUTPUT_BASE + max(0, row - 1) * row_bytes + ctu * 256
+                builder.emit(neighbour, Operation.READ, 64, gap=rng.randint(2, 5))
+
+
+def hevc_variants() -> list:
+    """The three HEVC traces of Table II."""
+    return [HEVCDecode(variant=v) for v in (1, 2, 3)]
+
+
+__all__ = ["HEVCDecode", "hevc_variants"]

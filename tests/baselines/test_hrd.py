@@ -1,0 +1,129 @@
+"""Unit tests for the HRD baseline."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.baselines.hrd import (
+    COARSE_GRANULARITY,
+    FINE_GRANULARITY,
+    CleanDirtyModel,
+    HRDModel,
+)
+from repro.core.request import Operation
+from repro.core.trace import Trace
+
+from ..conftest import req
+
+
+class TestCleanDirtyModel:
+    def test_fit_states(self):
+        # Block 0: R (new), W (clean), W (dirty), R (dirty).
+        blocks = [0, 0, 0, 0]
+        ops = [Operation.READ, Operation.WRITE, Operation.WRITE, Operation.READ]
+        model = CleanDirtyModel.fit(blocks, ops)
+        assert model.total_counts == {"new": 1, "clean": 1, "dirty": 2}
+        assert model.write_counts == {"new": 0, "clean": 1, "dirty": 1}
+
+    def test_write_probability(self):
+        model = CleanDirtyModel({"new": 1, "clean": 0, "dirty": 2}, {"new": 2, "clean": 1, "dirty": 2})
+        assert model.write_probability("new") == 0.5
+        assert model.write_probability("dirty") == 1.0
+
+    def test_unseen_state_falls_back_to_overall(self):
+        model = CleanDirtyModel({"new": 1}, {"new": 2})
+        assert model.write_probability("dirty") == 0.5
+
+    def test_sample_deterministic_extremes(self):
+        model = CleanDirtyModel({"new": 5}, {"new": 5})
+        rng = random.Random(0)
+        assert all(model.sample("new", rng) is Operation.WRITE for _ in range(10))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            CleanDirtyModel.fit([0], [])
+
+    def test_roundtrip(self):
+        model = CleanDirtyModel({"new": 1, "clean": 2, "dirty": 3}, {"new": 4, "clean": 5, "dirty": 6})
+        restored = CleanDirtyModel.from_dict(model.to_dict())
+        assert restored.write_counts == model.write_counts
+        assert restored.total_counts == model.total_counts
+
+
+class TestHRDModel:
+    def _trace(self, count=400, footprint=64, seed=0):
+        rng = random.Random(seed)
+        requests = []
+        for i in range(count):
+            block = rng.randrange(footprint)
+            op = "W" if rng.random() < 0.3 else "R"
+            requests.append(req(i, 0x10000 + block * 64, op, 8))
+        return Trace(requests)
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            HRDModel.fit(Trace())
+
+    def test_synthesize_count(self):
+        trace = self._trace()
+        model = HRDModel.fit(trace)
+        assert len(model.synthesize(seed=1)) == len(trace)
+
+    def test_synthesize_order_only_timestamps(self):
+        model = HRDModel.fit(self._trace(50))
+        synthetic = model.synthesize(seed=1)
+        assert [r.timestamp for r in synthetic] == list(range(50))
+
+    def test_addresses_block_aligned(self):
+        model = HRDModel.fit(self._trace())
+        for request in model.synthesize(seed=2):
+            assert request.address % FINE_GRANULARITY == 0
+
+    def test_footprint_similar(self):
+        trace = self._trace(count=800, footprint=96)
+        model = HRDModel.fit(trace)
+        synthetic = model.synthesize(seed=3)
+        original = len({r.address // FINE_GRANULARITY for r in trace})
+        generated = len({r.address // FINE_GRANULARITY for r in synthetic})
+        assert abs(generated - original) / original < 0.35
+
+    def test_read_write_mix_similar(self):
+        trace = self._trace(count=1000)
+        synthetic = HRDModel.fit(trace).synthesize(seed=4)
+        original_fraction = trace.write_count() / len(trace)
+        generated_fraction = synthetic.write_count() / len(synthetic)
+        assert abs(generated_fraction - original_fraction) < 0.1
+
+    def test_streaming_trace_streams(self):
+        # A pure cold stream (no reuse) must synthesize mostly-cold too.
+        requests = [req(i, i * 64, "R", 8) for i in range(512)]
+        model = HRDModel.fit(Trace(requests))
+        synthetic = model.synthesize(seed=5)
+        unique = len({r.address for r in synthetic})
+        assert unique > 450
+
+    def test_heavy_reuse_trace_reuses(self):
+        requests = [req(i, (i % 4) * 64, "R", 8) for i in range(512)]
+        model = HRDModel.fit(Trace(requests))
+        synthetic = model.synthesize(seed=6)
+        unique = len({r.address for r in synthetic})
+        assert unique <= 16
+
+    def test_cold_misses_allocate_pages(self):
+        # Footprint spanning several 4KB pages should synthesize to a
+        # comparable number of pages.
+        requests = [req(i, i * 256, "R", 8) for i in range(256)]  # 16 pages
+        model = HRDModel.fit(Trace(requests))
+        synthetic = model.synthesize(seed=7)
+        pages = {r.address // COARSE_GRANULARITY for r in synthetic}
+        assert 8 <= len(pages) <= 32
+
+    def test_roundtrip(self):
+        model = HRDModel.fit(self._trace(200))
+        restored = HRDModel.from_dict(model.to_dict())
+        assert restored.synthesize(seed=8) == model.synthesize(seed=8)
+
+    def test_deterministic(self):
+        model = HRDModel.fit(self._trace(200))
+        assert model.synthesize(seed=9) == model.synthesize(seed=9)

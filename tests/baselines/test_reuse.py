@@ -1,0 +1,152 @@
+"""Unit tests for stack distances, reuse histograms and the LRU stack."""
+
+import random
+
+import pytest
+
+from repro.baselines.reuse import COLD, LRUStack, ReuseHistogram, stack_distances
+
+
+class TestStackDistances:
+    def test_all_cold(self):
+        assert stack_distances([1, 2, 3]) == [COLD, COLD, COLD]
+
+    def test_immediate_reuse_is_zero(self):
+        assert stack_distances([1, 1]) == [COLD, 0]
+
+    def test_classic_example(self):
+        # a b c a: distance of final a = 2 distinct (b, c) in between.
+        assert stack_distances(["a", "b", "c", "a"]) == [COLD, COLD, COLD, 2]
+
+    def test_duplicates_between_count_once(self):
+        # a b b a: only one distinct item (b) between the two a's.
+        assert stack_distances(["a", "b", "b", "a"]) == [COLD, COLD, 0, 1]
+
+    def test_interleaved_streams(self):
+        assert stack_distances([1, 2, 1, 2, 1, 2]) == [COLD, COLD, 1, 1, 1, 1]
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+    def test_matches_naive_lru_on_random_input(self):
+        rng = random.Random(3)
+        items = [rng.randrange(12) for _ in range(300)]
+
+        # Naive reference: explicit LRU stack.
+        stack = []
+        expected = []
+        for item in items:
+            if item in stack:
+                depth = stack.index(item)
+                expected.append(depth)
+                stack.remove(item)
+            else:
+                expected.append(COLD)
+            stack.insert(0, item)
+        assert stack_distances(items) == expected
+
+
+class TestReuseHistogram:
+    def test_fit_counts(self):
+        histogram = ReuseHistogram.fit([COLD, 0, 0, 3])
+        assert histogram.cold_count == 1
+        assert histogram.counts[0] == 2
+        assert histogram.counts[3] == 1
+        assert histogram.total == 4
+
+    def test_cold_fraction(self):
+        histogram = ReuseHistogram.fit([COLD, 0, 0, 0])
+        assert histogram.cold_fraction() == 0.25
+
+    def test_empty_sample_is_cold(self):
+        assert ReuseHistogram().sample(random.Random(0)) == COLD
+
+    def test_sample_only_observed(self):
+        histogram = ReuseHistogram.fit([1, 2, 2, 1])
+        rng = random.Random(0)
+        for _ in range(50):
+            assert histogram.sample(rng) in (1, 2)
+
+    def test_clamp_folds_large_distances(self):
+        histogram = ReuseHistogram.fit([0, 31, 32, 100, COLD]).clamped(32)
+        assert histogram.counts[31] == 3  # 31, 32 and 100 folded
+        assert histogram.cold_count == 1
+
+    def test_clamp_rejects_bad_rows(self):
+        with pytest.raises(ValueError):
+            ReuseHistogram().clamped(0)
+
+    def test_roundtrip(self):
+        histogram = ReuseHistogram.fit([COLD, 0, 5, 5])
+        assert ReuseHistogram.from_dict(histogram.to_dict()) == histogram
+
+
+class TestLRUStack:
+    def test_access_and_depth(self):
+        stack = LRUStack()
+        stack.access("a")
+        stack.access("b")
+        stack.access("c")
+        assert stack.at_depth(0) == "c"
+        assert stack.at_depth(1) == "b"
+        assert stack.at_depth(2) == "a"
+
+    def test_reaccess_moves_to_front(self):
+        stack = LRUStack()
+        for item in ("a", "b", "c"):
+            stack.access(item)
+        stack.access("a")
+        assert stack.at_depth(0) == "a"
+        assert stack.at_depth(1) == "c"
+        assert len(stack) == 3
+
+    def test_contains_and_len(self):
+        stack = LRUStack()
+        assert "x" not in stack
+        stack.access("x")
+        assert "x" in stack
+        assert len(stack) == 1
+
+    def test_remove(self):
+        stack = LRUStack()
+        stack.access("a")
+        stack.access("b")
+        stack.remove("a")
+        assert "a" not in stack
+        assert len(stack) == 1
+        assert stack.at_depth(0) == "b"
+
+    def test_depth_of(self):
+        stack = LRUStack()
+        for item in range(5):
+            stack.access(item)
+        for depth in range(5):
+            assert stack.depth_of(stack.at_depth(depth)) == depth
+
+    def test_at_depth_out_of_range(self):
+        stack = LRUStack()
+        stack.access(1)
+        with pytest.raises(IndexError):
+            stack.at_depth(1)
+        with pytest.raises(IndexError):
+            stack.at_depth(-1)
+
+    def test_grows_past_initial_capacity(self):
+        stack = LRUStack()
+        for i in range(5000):
+            stack.access(i % 700)  # forces many slot reallocations
+        assert len(stack) == 700
+        assert stack.at_depth(0) == 4999 % 700
+
+    def test_matches_naive_lru(self):
+        rng = random.Random(9)
+        stack = LRUStack()
+        naive = []
+        for _ in range(2000):
+            item = rng.randrange(50)
+            stack.access(item)
+            if item in naive:
+                naive.remove(item)
+            naive.insert(0, item)
+            probe = rng.randrange(len(naive))
+            assert stack.at_depth(probe) == naive[probe]

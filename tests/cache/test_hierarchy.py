@@ -1,0 +1,79 @@
+"""Unit tests for the two-level cache hierarchy."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy, paper_l1_config, paper_l2_config
+from repro.core.trace import Trace
+
+from ..conftest import req
+
+
+class TestConfigs:
+    def test_paper_l2(self):
+        config = paper_l2_config()
+        assert config.size == 256 * 1024
+        assert config.associativity == 8
+        assert config.block_size == 64
+
+    def test_paper_l1_defaults(self):
+        config = paper_l1_config()
+        assert config.size == 32 * 1024
+        assert config.associativity == 4
+
+    def test_block_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(
+                CacheConfig(1024, 2, 32), CacheConfig(4096, 2, 64)
+            )
+
+
+class TestAccessFlow:
+    def test_l1_hit_does_not_touch_l2(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(req(0, 0x100))
+        l2_before = hierarchy.l2_stats.accesses
+        hierarchy.access(req(1, 0x100))
+        assert hierarchy.l2_stats.accesses == l2_before
+
+    def test_l1_miss_reads_l2(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(req(0, 0x100))
+        assert hierarchy.l2_stats.accesses == 1
+        assert hierarchy.l2_stats.read_accesses == 1
+
+    def test_dirty_l1_eviction_writes_l2(self):
+        # Tiny L1 so evictions happen fast.
+        hierarchy = CacheHierarchy(CacheConfig(2 * 64, 2, 64))
+        hierarchy.access(req(0, 0x000, "W"))
+        hierarchy.access(req(1, 0x1000))
+        hierarchy.access(req(2, 0x2000))  # evicts dirty 0x000
+        assert hierarchy.l1_stats.write_backs == 1
+        assert hierarchy.l2_stats.write_accesses == 1
+
+    def test_run_processes_whole_trace(self):
+        hierarchy = CacheHierarchy()
+        trace = Trace([req(i, i * 64) for i in range(100)])
+        hierarchy.run(trace)
+        assert hierarchy.l1_stats.accesses == 100
+
+    def test_l2_filters_repeat_misses(self):
+        # Working set bigger than L1, smaller than L2: second pass still
+        # misses L1 but hits L2.
+        hierarchy = CacheHierarchy(CacheConfig(1024, 2, 64))
+        blocks = 64  # 4KB working set
+        for _ in range(2):
+            for i in range(blocks):
+                hierarchy.access(req(0, i * 64))
+        assert hierarchy.l1_stats.misses >= blocks
+        assert hierarchy.l2_stats.hits > 0
+
+    def test_small_requests_one_block(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(req(0, 0x104, "R", 4))
+        assert hierarchy.l1_stats.accesses == 1
+
+    def test_straddling_request_two_blocks(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(req(0, 0x3C, "R", 16))
+        assert hierarchy.l1_stats.accesses == 2

@@ -1,0 +1,90 @@
+"""Unit tests for N-level cache hierarchies."""
+
+import pytest
+
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.multilevel import MultiLevelCache
+from repro.core.trace import Trace
+
+from ..conftest import req
+
+
+def configs(*sizes, assoc=4, block=64):
+    return [CacheConfig(size, assoc, block) for size in sizes]
+
+
+class TestConstruction:
+    def test_needs_levels(self):
+        with pytest.raises(ValueError):
+            MultiLevelCache([])
+
+    def test_block_size_consistency(self):
+        with pytest.raises(ValueError):
+            MultiLevelCache(
+                [CacheConfig(1024, 2, 32), CacheConfig(4096, 2, 64)]
+            )
+
+    def test_depth(self):
+        assert MultiLevelCache(configs(1024, 4096, 16384)).depth == 3
+
+
+class TestAccessSemantics:
+    def test_hit_at_l1_stops(self):
+        cache = MultiLevelCache(configs(1024, 4096))
+        cache.access(req(0, 0x100))
+        cache.access(req(1, 0x100))
+        assert cache.level_stats(0).hits == 1
+        assert cache.level_stats(1).accesses == 1  # only the first fill
+
+    def test_cold_miss_reaches_memory(self):
+        cache = MultiLevelCache(configs(1024, 4096))
+        cache.access(req(0, 0x100))
+        assert cache.memory_reads == 1
+        assert cache.memory_writes == 0
+
+    def test_dirty_eviction_cascades(self):
+        cache = MultiLevelCache(configs(2 * 64, 2 * 64, 4096, assoc=2))
+        cache.access(req(0, 0x0000, "W"))
+        cache.access(req(1, 0x1000))
+        cache.access(req(2, 0x2000))  # evicts dirty 0x0 from L1 into L2
+        assert cache.level_stats(0).write_backs == 1
+        assert cache.level_stats(1).write_accesses == 1
+
+    def test_three_levels_filter_progressively(self):
+        cache = MultiLevelCache(configs(1024, 8192, 65536))
+        trace = Trace([req(i, (i % 512) * 64) for i in range(2048)])
+        cache.run(trace)
+        misses = [cache.level_stats(i).misses for i in range(3)]
+        assert misses[0] >= misses[1] >= misses[2]
+
+    def test_matches_two_level_hierarchy(self):
+        """The N-level generalization reproduces the Sec. V two-level sim."""
+        requests = [req(i, (i * 97) % 8192 * 8) for i in range(4000)]
+        reference = CacheHierarchy(CacheConfig(1024, 2), CacheConfig(16384, 8))
+        reference.run(requests)
+        generalized = MultiLevelCache(
+            [CacheConfig(1024, 2), CacheConfig(16384, 8)]
+        )
+        generalized.run(requests)
+        assert generalized.level_stats(0).misses == reference.l1_stats.misses
+        assert generalized.level_stats(0).write_backs == reference.l1_stats.write_backs
+        assert generalized.level_stats(1).misses == reference.l2_stats.misses
+
+    def test_extra_level_reduces_memory_traffic(self):
+        two = MultiLevelCache(configs(1024, 8192))
+        three = MultiLevelCache(configs(1024, 8192, 131072))
+        trace = Trace([req(i, (i % 1500) * 64) for i in range(6000)])
+        two.run(trace)
+        three.run(trace)
+        assert (
+            three.memory_reads + three.memory_writes
+            <= two.memory_reads + two.memory_writes
+        )
+
+    def test_miss_rates_list(self):
+        cache = MultiLevelCache(configs(1024, 4096))
+        cache.access(req(0, 0))
+        rates = cache.miss_rates()
+        assert len(rates) == 2
+        assert rates[0] == 1.0

@@ -1,0 +1,65 @@
+"""Unit tests for replacement policies."""
+
+import pytest
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self):
+        policy = LRUPolicy(1, 4)
+        for way in (0, 1, 2, 3):
+            policy.touch(0, way)
+        policy.touch(0, 0)
+        assert policy.victim(0) == 1
+
+    def test_untouched_way_preferred(self):
+        policy = LRUPolicy(1, 2)
+        policy.touch(0, 1)
+        assert policy.victim(0) == 0
+
+    def test_sets_independent(self):
+        policy = LRUPolicy(2, 2)
+        policy.touch(0, 0)
+        policy.touch(0, 1)
+        policy.touch(1, 1)
+        assert policy.victim(0) == 0
+        assert policy.victim(1) == 0
+
+
+class TestFIFO:
+    def test_round_robin(self):
+        policy = FIFOPolicy(1, 3)
+        assert [policy.victim(0) for _ in range(5)] == [0, 1, 2, 0, 1]
+
+    def test_touch_ignored(self):
+        policy = FIFOPolicy(1, 2)
+        policy.touch(0, 1)
+        assert policy.victim(0) == 0
+
+
+class TestRandom:
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(1, 8, seed=3)
+        b = RandomPolicy(1, 8, seed=3)
+        assert [a.victim(0) for _ in range(10)] == [b.victim(0) for _ in range(10)]
+
+    def test_in_range(self):
+        policy = RandomPolicy(1, 4, seed=0)
+        assert all(0 <= policy.victim(0) < 4 for _ in range(50))
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("lru", LRUPolicy), ("fifo", FIFOPolicy),
+                                          ("random", RandomPolicy)])
+    def test_known_policies(self, name, cls):
+        assert isinstance(make_policy(name, 4, 2), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_policy("plru", 4, 2)

@@ -1,0 +1,145 @@
+"""Unit tests for hierarchical partitioning and leaf extraction."""
+
+import pytest
+
+from repro.core.hierarchy import (
+    HierarchyConfig,
+    SpatialLayer,
+    TemporalLayer,
+    build_leaves,
+    micro_macro,
+    two_level_rs,
+    two_level_ts,
+)
+
+from ..conftest import req
+
+
+class TestLayerValidation:
+    def test_temporal_kinds(self):
+        TemporalLayer("request_count", 10)
+        TemporalLayer("cycle_count", 10)
+        with pytest.raises(ValueError):
+            TemporalLayer("bogus", 10)
+
+    def test_temporal_size_positive(self):
+        with pytest.raises(ValueError):
+            TemporalLayer("cycle_count", 0)
+
+    def test_spatial_kinds(self):
+        SpatialLayer("dynamic")
+        SpatialLayer("fixed", 4096)
+        with pytest.raises(ValueError):
+            SpatialLayer("bogus")
+
+    def test_fixed_requires_block_size(self):
+        with pytest.raises(ValueError):
+            SpatialLayer("fixed")
+        with pytest.raises(ValueError):
+            SpatialLayer("fixed", 0)
+
+    def test_config_needs_layers(self):
+        with pytest.raises(ValueError):
+            HierarchyConfig([])
+
+    def test_describe(self):
+        config = two_level_ts(500_000)
+        assert "cycle_count=500000" in config.describe()
+        assert "dynamic" in config.describe()
+
+    def test_named_configs(self):
+        assert len(two_level_ts().layers) == 2
+        assert len(two_level_rs().layers) == 2
+        fixed = two_level_ts(spatial="fixed", block_size=8192)
+        assert fixed.layers[1].block_size == 8192
+
+    def test_micro_macro_config(self):
+        config = micro_macro(macro_cycles=100_000, micro_cycles=500)
+        assert len(config.layers) == 3
+        assert config.layers[0].size == 100_000
+        assert config.layers[1].size == 500
+        with pytest.raises(ValueError):
+            micro_macro(macro_cycles=100, micro_cycles=100)
+
+    def test_micro_macro_builds_leaves(self, bursty_trace):
+        leaves = build_leaves(bursty_trace.requests, micro_macro(1_000_000, 10))
+        assert sum(len(leaf) for leaf in leaves) == len(bursty_trace)
+        # Micro intervals split each burst finely.
+        two_level = build_leaves(bursty_trace.requests, two_level_ts(1_000_000))
+        assert len(leaves) >= len(two_level)
+
+
+class TestBuildLeaves:
+    def test_temporal_then_spatial(self):
+        # Two time bins; second bin has two spatial clusters.
+        requests = [
+            req(0, 0x100), req(10, 0x140),
+            req(2_000_000, 0x100), req(2_000_010, 0x9000), req(2_000_020, 0x9040),
+        ]
+        config = HierarchyConfig(
+            [TemporalLayer("cycle_count", 1_000_000), SpatialLayer("dynamic")]
+        )
+        leaves = build_leaves(requests, config)
+        assert len(leaves) == 3
+        assert sum(len(leaf) for leaf in leaves) == len(requests)
+
+    def test_spatial_then_temporal(self):
+        requests = [
+            req(0, 0x100), req(10, 0x9000), req(20, 0x9040),
+            req(1_500_000, 0x100),
+        ]
+        config = HierarchyConfig(
+            [SpatialLayer("dynamic"), TemporalLayer("cycle_count", 1_000_000)]
+        )
+        leaves = build_leaves(requests, config)
+        # Region 0x100 splits into two temporal leaves; 0x9000 stays one.
+        assert len(leaves) == 3
+
+    def test_leaf_region_from_spatial_layer(self):
+        requests = [req(0, 0x1100), req(1, 0x1140)]
+        config = HierarchyConfig([SpatialLayer("fixed", 0x1000)])
+        leaves = build_leaves(requests, config)
+        assert leaves[0].region.start == 0x1000
+        assert leaves[0].region.end == 0x2000
+
+    def test_leaf_region_tight_without_spatial_layer(self):
+        requests = [req(0, 0x100, "R", 64), req(1, 0x300, "R", 64)]
+        config = HierarchyConfig([TemporalLayer("request_count", 10)])
+        leaves = build_leaves(requests, config)
+        assert leaves[0].region.start == 0x100
+        assert leaves[0].region.end == 0x340
+
+    def test_three_level_hierarchy(self):
+        requests = [req(i * 100, 0x1000 + (i % 4) * 0x1000) for i in range(40)]
+        config = HierarchyConfig(
+            [
+                TemporalLayer("request_count", 20),
+                SpatialLayer("fixed", 0x1000),
+                TemporalLayer("request_count", 3),
+            ]
+        )
+        leaves = build_leaves(requests, config)
+        assert sum(len(leaf) for leaf in leaves) == 40
+        assert all(len(leaf) <= 3 for leaf in leaves)
+
+    def test_leaves_cover_all_requests(self, bursty_trace):
+        leaves = build_leaves(bursty_trace.requests, two_level_ts(500_000))
+        assert sum(len(leaf) for leaf in leaves) == len(bursty_trace)
+
+    def test_start_time_property(self):
+        requests = [req(123, 0x100), req(456, 0x140)]
+        leaves = build_leaves(requests, two_level_ts())
+        assert leaves[0].start_time == 123
+
+    def test_rejects_unsorted_requests(self):
+        with pytest.raises(ValueError):
+            build_leaves([req(10, 0), req(0, 0)], two_level_ts())
+
+    def test_empty_input(self):
+        assert build_leaves([], two_level_ts()) == []
+
+    def test_requests_keep_time_order_within_leaf(self, mixed_trace):
+        leaves = build_leaves(mixed_trace.requests, two_level_ts())
+        for leaf in leaves:
+            times = [r.timestamp for r in leaf.requests]
+            assert times == sorted(times)

@@ -1,0 +1,60 @@
+"""Unit tests for profile inspection."""
+
+from repro.baselines.stm import stm_leaf_factory
+from repro.core.inspect import format_summary, summarize_profile
+from repro.core.profiler import build_profile
+
+
+class TestSummarizeProfile:
+    def test_counts(self, mixed_trace):
+        profile = build_profile(mixed_trace, name="mixed")
+        summary = summarize_profile(profile)
+        assert summary.leaf_count == len(profile)
+        assert summary.total_requests == len(mixed_trace)
+        assert summary.name == "mixed"
+        assert summary.mean_leaf_size > 0
+
+    def test_feature_kinds_cover_all_leaves(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        summary = summarize_profile(profile)
+        for feature in ("delta_time", "stride", "operation", "size"):
+            assert sum(summary.feature_kinds[feature].values()) == len(profile)
+
+    def test_constant_fraction_for_regular_trace(self, linear_trace):
+        profile = build_profile(linear_trace)
+        summary = summarize_profile(profile)
+        # A constant-stride, constant-size read stream is all constants.
+        assert summary.constant_fraction == 1.0
+        assert summary.markov_state_total == 0
+
+    def test_stm_models_labelled(self, mixed_trace):
+        profile = build_profile(mixed_trace, leaf_factory=stm_leaf_factory)
+        summary = summarize_profile(profile)
+        assert summary.feature_kinds["stride"]["stm"] == len(profile)
+        assert summary.feature_kinds["operation"]["stm"] == len(profile)
+
+    def test_histograms_bucketized(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        summary = summarize_profile(profile)
+        assert sum(summary.leaf_size_histogram.values()) == len(profile)
+        for bucket in summary.leaf_size_histogram:
+            assert bucket & (bucket - 1) == 0  # power of two
+
+    def test_time_span(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        summary = summarize_profile(profile)
+        assert summary.time_span > 0
+
+
+class TestFormatSummary:
+    def test_renders_key_fields(self, mixed_trace):
+        profile = build_profile(mixed_trace, name="wl")
+        text = format_summary(summarize_profile(profile))
+        assert "wl" in text
+        assert "leaves:" in text
+        assert "constant feature models:" in text
+
+    def test_anonymous_profile(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        text = format_summary(summarize_profile(profile))
+        assert "(withheld)" in text

@@ -1,0 +1,153 @@
+"""Unit tests for leaf models, address wrapping and feature plumbing."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.leaf import (
+    LeafModel,
+    McCAddressModel,
+    McCOperationModel,
+    wrap_address,
+)
+from repro.core.request import AddressRange, Operation
+
+from ..conftest import req
+
+
+class TestWrapAddress:
+    def test_in_range_untouched(self):
+        region = AddressRange(0x100, 0x200)
+        assert wrap_address(0x150, region) == 0x150
+
+    def test_above_wraps(self):
+        region = AddressRange(0x100, 0x200)
+        assert wrap_address(0x210, region) == 0x110
+
+    def test_below_wraps(self):
+        region = AddressRange(0x100, 0x200)
+        # 0x0F0 is 0x10 below the region: wraps to end - 0x10.
+        assert wrap_address(0x0F0, region) == 0x1F0
+
+    def test_wrap_is_always_in_range(self):
+        region = AddressRange(1000, 1037)
+        for address in range(0, 3000, 7):
+            assert region.contains(wrap_address(address, region))
+
+    def test_empty_region_returns_start(self):
+        region = AddressRange(0x500, 0x500)
+        assert wrap_address(0x999, region) == 0x500
+
+
+class TestMcCAddressModel:
+    def test_fit_records_start(self):
+        model = McCAddressModel.fit([0x100, 0x140], AddressRange(0x100, 0x180))
+        assert model.start_address == 0x100
+
+    def test_constant_stride_replayed_exactly(self):
+        addresses = [0x100 + i * 64 for i in range(8)]
+        model = McCAddressModel.fit(addresses, AddressRange(0x100, 0x300))
+        assert model.generate(random.Random(0)) == addresses
+
+    def test_generated_addresses_stay_in_region(self):
+        region = AddressRange(0x100, 0x200)
+        addresses = [0x100, 0x180, 0x110, 0x1F0, 0x120]
+        model = McCAddressModel.fit(addresses, region)
+        for seed in range(5):
+            for address in model.generate(random.Random(seed)):
+                assert region.contains(address)
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            McCAddressModel.fit([], AddressRange(0, 10))
+
+    def test_count_matches(self):
+        addresses = [0, 64, 128, 64]
+        model = McCAddressModel.fit(addresses, AddressRange(0, 192))
+        assert len(model.generate(random.Random(1))) == 4
+
+
+class TestMcCOperationModel:
+    def test_all_reads_constant(self):
+        model = McCOperationModel.fit([Operation.READ] * 4)
+        assert model.generate(random.Random(0)) == [Operation.READ] * 4
+
+    def test_mixed_ops_exact_counts(self):
+        operations = [Operation.READ, Operation.WRITE, Operation.READ, Operation.READ]
+        model = McCOperationModel.fit(operations)
+        generated = model.generate(random.Random(0))
+        assert Counter(generated) == Counter(operations)
+
+    def test_returns_operation_enum(self):
+        model = McCOperationModel.fit([Operation.READ, Operation.WRITE])
+        assert all(isinstance(op, Operation) for op in model.generate(random.Random(0)))
+
+
+class TestLeafModel:
+    def _leaf(self):
+        requests = [
+            req(100, 0x1000, "R", 128),
+            req(110, 0x1080, "R", 64),
+            req(120, 0x10C0, "R", 64),
+            req(130, 0x1100, "W", 64),
+        ]
+        return LeafModel.fit(requests, AddressRange(0x1000, 0x1140)), requests
+
+    def test_metadata(self):
+        leaf, requests = self._leaf()
+        assert leaf.start_time == 100
+        assert leaf.count == 4
+        assert leaf.region == AddressRange(0x1000, 0x1140)
+
+    def test_generate_count(self):
+        leaf, _ = self._leaf()
+        assert len(leaf.generate(random.Random(0))) == 4
+
+    def test_generate_starts_at_start_time(self):
+        leaf, _ = self._leaf()
+        assert leaf.generate(random.Random(0))[0].timestamp == 100
+
+    def test_generate_time_monotonic(self):
+        leaf, _ = self._leaf()
+        for seed in range(4):
+            times = [r.timestamp for r in leaf.generate(random.Random(seed))]
+            assert times == sorted(times)
+
+    def test_strict_preserves_op_and_size_counts(self):
+        leaf, requests = self._leaf()
+        generated = leaf.generate(random.Random(2))
+        assert Counter(r.operation for r in generated) == Counter(
+            r.operation for r in requests
+        )
+        assert Counter(r.size for r in generated) == Counter(r.size for r in requests)
+
+    def test_addresses_confined_to_region(self):
+        leaf, _ = self._leaf()
+        for seed in range(5):
+            for request in leaf.generate(random.Random(seed)):
+                assert leaf.region.contains(request.address)
+
+    def test_single_request_leaf(self):
+        leaf = LeafModel.fit([req(50, 0x2000, "W", 32)], AddressRange(0x2000, 0x2020))
+        generated = leaf.generate(random.Random(0))
+        assert len(generated) == 1
+        assert generated[0].timestamp == 50
+        assert generated[0].address == 0x2000
+        assert generated[0].operation is Operation.WRITE
+        assert generated[0].size == 32
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LeafModel.fit([], AddressRange(0, 10))
+
+    def test_constant_leaf_replay_is_exact(self):
+        # Perfectly regular leaves regenerate the original requests.
+        requests = [req(10 * i, 0x100 + 64 * i, "R", 64) for i in range(6)]
+        leaf = LeafModel.fit(requests, AddressRange(0x100, 0x100 + 6 * 64))
+        assert leaf.generate(random.Random(0)) == requests
+
+    def test_equality(self):
+        leaf_a, _ = self._leaf()
+        leaf_b, _ = self._leaf()
+        assert leaf_a == leaf_b

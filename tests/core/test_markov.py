@@ -1,0 +1,154 @@
+"""Unit tests for the Markov chain and strict convergence."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.markov import MarkovChain
+
+
+class TestFit:
+    def test_transition_counts(self):
+        chain = MarkovChain.fit([64, 64, 128, 64])
+        assert chain.transitions[64][64] == 1
+        assert chain.transitions[64][128] == 1
+        assert chain.transitions[128][64] == 1
+
+    def test_initial_state(self):
+        chain = MarkovChain.fit(["a", "b"])
+        assert chain.initial_state == "a"
+
+    def test_length_recorded(self):
+        assert MarkovChain.fit([1, 2, 3]).length == 3
+
+    def test_single_element(self):
+        chain = MarkovChain.fit([42])
+        assert chain.length == 1
+        assert chain.transitions == {}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovChain.fit([])
+
+    def test_states_enumeration(self):
+        chain = MarkovChain.fit([1, 2, 3, 2, 1])
+        assert set(chain.states) == {1, 2, 3}
+
+    def test_transition_probability(self):
+        chain = MarkovChain.fit([64, 64, 64, 128, 64])
+        # From 64: two 64s, one 128.
+        assert chain.transition_probability(64, 64) == pytest.approx(2 / 3)
+        assert chain.transition_probability(64, 128) == pytest.approx(1 / 3)
+        assert chain.transition_probability(128, 64) == 1.0
+        assert chain.transition_probability(999, 64) == 0.0
+
+    def test_value_counts_match_sequence(self):
+        sequence = [1, 1, 2, 3, 2, 1, 1]
+        chain = MarkovChain.fit(sequence)
+        assert chain.value_counts() == Counter(sequence)
+
+
+class TestStrictConvergence:
+    @pytest.mark.parametrize("sequence", [
+        [64] * 10,
+        [64, 64, 128, 64, 64, 128],
+        [1, 2, 3, 4, 5],
+        [1, 2, 1, 3, 1, 2, 1],
+        ["R", "R", "W", "R", "W", "W", "R"],
+    ])
+    def test_exact_value_multiset(self, sequence):
+        chain = MarkovChain.fit(sequence)
+        for seed in range(5):
+            generated = chain.generate_strict(random.Random(seed))
+            assert Counter(generated) == Counter(sequence)
+
+    def test_exact_transition_multiset(self):
+        sequence = [1, 2, 1, 3, 1, 2, 3, 1]
+        chain = MarkovChain.fit(sequence)
+        generated = chain.generate_strict(random.Random(7))
+        observed = Counter(zip(generated, generated[1:]))
+        expected = Counter(zip(sequence, sequence[1:]))
+        assert observed == expected
+
+    def test_starts_at_initial_state(self):
+        sequence = [9, 1, 2, 1, 2]
+        chain = MarkovChain.fit(sequence)
+        assert chain.generate_strict(random.Random(0))[0] == 9
+
+    def test_length_preserved(self):
+        sequence = list(range(20)) + list(range(20))
+        chain = MarkovChain.fit(sequence)
+        assert len(chain.generate_strict(random.Random(3))) == len(sequence)
+
+    def test_randomizes_order_when_possible(self):
+        # A sequence with genuine branching should not always replay
+        # identically across seeds.
+        rng = random.Random(0)
+        sequence = [rng.choice([1, 2, 3]) for _ in range(200)]
+        chain = MarkovChain.fit(sequence)
+        outputs = {tuple(chain.generate_strict(random.Random(s))) for s in range(5)}
+        assert len(outputs) > 1
+
+    def test_table1_example(self):
+        # The paper's Table I: strict convergence ensures exactly two 128
+        # sizes and ten 64 sizes are generated.
+        sizes = [128, 64, 64, 64, 64, 64, 128, 64, 64, 64, 64, 64]
+        chain = MarkovChain.fit(sizes)
+        generated = chain.generate_strict(random.Random(11))
+        assert Counter(generated) == Counter({64: 10, 128: 2})
+
+    def test_deterministic_given_seed(self):
+        sequence = [1, 2, 3, 1, 2, 3, 1]
+        chain = MarkovChain.fit(sequence)
+        a = chain.generate_strict(random.Random(5))
+        b = chain.generate_strict(random.Random(5))
+        assert a == b
+
+    def test_generation_does_not_mutate_chain(self):
+        sequence = [1, 2, 1, 2, 1]
+        chain = MarkovChain.fit(sequence)
+        before = {s: Counter(c) for s, c in chain.transitions.items()}
+        chain.generate_strict(random.Random(0))
+        assert chain.transitions == before
+
+
+class TestSampledGeneration:
+    def test_length(self):
+        chain = MarkovChain.fit([1, 2, 1, 2, 1])
+        assert len(chain.generate_sampled(random.Random(0))) == 5
+
+    def test_custom_length(self):
+        chain = MarkovChain.fit([1, 2, 1, 2, 1])
+        assert len(chain.generate_sampled(random.Random(0), length=20)) == 20
+
+    def test_only_observed_states(self):
+        chain = MarkovChain.fit([5, 6, 5, 6, 7, 5])
+        generated = chain.generate_sampled(random.Random(2), length=100)
+        assert set(generated) <= {5, 6, 7}
+
+    def test_dead_end_recovers(self):
+        # 3 is a dead end; sampled generation must still reach the length.
+        chain = MarkovChain.fit([1, 2, 3])
+        generated = chain.generate_sampled(random.Random(0), length=10)
+        assert len(generated) == 10
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        chain = MarkovChain.fit([64, 64, 128, -264, 64, 64])
+        restored = MarkovChain.from_dict(chain.to_dict())
+        assert restored == chain
+
+    def test_roundtrip_preserves_generation(self):
+        chain = MarkovChain.fit([1, 2, 1, 3, 1, 2])
+        restored = MarkovChain.from_dict(chain.to_dict())
+        assert chain.generate_strict(random.Random(4)) == restored.generate_strict(
+            random.Random(4)
+        )
+
+    def test_dict_is_json_compatible(self):
+        import json
+
+        chain = MarkovChain.fit([1, 2, 1, 2])
+        json.dumps(chain.to_dict())

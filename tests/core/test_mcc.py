@@ -1,0 +1,133 @@
+"""Unit tests for the McC (Markov chain or Constant) feature model."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.markov import MarkovChain
+from repro.core.mcc import CONSTANT, MARKOV, McCModel
+
+
+class TestFit:
+    def test_constant_detected(self):
+        model = McCModel.fit([64, 64, 64])
+        assert model.is_constant
+        assert model.constant == 64
+        assert model.count == 3
+
+    def test_variable_becomes_markov(self):
+        model = McCModel.fit([64, 128, 64])
+        assert model.kind == MARKOV
+        assert not model.is_constant
+
+    def test_empty_is_degenerate_constant(self):
+        model = McCModel.fit([])
+        assert model.count == 0
+        assert model.generate(random.Random(0)) == []
+
+    def test_single_value_is_constant(self):
+        model = McCModel.fit([7])
+        assert model.is_constant and model.count == 1
+
+    def test_validation_rejects_bad_kind(self):
+        with pytest.raises(ValueError):
+            McCModel("nonsense", 1)
+
+    def test_markov_requires_chain(self):
+        with pytest.raises(ValueError):
+            McCModel(MARKOV, 3)
+
+    def test_markov_count_must_match_chain(self):
+        chain = MarkovChain.fit([1, 2, 1])
+        with pytest.raises(ValueError):
+            McCModel(MARKOV, 5, chain=chain)
+
+
+class TestGenerate:
+    def test_constant_generation(self):
+        model = McCModel.fit(["R"] * 5)
+        assert model.generate(random.Random(0)) == ["R"] * 5
+
+    def test_strict_markov_preserves_multiset(self):
+        values = [64, 64, 128, 64, 32, 64]
+        model = McCModel.fit(values)
+        for seed in range(4):
+            assert Counter(model.generate(random.Random(seed))) == Counter(values)
+
+    def test_non_strict_generates_right_length(self):
+        values = [1, 2, 3, 1, 2, 3]
+        model = McCModel.fit(values)
+        assert len(model.generate(random.Random(0), strict=False)) == 6
+
+    def test_generation_length_always_count(self):
+        values = [1, 2] * 10
+        model = McCModel.fit(values)
+        assert len(model.generate(random.Random(9))) == 20
+
+
+class TestSerialization:
+    def test_constant_roundtrip(self):
+        model = McCModel.fit([64] * 4)
+        restored = McCModel.from_dict(model.to_dict())
+        assert restored == model
+
+    def test_markov_roundtrip(self):
+        model = McCModel.fit([1, -2, 3, 1, -2])
+        restored = McCModel.from_dict(model.to_dict())
+        assert restored == model
+
+    def test_empty_roundtrip(self):
+        model = McCModel.fit([])
+        restored = McCModel.from_dict(model.to_dict())
+        assert restored == model
+        assert restored.generate(random.Random(0)) == []
+
+    def test_roundtrip_preserves_generation(self):
+        model = McCModel.fit([5, 6, 5, 7, 5, 6])
+        restored = McCModel.from_dict(model.to_dict())
+        assert model.generate(random.Random(3)) == restored.generate(random.Random(3))
+
+
+class TestHigherOrder:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            McCModel.fit([1, 2], order=0)
+
+    def test_order2_multiset_preserved(self):
+        values = [1, 2, 1, 3, 1, 2, 3, 1, 2]
+        model = McCModel.fit(values, order=2)
+        for seed in range(4):
+            generated = model.generate(random.Random(seed))
+            assert len(generated) == len(values)
+            assert Counter(generated) == Counter(values)
+
+    def test_order2_preserves_pair_transitions(self):
+        values = [1, 2, 1, 2, 3, 1, 2, 1, 2, 3]
+        model = McCModel.fit(values, order=2)
+        generated = model.generate(random.Random(1))
+        original_pairs = Counter(zip(values, values[1:]))
+        generated_pairs = Counter(zip(generated, generated[1:]))
+        assert generated_pairs == original_pairs
+
+    def test_order_larger_than_sequence_falls_back(self):
+        model = McCModel.fit([1, 2], order=5)
+        assert model.order == 1
+        assert len(model.generate(random.Random(0))) == 2
+
+    def test_constant_sequence_stays_constant(self):
+        model = McCModel.fit([7, 7, 7], order=3)
+        assert model.is_constant
+
+    def test_order2_roundtrip(self):
+        values = [1, 2, 1, 3, 1, 2, 3, 1]
+        model = McCModel.fit(values, order=2)
+        restored = McCModel.from_dict(model.to_dict())
+        assert restored == model
+        assert restored.generate(random.Random(3)) == model.generate(random.Random(3))
+
+    def test_order2_json_compatible(self):
+        import json
+
+        model = McCModel.fit([1, 2, 1, 3, 1], order=2)
+        json.dumps(model.to_dict())

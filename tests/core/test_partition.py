@@ -1,0 +1,75 @@
+"""Unit tests for temporal partitioning."""
+
+import pytest
+
+from repro.core.partition import partition_by_cycle_count, partition_by_request_count
+
+from ..conftest import req
+
+
+class TestRequestCountPartitioning:
+    def test_exact_chunks(self):
+        requests = [req(i, 0) for i in range(10)]
+        parts = partition_by_request_count(requests, 5)
+        assert [len(p) for p in parts] == [5, 5]
+
+    def test_remainder_chunk(self):
+        requests = [req(i, 0) for i in range(7)]
+        parts = partition_by_request_count(requests, 3)
+        assert [len(p) for p in parts] == [3, 3, 1]
+
+    def test_preserves_order(self):
+        requests = [req(i, i) for i in range(6)]
+        parts = partition_by_request_count(requests, 4)
+        flattened = [r for part in parts for r in part]
+        assert flattened == requests
+
+    def test_empty_input(self):
+        assert partition_by_request_count([], 10) == []
+
+    def test_single_large_interval(self):
+        requests = [req(i, 0) for i in range(5)]
+        assert len(partition_by_request_count(requests, 100)) == 1
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            partition_by_request_count([], 0)
+
+
+class TestCycleCountPartitioning:
+    def test_bins_aligned_to_first_request(self):
+        requests = [req(1000, 0), req(1050, 0), req(1100, 0), req(2100, 0)]
+        parts = partition_by_cycle_count(requests, 100)
+        # Bins: [1000,1100), [1100,1200), ... -> 1000&1050 | 1100 | 2100
+        assert [len(p) for p in parts] == [2, 1, 1]
+
+    def test_empty_bins_are_skipped(self):
+        requests = [req(0, 0), req(10_000, 0)]
+        parts = partition_by_cycle_count(requests, 100)
+        assert len(parts) == 2
+        assert all(part for part in parts)
+
+    def test_all_in_one_bin(self):
+        requests = [req(i, 0) for i in range(50)]
+        assert len(partition_by_cycle_count(requests, 1_000)) == 1
+
+    def test_empty_input(self):
+        assert partition_by_cycle_count([], 100) == []
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            partition_by_cycle_count([req(10, 0), req(5, 0)], 100)
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            partition_by_cycle_count([], 0)
+
+    def test_boundary_request_starts_new_bin(self):
+        requests = [req(0, 0), req(99, 0), req(100, 0)]
+        parts = partition_by_cycle_count(requests, 100)
+        assert [len(p) for p in parts] == [2, 1]
+
+    def test_bursty_trace_isolates_bursts(self, bursty_trace):
+        parts = partition_by_cycle_count(list(bursty_trace), 500_000)
+        assert len(parts) == 6  # one per burst; idle gaps have no partitions
+        assert all(len(p) == 20 for p in parts)

@@ -1,0 +1,43 @@
+"""Unit tests for the Profile container."""
+
+from repro.baselines.stm import stm_leaf_factory
+from repro.core.profile import Profile
+from repro.core.profiler import build_profile
+from repro.core.hierarchy import two_level_ts
+
+
+class TestProfileContainer:
+    def test_len_iter_index(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        assert len(list(profile)) == len(profile)
+        assert profile[0] is profile.leaves[0]
+
+    def test_total_requests(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        assert profile.total_requests == len(mixed_trace)
+
+    def test_empty_profile(self):
+        profile = Profile([])
+        assert len(profile) == 0
+        assert profile.total_requests == 0
+        assert profile.constant_model_count() == 0
+
+    def test_equality_ignores_name(self, mixed_trace):
+        a = build_profile(mixed_trace, name="a")
+        b = build_profile(mixed_trace, name="b")
+        assert a == b  # provenance is not identity
+
+    def test_equality_respects_hierarchy(self, mixed_trace):
+        a = build_profile(mixed_trace, two_level_ts(100_000))
+        b = build_profile(mixed_trace, two_level_ts(500_000))
+        assert a != b
+
+    def test_constant_model_count_regular(self, linear_trace):
+        profile = build_profile(linear_trace)
+        # 1 leaf x 4 features, all constant.
+        assert profile.constant_model_count() == 4 * len(profile)
+
+    def test_constant_model_count_with_stm_leaves(self, mixed_trace):
+        profile = build_profile(mixed_trace, leaf_factory=stm_leaf_factory)
+        # STM address/op models are not McC: only dt/size can be constant.
+        assert profile.constant_model_count() <= 2 * len(profile)

@@ -1,0 +1,151 @@
+"""Property-based tests (hypothesis) for core data structures/invariants."""
+
+import random
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hierarchy import two_level_rs, two_level_ts
+from repro.core.leaf import wrap_address
+from repro.core.markov import MarkovChain
+from repro.core.mcc import McCModel
+from repro.core.partition import partition_by_cycle_count, partition_by_request_count
+from repro.core.profiler import build_profile
+from repro.core.request import AddressRange, MemoryRequest, Operation
+from repro.core.serialization import profile_from_dict, profile_to_dict
+from repro.core.spatial import partition_dynamic, partition_fixed
+from repro.core.synthesis import synthesize
+from repro.core.trace import Trace
+
+
+@st.composite
+def request_lists(draw, min_size=1, max_size=60):
+    """Time-sorted lists of small random requests."""
+    count = draw(st.integers(min_size, max_size))
+    clock = 0
+    requests = []
+    for _ in range(count):
+        clock += draw(st.integers(0, 1000))
+        address = draw(st.integers(0, 1 << 20))
+        size = draw(st.sampled_from([4, 8, 32, 64, 128]))
+        op = draw(st.sampled_from([Operation.READ, Operation.WRITE]))
+        requests.append(MemoryRequest(clock, address, op, size))
+    return requests
+
+
+@st.composite
+def value_sequences(draw):
+    return draw(st.lists(st.integers(-300, 300), min_size=1, max_size=80))
+
+
+class TestMarkovProperties:
+    @given(value_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_strict_convergence_preserves_multiset(self, values):
+        chain = MarkovChain.fit(values)
+        generated = chain.generate_strict(random.Random(0))
+        assert Counter(generated) == Counter(values)
+
+    @given(value_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_strict_convergence_preserves_transitions(self, values):
+        chain = MarkovChain.fit(values)
+        generated = chain.generate_strict(random.Random(1))
+        assert Counter(zip(generated, generated[1:])) == Counter(zip(values, values[1:]))
+
+    @given(value_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_mcc_roundtrip(self, values):
+        model = McCModel.fit(values)
+        assert McCModel.from_dict(model.to_dict()) == model
+
+
+class TestWrapAddressProperties:
+    @given(
+        st.integers(0, 1 << 30),
+        st.integers(0, 1 << 20),
+        st.integers(1, 1 << 16),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_result_always_in_region(self, address, start, span):
+        region = AddressRange(start, start + span)
+        assert region.contains(wrap_address(address, region))
+
+    @given(st.integers(0, 1 << 20), st.integers(1, 1 << 12))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_inside_region(self, start, span):
+        region = AddressRange(start, start + span)
+        inside = start + span // 2
+        assert wrap_address(inside, region) == inside
+
+
+class TestPartitioningProperties:
+    @given(request_lists(), st.integers(1, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_request_count_partitions_cover(self, requests, size):
+        parts = partition_by_request_count(requests, size)
+        assert [r for p in parts for r in p] == requests
+        assert all(len(p) <= size for p in parts)
+
+    @given(request_lists(), st.integers(1, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_cycle_count_partitions_cover(self, requests, interval):
+        parts = partition_by_cycle_count(requests, interval)
+        assert [r for p in parts for r in p] == requests
+        assert all(p for p in parts)
+
+    @given(request_lists())
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_partitions_cover_and_contain(self, requests):
+        parts = partition_dynamic(requests)
+        assert sum(len(p) for p in parts) == len(requests)
+        for part in parts:
+            for request in part.requests:
+                assert part.region.start <= request.address
+                assert request.end_address <= part.region.end
+
+    @given(request_lists(), st.sampled_from([256, 4096, 65536]))
+    @settings(max_examples=40, deadline=None)
+    def test_fixed_partitions_cover(self, requests, block):
+        parts = partition_fixed(requests, block)
+        assert sum(len(p) for p in parts) == len(requests)
+        for part in parts:
+            assert part.region.size == block
+            for request in part.requests:
+                assert part.region.contains(request.address)
+
+    @given(request_lists(min_size=2))
+    @settings(max_examples=40, deadline=None)
+    def test_dynamic_merge_leaves_no_multi_lonely(self, requests):
+        parts = partition_dynamic(requests)
+        lonely = [p for p in parts if len(p) == 1]
+        assert len(lonely) <= 1
+
+
+class TestSynthesisProperties:
+    @given(request_lists(min_size=2))
+    @settings(max_examples=30, deadline=None)
+    def test_synthesis_invariants(self, requests):
+        trace = Trace(requests)
+        profile = build_profile(trace, two_level_ts(10_000))
+        synthetic = synthesize(profile, seed=0)
+        assert len(synthetic) == len(trace)
+        assert synthetic.is_sorted()
+        assert synthetic.read_count() == trace.read_count()
+        assert Counter(r.size for r in synthetic) == Counter(r.size for r in trace)
+
+    @given(request_lists(min_size=2))
+    @settings(max_examples=30, deadline=None)
+    def test_synthesis_stays_in_footprint(self, requests):
+        trace = Trace(requests)
+        profile = build_profile(trace, two_level_rs(16))
+        footprint = trace.address_range()
+        for request in synthesize(profile, seed=1):
+            assert footprint.contains(request.address)
+
+    @given(request_lists(min_size=2))
+    @settings(max_examples=20, deadline=None)
+    def test_profile_roundtrip(self, requests):
+        profile = build_profile(Trace(requests))
+        assert profile_from_dict(profile_to_dict(profile)) == profile

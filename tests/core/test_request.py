@@ -1,0 +1,137 @@
+"""Unit tests for MemoryRequest, Operation and AddressRange."""
+
+import pytest
+
+from repro.core.request import AddressRange, MemoryRequest, Operation
+
+
+class TestOperation:
+    def test_read_is_read(self):
+        assert Operation.READ.is_read
+        assert not Operation.READ.is_write
+
+    def test_write_is_write(self):
+        assert Operation.WRITE.is_write
+        assert not Operation.WRITE.is_read
+
+    @pytest.mark.parametrize("token,expected", [
+        ("R", Operation.READ),
+        ("r", Operation.READ),
+        ("READ", Operation.READ),
+        ("0", Operation.READ),
+        ("W", Operation.WRITE),
+        ("write", Operation.WRITE),
+        ("1", Operation.WRITE),
+        (" R ", Operation.READ),
+    ])
+    def test_parse(self, token, expected):
+        assert Operation.parse(token) is expected
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Operation.parse("X")
+
+    def test_str_roundtrip(self):
+        assert Operation.parse(str(Operation.READ)) is Operation.READ
+        assert Operation.parse(str(Operation.WRITE)) is Operation.WRITE
+
+    def test_int_values_stable(self):
+        # Serialization depends on these values.
+        assert int(Operation.READ) == 0
+        assert int(Operation.WRITE) == 1
+
+
+class TestMemoryRequest:
+    def test_basic_fields(self):
+        r = MemoryRequest(10, 0x100, Operation.READ, 64)
+        assert r.timestamp == 10
+        assert r.address == 0x100
+        assert r.size == 64
+        assert r.is_read and not r.is_write
+
+    def test_end_address(self):
+        r = MemoryRequest(0, 0x100, Operation.WRITE, 32)
+        assert r.end_address == 0x120
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(0, 0x100, Operation.READ, 0)
+        with pytest.raises(ValueError):
+            MemoryRequest(0, 0x100, Operation.READ, -4)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(0, -1, Operation.READ, 4)
+
+    def test_rejects_negative_timestamp(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(-1, 0, Operation.READ, 4)
+
+    def test_overlaps_true_for_intersection(self):
+        a = MemoryRequest(0, 0x100, Operation.READ, 64)
+        b = MemoryRequest(0, 0x120, Operation.READ, 64)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_overlaps_true_for_adjacency(self):
+        a = MemoryRequest(0, 0x100, Operation.READ, 64)
+        b = MemoryRequest(0, 0x140, Operation.READ, 64)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_overlaps_false_when_disjoint(self):
+        a = MemoryRequest(0, 0x100, Operation.READ, 64)
+        b = MemoryRequest(0, 0x141, Operation.READ, 64)
+        assert not a.overlaps(b) and not b.overlaps(a)
+
+    def test_copy_is_independent(self):
+        a = MemoryRequest(1, 2, Operation.READ, 3)
+        b = a.copy()
+        assert a == b
+        b.timestamp = 99
+        assert a.timestamp == 1
+
+    def test_equality(self):
+        a = MemoryRequest(1, 2, Operation.READ, 3)
+        assert a == MemoryRequest(1, 2, Operation.READ, 3)
+        assert a != MemoryRequest(1, 2, Operation.WRITE, 3)
+
+
+class TestAddressRange:
+    def test_size(self):
+        assert AddressRange(0x100, 0x200).size == 0x100
+
+    def test_empty_range_allowed(self):
+        assert AddressRange(5, 5).size == 0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            AddressRange(10, 5)
+
+    def test_contains(self):
+        r = AddressRange(0x100, 0x200)
+        assert r.contains(0x100)
+        assert r.contains(0x1FF)
+        assert not r.contains(0x200)
+        assert not r.contains(0xFF)
+
+    def test_contains_range(self):
+        outer = AddressRange(0, 100)
+        assert outer.contains_range(AddressRange(10, 90))
+        assert outer.contains_range(AddressRange(0, 100))
+        assert not outer.contains_range(AddressRange(10, 101))
+
+    def test_intersects_includes_adjacency(self):
+        assert AddressRange(0, 10).intersects(AddressRange(10, 20))
+        assert AddressRange(0, 10).intersects(AddressRange(5, 15))
+        assert not AddressRange(0, 10).intersects(AddressRange(11, 20))
+
+    def test_expand(self):
+        merged = AddressRange(0, 10).expand(AddressRange(20, 30))
+        assert merged == AddressRange(0, 30)
+
+    def test_of_request(self):
+        r = MemoryRequest(0, 0x80, Operation.READ, 0x20)
+        assert AddressRange.of_request(r) == AddressRange(0x80, 0xA0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            AddressRange(0, 1).start = 5

@@ -1,0 +1,153 @@
+"""Unit tests for spatial partitioning (fixed and dynamic, Alg. 1)."""
+
+import pytest
+
+from repro.core.request import AddressRange
+from repro.core.spatial import partition_dynamic, partition_fixed
+
+from ..conftest import req
+
+
+class TestFixedPartitioning:
+    def test_groups_by_block(self):
+        requests = [req(0, 0x0000), req(1, 0x1000), req(2, 0x0040)]
+        parts = partition_fixed(requests, 0x1000)
+        assert len(parts) == 2
+        assert len(parts[0]) == 2  # 0x0000 and 0x0040
+        assert len(parts[1]) == 1
+
+    def test_regions_are_block_aligned(self):
+        parts = partition_fixed([req(0, 0x1234)], 0x1000)
+        assert parts[0].region == AddressRange(0x1000, 0x2000)
+
+    def test_assignment_by_start_address(self):
+        # A request straddling a block boundary belongs to its start block.
+        parts = partition_fixed([req(0, 0x0FC0, "R", 128)], 0x1000)
+        assert parts[0].region == AddressRange(0x0000, 0x1000)
+
+    def test_partitions_sorted_by_address(self):
+        requests = [req(0, 0x3000), req(1, 0x1000), req(2, 0x2000)]
+        parts = partition_fixed(requests, 0x1000)
+        starts = [p.region.start for p in parts]
+        assert starts == sorted(starts)
+
+    def test_preserves_time_order_within_partition(self):
+        requests = [req(3, 0x100), req(1, 0x200), req(2, 0x140)]
+        parts = partition_fixed(requests, 0x1000)
+        times = [r.timestamp for r in parts[0].requests]
+        assert times == [3, 1, 2]  # insertion (trace) order kept
+
+    def test_empty(self):
+        assert partition_fixed([], 4096) == []
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            partition_fixed([], 0)
+
+
+class TestDynamicPartitioning:
+    def test_merges_overlapping(self):
+        requests = [req(0, 0x100, "R", 64), req(1, 0x120, "R", 64)]
+        parts = partition_dynamic(requests)
+        assert len(parts) == 1
+        assert parts[0].region == AddressRange(0x100, 0x160)
+
+    def test_merges_adjacent(self):
+        requests = [req(0, 0x100, "R", 64), req(1, 0x140, "R", 64)]
+        parts = partition_dynamic(requests)
+        assert len(parts) == 1
+        assert parts[0].region == AddressRange(0x100, 0x180)
+
+    def test_keeps_disjoint_apart(self):
+        requests = [
+            req(0, 0x100, "R", 64), req(1, 0x140, "R", 64),
+            req(2, 0x9000, "R", 64), req(3, 0x9040, "R", 64),
+        ]
+        parts = partition_dynamic(requests)
+        assert len(parts) == 2
+
+    def test_regions_are_tight(self):
+        requests = [req(0, 0x104, "R", 4), req(1, 0x108, "R", 4)]
+        parts = partition_dynamic(requests)
+        assert parts[0].region == AddressRange(0x104, 0x10C)
+
+    def test_reuse_lands_in_same_partition(self):
+        # Requests spread over time to the same region belong together
+        # (paper's partition F).
+        requests = [req(0, 0x200, "R", 64), req(100, 0x200, "R", 64)]
+        parts = partition_dynamic(requests)
+        assert len(parts) == 1
+        assert len(parts[0]) == 2
+
+    def test_time_order_preserved_in_partition(self):
+        requests = [req(0, 0x240, "R", 64), req(1, 0x200, "R", 64), req(2, 0x280, "R", 64)]
+        parts = partition_dynamic(requests)
+        assert [r.timestamp for r in parts[0].requests] == [0, 1, 2]
+
+    def test_empty(self):
+        assert partition_dynamic([]) == []
+
+    def test_single_request(self):
+        parts = partition_dynamic([req(0, 0x100, "R", 32)])
+        assert len(parts) == 1
+        assert parts[0].region == AddressRange(0x100, 0x120)
+
+    def test_partitions_cover_all_requests(self, mixed_trace):
+        parts = partition_dynamic(list(mixed_trace))
+        total = sum(len(p) for p in parts)
+        assert total == len(mixed_trace)
+
+    def test_partition_regions_do_not_overlap(self, mixed_trace):
+        parts = partition_dynamic(list(mixed_trace), merge_lonely=False)
+        for first, second in zip(parts, parts[1:]):
+            assert first.region.end < second.region.start  # adjacency merged
+
+
+class TestLonelyMerging:
+    def test_equal_stride_lonelies_grouped(self):
+        # Three isolated requests with a constant 0x1000 stride form one
+        # partition (paper: "if there are multiple lonely requests that
+        # are equally spaced out in memory ... group them").
+        requests = [req(i, 0x10000 + i * 0x1000, "R", 64) for i in range(3)]
+        parts = partition_dynamic(requests)
+        assert len(parts) == 1
+        assert len(parts[0]) == 3
+
+    def test_unequal_lonelies_merged_together(self):
+        requests = [req(0, 0x1000, "R", 64), req(1, 0x5000, "R", 64)]
+        # Two lonely requests with no stride run: merged into one catch-all.
+        parts = partition_dynamic(requests)
+        assert len(parts) == 1
+        assert len(parts[0]) == 2
+
+    def test_single_lonely_keeps_own_partition(self):
+        requests = [
+            req(0, 0x100, "R", 64), req(1, 0x140, "R", 64),  # crowded
+            req(2, 0x9000, "R", 64),  # lonely, nothing to merge with
+        ]
+        parts = partition_dynamic(requests)
+        assert len(parts) == 2
+
+    def test_merge_lonely_can_be_disabled(self):
+        requests = [req(0, 0x1000, "R", 64), req(1, 0x5000, "R", 64)]
+        parts = partition_dynamic(requests, merge_lonely=False)
+        assert len(parts) == 2
+
+    def test_no_lonely_partitions_after_merge(self):
+        # With >= 2 lonely requests, merging guarantees no single-request
+        # partitions remain.
+        requests = [
+            req(0, 0x100, "R", 64), req(1, 0x140, "R", 64),
+            req(2, 0x9000, "R", 64), req(3, 0xF000, "R", 64),
+        ]
+        parts = partition_dynamic(requests)
+        assert all(len(p) >= 2 for p in parts)
+
+    def test_crowded_partitions_untouched_by_lonely_merge(self):
+        requests = [
+            req(0, 0x100, "R", 64), req(1, 0x140, "R", 64),
+            req(2, 0x9000, "R", 64), req(3, 0xF000, "R", 64),
+        ]
+        parts = partition_dynamic(requests)
+        crowded = [p for p in parts if p.region.start == 0x100]
+        assert len(crowded) == 1 and len(crowded[0]) == 2

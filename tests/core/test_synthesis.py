@@ -1,0 +1,152 @@
+"""Unit tests for profile building and request synthesis."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.profile import Profile
+from repro.core.profiler import build_profile
+from repro.core.synthesis import (
+    FeedbackSynthesizer,
+    synthesize,
+    synthesize_stream,
+    synthesize_transition_based,
+)
+from repro.core.hierarchy import two_level_ts
+from repro.core.trace import Trace
+
+from ..conftest import req
+
+
+class TestBuildProfile:
+    def test_total_requests_matches_trace(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        assert profile.total_requests == len(mixed_trace)
+
+    def test_default_hierarchy_recorded(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        assert "cycle_count=500000" in profile.hierarchy
+
+    def test_name_recorded(self, mixed_trace):
+        assert build_profile(mixed_trace, name="wl").name == "wl"
+
+    def test_leaves_nonempty(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        assert len(profile) > 1
+
+    def test_empty_trace_gives_empty_profile(self):
+        profile = build_profile(Trace())
+        assert len(profile) == 0
+        assert len(synthesize(profile)) == 0
+
+
+class TestSynthesize:
+    def test_same_request_count(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        assert len(synthesize(profile, seed=3)) == len(bursty_trace)
+
+    def test_output_time_sorted(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        assert synthesize(profile, seed=3).is_sorted()
+
+    def test_strict_preserves_read_write_counts(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        synthetic = synthesize(profile, seed=5)
+        assert synthetic.read_count() == mixed_trace.read_count()
+        assert synthetic.write_count() == mixed_trace.write_count()
+
+    def test_strict_preserves_size_histogram(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        synthetic = synthesize(profile, seed=5)
+        assert Counter(r.size for r in synthetic) == Counter(r.size for r in mixed_trace)
+
+    def test_deterministic_for_seed(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        assert synthesize(profile, seed=7) == synthesize(profile, seed=7)
+
+    def test_different_seeds_can_differ(self, bursty_trace):
+        # With a seeded RNG two seeds normally produce different traces
+        # for any workload with variability.
+        trace = Trace(
+            [req(i * 3, 0x1000 + random.Random(i).choice([0, 64, 128, 256])) for i in range(64)]
+        )
+        profile = build_profile(trace)
+        assert synthesize(profile, seed=1) != synthesize(profile, seed=2)
+
+    def test_regular_trace_replayed_exactly(self, linear_trace):
+        profile = build_profile(linear_trace)
+        assert synthesize(profile, seed=0) == Trace(list(linear_trace))
+
+    def test_addresses_within_original_footprint(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        original_range = mixed_trace.address_range()
+        for request in synthesize(profile, seed=9):
+            assert original_range.contains(request.address)
+
+    def test_stream_matches_trace(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        streamed = Trace(synthesize_stream(profile, seed=4))
+        assert streamed == synthesize(profile, seed=4)
+
+    def test_burst_start_times_preserved(self, bursty_trace):
+        # Leaves save start times, so idle gaps between bursts survive
+        # synthesis (Fig. 3 behaviour).
+        profile = build_profile(bursty_trace)
+        synthetic = synthesize(profile, seed=2)
+        original_bins = {r.timestamp // 1_000_000 for r in bursty_trace}
+        synthetic_bins = {r.timestamp // 1_000_000 for r in synthetic}
+        assert original_bins == synthetic_bins
+
+
+class TestFeedbackSynthesizer:
+    def test_no_backpressure_matches_plain(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        synthesizer = FeedbackSynthesizer(profile, seed=4)
+        requests = list(synthesizer)
+        assert Trace(requests) == synthesize(profile, seed=4)
+
+    def test_backpressure_shifts_later_requests(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        synthesizer = FeedbackSynthesizer(profile, seed=4)
+        first = synthesizer.next_request()
+        synthesizer.report_backpressure(1000)
+        second = synthesizer.next_request()
+
+        plain = list(synthesize_stream(profile, seed=4))
+        assert first == plain[0]
+        assert second.timestamp == plain[1].timestamp + 1000
+
+    def test_backpressure_accumulates(self, mixed_trace):
+        profile = build_profile(mixed_trace)
+        synthesizer = FeedbackSynthesizer(profile, seed=4)
+        synthesizer.report_backpressure(10)
+        synthesizer.report_backpressure(5)
+        assert synthesizer.accumulated_delay == 15
+
+    def test_rejects_negative_delay(self, mixed_trace):
+        synthesizer = FeedbackSynthesizer(build_profile(mixed_trace))
+        with pytest.raises(ValueError):
+            synthesizer.report_backpressure(-1)
+
+    def test_exhaustion_returns_none(self, linear_trace):
+        synthesizer = FeedbackSynthesizer(build_profile(linear_trace))
+        count = sum(1 for _ in synthesizer)
+        assert count == len(linear_trace)
+        assert synthesizer.next_request() is None
+
+
+class TestTransitionBasedSynthesis:
+    def test_request_count_preserved(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        assert len(synthesize_transition_based(profile, seed=1)) == len(bursty_trace)
+
+    def test_time_sorted(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        assert synthesize_transition_based(profile, seed=1).is_sorted()
+
+    def test_differs_from_priority_queue_order(self, bursty_trace):
+        # The ablation injector loses the per-leaf start times, so the
+        # stream generally differs from the paper's approach.
+        profile = build_profile(bursty_trace)
+        assert synthesize_transition_based(profile, seed=1) != synthesize(profile, seed=1)

@@ -1,0 +1,100 @@
+"""Unit tests for DRAM address decoding and burst splitting."""
+
+import pytest
+
+from repro.core.request import MemoryRequest, Operation
+from repro.dram.address_map import AddressMap
+from repro.dram.config import MemoryConfig
+
+
+@pytest.fixture
+def address_map():
+    return AddressMap(MemoryConfig())
+
+
+class TestDecode:
+    def test_channel_interleaved_at_burst_granularity(self, address_map):
+        config = address_map.config
+        coords = [address_map.decode(i * config.burst_size) for i in range(8)]
+        channels = [c.channel for c in coords]
+        assert channels == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_burst_same_coordinates(self, address_map):
+        a = address_map.decode(0x1000)
+        b = address_map.decode(0x1010)  # same 32B burst
+        assert a == b
+
+    def test_sequential_stream_walks_columns_first(self, address_map):
+        # Within one channel, consecutive channel-local bursts advance the
+        # column within one row (row-hit-friendly mapping).
+        config = address_map.config
+        stride = config.burst_size * config.num_channels
+        coords = [address_map.decode(i * stride) for i in range(config.columns_per_row)]
+        assert all(c.channel == 0 for c in coords)
+        assert all(c.row == coords[0].row and c.bank == coords[0].bank for c in coords)
+        assert [c.column for c in coords] == list(range(config.columns_per_row))
+
+    def test_next_row_size_chunk_changes_bank(self, address_map):
+        config = address_map.config
+        bytes_per_row_per_channel = config.row_size * config.num_channels
+        a = address_map.decode(0)
+        b = address_map.decode(bytes_per_row_per_channel)
+        assert b.bank == a.bank + 1
+        assert b.row == a.row
+
+    def test_row_increments_after_all_banks(self, address_map):
+        config = address_map.config
+        bytes_per_row_sweep = (
+            config.row_size * config.num_channels * config.banks_per_channel
+        )
+        a = address_map.decode(0)
+        b = address_map.decode(bytes_per_row_sweep)
+        assert b.row == a.row + 1
+        assert b.bank == a.bank
+
+    def test_bank_id_distinct_across_ranks(self):
+        config = MemoryConfig(ranks_per_channel=2)
+        address_map = AddressMap(config)
+        seen = set()
+        bytes_per_row_per_channel = config.row_size * config.num_channels
+        for i in range(config.banks_per_channel):
+            coords = address_map.decode(i * bytes_per_row_per_channel)
+            seen.add(coords.bank_id)
+        assert len(seen) == config.banks_per_channel
+
+    def test_decode_is_deterministic(self, address_map):
+        assert address_map.decode(0xDEAD00) == address_map.decode(0xDEAD00)
+
+
+class TestSplitRequest:
+    def _request(self, address, size, op=Operation.READ):
+        return MemoryRequest(100, address, op, size)
+
+    def test_aligned_64b_request_gives_two_bursts(self, address_map):
+        bursts = address_map.split_request(self._request(0x1000, 64), 7)
+        assert len(bursts) == 2
+        assert [b.address for b in bursts] == [0x1000, 0x1020]
+
+    def test_small_request_single_burst(self, address_map):
+        bursts = address_map.split_request(self._request(0x1000, 16), 0)
+        assert len(bursts) == 1
+
+    def test_unaligned_request_straddles(self, address_map):
+        # 32 bytes starting mid-burst touch two bursts.
+        bursts = address_map.split_request(self._request(0x1010, 32), 0)
+        assert len(bursts) == 2
+
+    def test_burst_metadata(self, address_map):
+        bursts = address_map.split_request(self._request(0x2000, 64, Operation.WRITE), 42)
+        for burst in bursts:
+            assert burst.request_id == 42
+            assert burst.arrival_time == 100
+            assert not burst.is_read
+
+    def test_large_request_burst_count(self, address_map):
+        bursts = address_map.split_request(self._request(0, 1024), 0)
+        assert len(bursts) == 1024 // 32
+
+    def test_bursts_cover_distinct_channels(self, address_map):
+        bursts = address_map.split_request(self._request(0, 128), 0)
+        assert {b.coordinates.channel for b in bursts} == {0, 1, 2, 3}

@@ -1,0 +1,119 @@
+"""Unit tests for the ChargeCache extension."""
+
+import pytest
+
+from repro.dram.chargecache import ChargeCache, ChargeCacheConfig
+from repro.dram.config import MemoryConfig
+from repro.sim.driver import simulate_trace
+from repro.core.trace import Trace
+
+from ..conftest import req
+
+
+class TestChargeCacheConfig:
+    def test_defaults(self):
+        config = ChargeCacheConfig()
+        assert config.capacity > 0
+        assert config.expiry_cycles > 0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": 0},
+        {"expiry_cycles": 0},
+        {"t_rcd_saving": -1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ChargeCacheConfig(**kwargs)
+
+
+class TestChargeCacheTable:
+    def test_miss_on_empty(self):
+        cache = ChargeCache(ChargeCacheConfig())
+        assert not cache.lookup(0, 5, now=100)
+        assert cache.stats.lookups == 1
+        assert cache.stats.hits == 0
+
+    def test_hit_after_insert(self):
+        cache = ChargeCache(ChargeCacheConfig())
+        cache.insert(0, 5, now=100)
+        assert cache.lookup(0, 5, now=200)
+        assert cache.stats.hit_rate == 1.0
+
+    def test_expiry(self):
+        cache = ChargeCache(ChargeCacheConfig(expiry_cycles=1000))
+        cache.insert(0, 5, now=100)
+        assert not cache.lookup(0, 5, now=2000)
+        assert cache.stats.expired == 1
+        # The expired entry is evicted.
+        assert len(cache) == 0
+
+    def test_lru_eviction(self):
+        cache = ChargeCache(ChargeCacheConfig(capacity=2))
+        cache.insert(0, 1, now=0)
+        cache.insert(0, 2, now=1)
+        cache.insert(0, 3, now=2)  # evicts (0,1)
+        assert not cache.lookup(0, 1, now=3)
+        assert cache.lookup(0, 2, now=3)
+        assert cache.lookup(0, 3, now=3)
+
+    def test_reinsert_refreshes_timestamp(self):
+        cache = ChargeCache(ChargeCacheConfig(expiry_cycles=1000))
+        cache.insert(0, 5, now=0)
+        cache.insert(0, 5, now=900)
+        assert cache.lookup(0, 5, now=1500)  # alive thanks to refresh
+
+    def test_banks_independent(self):
+        cache = ChargeCache(ChargeCacheConfig())
+        cache.insert(0, 5, now=0)
+        assert not cache.lookup(1, 5, now=1)
+
+
+class TestChargeCacheInController:
+    def _locality_trace(self, count=600):
+        # Revisit a handful of rows with gaps long enough that the
+        # open-adaptive policy has closed them (row reuse, not row hits).
+        requests = []
+        clock = 0
+        for i in range(count):
+            row_base = (i % 4) * 0x40000
+            requests.append(req(clock, row_base + (i % 8) * 64))
+            clock += 2_000
+        return Trace(requests)
+
+    def test_reduces_latency_for_row_reuse(self):
+        trace = self._locality_trace()
+        base = simulate_trace(trace, MemoryConfig())
+        boosted = simulate_trace(
+            trace, MemoryConfig(charge_cache=ChargeCacheConfig(t_rcd_saving=10))
+        )
+        assert boosted.avg_access_latency < base.avg_access_latency
+
+    def test_no_effect_with_zero_saving(self):
+        trace = self._locality_trace(200)
+        base = simulate_trace(trace, MemoryConfig())
+        zero = simulate_trace(
+            trace, MemoryConfig(charge_cache=ChargeCacheConfig(t_rcd_saving=0))
+        )
+        assert zero.avg_access_latency == base.avg_access_latency
+
+    def test_controller_exposes_stats(self):
+        from repro.dram.memory_system import MemorySystem
+
+        memory = MemorySystem(MemoryConfig(charge_cache=ChargeCacheConfig()))
+        for i in range(50):
+            memory.submit(req(i * 2_000, (i % 4) * 0x40000))
+        memory.drain()
+        total_lookups = sum(
+            c.charge_cache.stats.lookups for c in memory.controllers
+        )
+        assert total_lookups > 0
+
+    def test_row_hits_unchanged(self):
+        # ChargeCache accelerates activations; it must not alter which
+        # accesses are row hits.
+        trace = self._locality_trace(300)
+        base = simulate_trace(trace, MemoryConfig())
+        boosted = simulate_trace(
+            trace, MemoryConfig(charge_cache=ChargeCacheConfig())
+        )
+        assert boosted.read_row_hits == base.read_row_hits

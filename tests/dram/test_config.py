@@ -1,0 +1,76 @@
+"""Unit tests for memory configuration validation."""
+
+import pytest
+
+from repro.dram.config import DRAMTiming, MemoryConfig
+
+
+class TestDRAMTiming:
+    def test_defaults_valid(self):
+        timing = DRAMTiming()
+        assert timing.t_burst > 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DRAMTiming(t_rp=-1)
+
+    def test_rejects_zero_burst(self):
+        with pytest.raises(ValueError):
+            DRAMTiming(t_burst=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DRAMTiming().t_rp = 5
+
+
+class TestMemoryConfig:
+    def test_table_iii_defaults(self):
+        config = MemoryConfig()
+        assert config.num_channels == 4
+        assert config.ranks_per_channel == 1
+        assert config.banks_per_rank == 8
+        assert config.burst_size == 32
+        assert config.read_queue_size == 32
+        assert config.write_queue_size == 64
+        assert config.write_high_threshold == 0.85
+        assert config.write_low_threshold == 0.50
+
+    def test_watermarks(self):
+        config = MemoryConfig()
+        assert config.write_high_watermark == int(64 * 0.85)
+        assert config.write_low_watermark == 32
+
+    def test_columns_per_row(self):
+        config = MemoryConfig(row_size=2048, burst_size=32)
+        assert config.columns_per_row == 64
+
+    def test_banks_per_channel(self):
+        config = MemoryConfig(ranks_per_channel=2, banks_per_rank=8)
+        assert config.banks_per_channel == 16
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_channels", 0),
+        ("ranks_per_channel", 0),
+        ("banks_per_rank", -1),
+        ("burst_size", 0),
+        ("burst_size", 33),
+        ("read_queue_size", 0),
+        ("write_queue_size", 0),
+    ])
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            MemoryConfig(**{field: value})
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(write_low_threshold=0.9, write_high_threshold=0.5)
+        with pytest.raises(ValueError):
+            MemoryConfig(write_high_threshold=1.5)
+
+    def test_rejects_misaligned_row(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(row_size=100, burst_size=32)
+
+    def test_rejects_unknown_page_policy(self):
+        with pytest.raises(ValueError):
+            MemoryConfig(page_policy="closed")

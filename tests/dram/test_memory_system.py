@@ -1,0 +1,120 @@
+"""Unit tests for the multi-channel memory system front end."""
+
+import pytest
+
+from repro.core.request import MemoryRequest, Operation
+from repro.dram.config import MemoryConfig
+from repro.dram.memory_system import MemorySystem
+
+from ..conftest import req
+
+
+class TestSubmit:
+    def test_accepts_in_order(self):
+        memory = MemorySystem()
+        assert memory.submit(req(0, 0x0, "R", 64)) == 0
+        assert memory.submit(req(10, 0x100, "R", 64)) == 10
+
+    def test_rejects_out_of_order(self):
+        memory = MemorySystem()
+        memory.submit(req(10, 0x0))
+        with pytest.raises(ValueError):
+            memory.submit(req(5, 0x100))
+
+    def test_at_time_override(self):
+        memory = MemorySystem()
+        assert memory.submit(req(0, 0x0), at_time=50) == 50
+
+    def test_bursts_counted_after_drain(self):
+        memory = MemorySystem()
+        memory.submit(req(0, 0x0, "R", 128))  # 4 bursts
+        memory.submit(req(1, 0x1000, "W", 64))  # 2 bursts
+        memory.drain()
+        assert memory.stats.read_bursts == 4
+        assert memory.stats.write_bursts == 2
+
+    def test_bursts_spread_across_channels(self):
+        memory = MemorySystem()
+        memory.submit(req(0, 0x0, "R", 128))
+        memory.drain()
+        per_channel = [c.read_bursts for c in memory.stats.channels]
+        assert per_channel == [1, 1, 1, 1]
+
+    def test_latency_recorded_per_request(self):
+        memory = MemorySystem()
+        memory.submit(req(0, 0x0, "R", 64))
+        memory.drain()
+        assert memory.stats.latency_count == 1
+        assert memory.stats.avg_access_latency > 0
+
+    def test_latency_covers_all_requests(self):
+        memory = MemorySystem()
+        for i in range(20):
+            memory.submit(req(i * 10, i * 64, "R", 64))
+        memory.drain()
+        assert memory.stats.latency_count == 20
+
+
+class TestBackpressure:
+    def test_queue_full_delays_acceptance(self):
+        # One channel, tiny read queue: flooding it must push accept_time
+        # beyond the presented time.
+        config = MemoryConfig(num_channels=1, read_queue_size=4)
+        memory = MemorySystem(config)
+        delays = []
+        for i in range(50):
+            accept = memory.submit(req(0, i * 32, "R", 32), at_time=i)
+            delays.append(accept - i)
+        assert any(delay > 0 for delay in delays)
+        assert memory.stats.backpressure_delay > 0
+
+    def test_no_backpressure_when_sparse(self):
+        memory = MemorySystem()
+        for i in range(10):
+            accept = memory.submit(req(i * 10_000, i * 64, "R", 64))
+            assert accept == i * 10_000
+        assert memory.stats.backpressure_delay == 0
+
+    def test_write_queue_backpressure(self):
+        config = MemoryConfig(num_channels=1, write_queue_size=4, write_high_threshold=1.0)
+        memory = MemorySystem(config)
+        total_delay = 0
+        for i in range(40):
+            accept = memory.submit(req(0, i * 32, "W", 32), at_time=i)
+            total_delay += accept - i
+        assert total_delay > 0
+
+
+class TestStatsAggregation:
+    def test_summary_keys(self):
+        memory = MemorySystem()
+        memory.submit(req(0, 0, "R", 64))
+        memory.drain()
+        summary = memory.stats.summary()
+        for key in (
+            "read_bursts",
+            "write_bursts",
+            "read_row_hits",
+            "write_row_hits",
+            "avg_read_queue_length",
+            "avg_write_queue_length",
+            "avg_access_latency",
+        ):
+            assert key in summary
+
+    def test_per_bank_counts_interface(self):
+        memory = MemorySystem()
+        memory.submit(req(0, 0, "R", 256))
+        memory.drain()
+        reads = memory.stats.per_bank_counts("read")
+        assert set(reads.keys()) == {0, 1, 2, 3}
+        with pytest.raises(ValueError):
+            memory.stats.per_bank_counts("erase")
+
+    def test_queue_length_average(self):
+        memory = MemorySystem(MemoryConfig(num_channels=1))
+        for i in range(8):
+            memory.submit(req(0, i * 32, "R", 32), at_time=0)
+        memory.drain()
+        # All arrive at t=0: observed queue lengths are 0..7.
+        assert memory.stats.avg_read_queue_length == pytest.approx(3.5)

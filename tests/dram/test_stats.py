@@ -1,0 +1,68 @@
+"""Unit tests for DRAM statistics, including utilization accounting."""
+
+import pytest
+
+from repro.dram.config import MemoryConfig
+from repro.dram.memory_system import MemorySystem
+from repro.dram.stats import ControllerStats, MemorySystemStats
+
+from ..conftest import req
+
+
+class TestControllerStats:
+    def test_hit_rates(self):
+        stats = ControllerStats(read_bursts=10, read_row_hits=5,
+                                write_bursts=4, write_row_hits=1)
+        assert stats.read_row_hit_rate == 0.5
+        assert stats.write_row_hit_rate == 0.25
+
+    def test_hit_rates_empty(self):
+        stats = ControllerStats()
+        assert stats.read_row_hit_rate == 0.0
+        assert stats.write_row_hit_rate == 0.0
+
+    def test_queue_length_means(self):
+        stats = ControllerStats()
+        stats.read_queue_len_seen.update({0: 2, 4: 2})
+        assert stats.avg_read_queue_length == 2.0
+
+    def test_turnaround_mean(self):
+        stats = ControllerStats(reads_per_turnaround=[4, 8])
+        assert stats.avg_reads_per_turnaround == 6.0
+        assert ControllerStats().avg_reads_per_turnaround == 0.0
+
+    def test_bus_utilization_idle(self):
+        assert ControllerStats().bus_utilization == 0.0
+
+
+class TestUtilizationAccounting:
+    def test_saturated_stream_high_utilization(self):
+        memory = MemorySystem(MemoryConfig(num_channels=1))
+        for i in range(200):
+            memory.submit(req(0, i * 32, "R", 32), at_time=0)
+        memory.drain()
+        stats = memory.channel_stats(0)
+        assert stats.bus_utilization > 0.5
+
+    def test_sparse_stream_low_utilization(self):
+        memory = MemorySystem(MemoryConfig(num_channels=1))
+        for i in range(50):
+            memory.submit(req(i * 10_000, i * 32, "R", 32))
+        memory.drain()
+        assert memory.channel_stats(0).bus_utilization < 0.1
+
+    def test_busy_cycles_match_burst_count(self):
+        config = MemoryConfig(num_channels=1)
+        memory = MemorySystem(config)
+        for i in range(20):
+            memory.submit(req(i * 1000, i * 32, "R", 32))
+        memory.drain()
+        stats = memory.channel_stats(0)
+        assert stats.data_bus_busy_cycles == 20 * config.timing.t_burst
+
+    def test_system_level_aggregates(self):
+        memory = MemorySystem()
+        memory.submit(req(0, 0, "R", 256))
+        memory.drain()
+        assert memory.stats.total_bytes(32) == 256
+        assert 0 <= memory.stats.avg_bus_utilization <= 1.0

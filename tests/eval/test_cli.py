@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro.eval`` command-line interface."""
+
+import pytest
+
+from repro.eval.__main__ import EXPERIMENTS, main
+from repro.eval.comparison import clear_cache
+
+
+class TestEvalCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "fig9", "fig17", "table1", "ext-soc"):
+            assert name in out
+
+    def test_experiment_registry_complete(self):
+        # Every paper exhibit plus the extension studies.
+        expected = {f"fig{i}" for i in list(range(2, 4)) + list(range(6, 18))}
+        expected |= {"table1", "ext-chargecache", "ext-soc"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_run_cheap_experiment(self, capsys):
+        clear_cache()
+        assert main(["run", "fig3", "--requests", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "=== fig3" in out
+        assert "requests" in out
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1", "--requests", "1500"]) == 0
+        assert "stride" in capsys.readouterr().out
+
+    def test_run_ext_soc(self, capsys):
+        assert main(["run", "ext-soc", "--requests", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "bandwidth_share" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])

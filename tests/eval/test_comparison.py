@@ -1,0 +1,57 @@
+"""Unit tests for the cached comparison runner (small scale)."""
+
+from repro.eval.comparison import (
+    WorkloadRun,
+    baseline_trace,
+    clear_cache,
+    dram_comparison,
+)
+
+
+SMALL = 1_500
+
+
+class TestBaselineTrace:
+    def test_cached_identity(self):
+        clear_cache()
+        a = baseline_trace("crypto1", SMALL)
+        b = baseline_trace("crypto1", SMALL)
+        assert a is b
+
+    def test_distinct_keys(self):
+        a = baseline_trace("crypto1", SMALL)
+        b = baseline_trace("crypto1", SMALL + 1)
+        assert a is not b
+
+
+class TestDramComparison:
+    def test_run_structure(self):
+        clear_cache()
+        run = dram_comparison("fbc-linear1", SMALL)
+        assert isinstance(run, WorkloadRun)
+        assert run.device == "DPU"
+        assert run.baseline.read_bursts > 0
+        assert run.mcc.read_bursts > 0
+        assert run.stm is not None
+
+    def test_cached_identity(self):
+        a = dram_comparison("fbc-linear1", SMALL)
+        b = dram_comparison("fbc-linear1", SMALL)
+        assert a is b
+
+    def test_without_stm(self):
+        run = dram_comparison("fbc-linear1", SMALL, include_stm=False)
+        assert run.stm is None
+
+    def test_strict_convergence_means_equal_bursts(self):
+        run = dram_comparison("fbc-linear1", SMALL)
+        # Sizes and op counts are preserved exactly, so burst totals of
+        # synthesis match the baseline whenever leaves are op-pure.
+        total_baseline = run.baseline.read_bursts + run.baseline.write_bursts
+        total_mcc = run.mcc.read_bursts + run.mcc.write_bursts
+        assert abs(total_mcc - total_baseline) <= total_baseline * 0.02
+
+    def test_interval_changes_profile(self):
+        small = dram_comparison("hevc1", SMALL, interval=100_000, include_stm=False)
+        large = dram_comparison("hevc1", SMALL, interval=1_000_000, include_stm=False)
+        assert small.interval != large.interval

@@ -1,0 +1,124 @@
+"""Smoke tests for the per-figure experiment runners (tiny scale)."""
+
+import pytest
+
+from repro.eval import experiments
+from repro.eval.comparison import clear_cache
+
+SMALL = 1_200
+
+
+@pytest.fixture(scope="module", autouse=True)
+def fresh_cache():
+    clear_cache()
+    experiments._SPEC_SYNTH_CACHE.clear()
+    yield
+
+
+class TestMotivationExperiments:
+    def test_figure_2_structure(self):
+        records = experiments.figure_2(SMALL)
+        assert records
+        for record in records[:5]:
+            assert 0 <= record["offset"] < 4096
+            assert record["size"] > 0
+            assert record["operation"] in ("R", "W")
+
+    def test_figure_3_bins(self):
+        bins = experiments.figure_3(SMALL)
+        assert bins
+        assert all(count > 0 for _, count in bins)
+
+    def test_table_1(self):
+        data = experiments.table_1(SMALL)
+        assert data["partition_size"] >= 2
+        assert len(data["one_partition"]) == data["partition_size"]
+        assert data["one_partition"][0][0] is None  # first stride undefined
+
+
+class TestDramExperiments:
+    def test_figure_6_structure(self):
+        result = experiments.figure_6(SMALL)
+        assert set(result) == {"CPU", "DPU", "GPU", "VPU"}
+        for device in result.values():
+            assert set(device) == {"read_bursts", "write_bursts"}
+            for metric in device.values():
+                assert metric["mcc"] >= 0 and metric["stm"] >= 0
+
+    def test_figure_7_structure(self):
+        result = experiments.figure_7(SMALL)
+        for device in result.values():
+            for queue in ("read_queue", "write_queue"):
+                assert set(device[queue]) == {"baseline", "mcc", "stm"}
+
+    def test_figure_8_channels(self):
+        result = experiments.figure_8(SMALL)
+        assert set(result) == {0, 1, 2, 3}
+        for channel in result.values():
+            assert set(channel) == {"baseline", "mcc", "stm"}
+
+    def test_figure_9_errors_bounded(self):
+        result = experiments.figure_9(SMALL)
+        for device in result.values():
+            for metric in device.values():
+                assert 0 <= metric["mcc"] <= 200
+
+    def test_figure_10_counts(self):
+        result = experiments.figure_10(SMALL)
+        assert set(result) == {"fbc-linear1", "fbc-tiled1"}
+        for workload in result.values():
+            assert workload["read_row_hits"]["baseline"] > 0
+
+    def test_figure_11_channels(self):
+        result = experiments.figure_11(SMALL)
+        for workload in result.values():
+            assert set(workload) == {0, 1, 2, 3}
+
+    def test_figure_12_banks(self):
+        result = experiments.figure_12(SMALL)
+        assert set(result) == {"read", "write"}
+        reads = result["read"][0]["baseline"]
+        assert sum(reads.values()) > 0
+
+    def test_figure_13_sweep(self):
+        result = experiments.figure_13(SMALL, intervals=(100_000, 500_000))
+        for device, series in result.items():
+            assert [interval for interval, _ in series] == [100_000, 500_000]
+            assert all(error >= 0 for _, error in series)
+
+
+class TestCacheExperiments:
+    BENCHMARKS = ("hmmer", "libquantum")
+
+    def test_spec_synthetics(self):
+        traces = experiments.spec_synthetics("hmmer", SMALL)
+        assert set(traces) == {"baseline", "dynamic", "fixed4k", "hrd"}
+        assert all(len(t) == SMALL for t in traces.values())
+
+    def test_figure_14(self):
+        result = experiments.figure_14(SMALL, benchmarks=self.BENCHMARKS)
+        assert set(result) == {"16KB 2-way", "32KB 4-way"}
+        for config in result.values():
+            for series in experiments.SEC5_SERIES:
+                assert config[series]["l1_miss_rate"] >= 0
+
+    def test_figure_15(self):
+        result = experiments.figure_15(
+            SMALL, benchmarks=("hmmer",), associativities=(2, 4)
+        )
+        assert set(result) == {"hmmer"}
+        assert set(result["hmmer"]) == {2, 4}
+        assert set(result["hmmer"][2]) == {"baseline", "dynamic", "hrd"}
+
+    def test_figure_16(self):
+        result = experiments.figure_16(
+            SMALL, benchmarks=("hmmer",), associativities=(2,)
+        )
+        assert result["hmmer"][2]["baseline"] >= 0
+
+    def test_figure_17(self):
+        result = experiments.figure_17(SMALL, benchmarks=self.BENCHMARKS)
+        for sizes in result.values():
+            assert sizes["trace"] > 0
+            assert sizes["dynamic"] > 0
+            assert sizes["fixed4k"] > 0

@@ -1,0 +1,75 @@
+"""Unit tests for evaluation metrics."""
+
+import pytest
+
+from repro.eval.metrics import (
+    absolute_error,
+    arithmetic_mean,
+    geomean_percent_error,
+    geometric_mean,
+    percent_error,
+    summary_errors,
+)
+
+
+class TestPercentError:
+    def test_exact_match(self):
+        assert percent_error(10, 10) == 0.0
+
+    def test_overshoot(self):
+        assert percent_error(11, 10) == pytest.approx(10.0)
+
+    def test_undershoot(self):
+        assert percent_error(9, 10) == pytest.approx(10.0)
+
+    def test_zero_reference_zero_measured(self):
+        assert percent_error(0, 0) == 0.0
+
+    def test_zero_reference_nonzero_measured(self):
+        assert percent_error(5, 0) == 100.0
+
+    def test_negative_reference(self):
+        assert percent_error(-9, -10) == pytest.approx(10.0)
+
+
+class TestGeometricMean:
+    def test_single_value(self):
+        assert geometric_mean([4.0]) == pytest.approx(4.0)
+
+    def test_two_values(self):
+        assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+
+    def test_zero_floored(self):
+        assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0])
+
+    def test_geomean_leq_mean(self):
+        values = [1.0, 2.0, 3.0, 10.0]
+        assert geometric_mean(values) <= arithmetic_mean(values)
+
+
+class TestAggregates:
+    def test_geomean_percent_error(self):
+        pairs = [(11, 10), (9, 10)]  # both 10% error
+        assert geomean_percent_error(pairs) == pytest.approx(10.0)
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == 2.0
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_absolute_error(self):
+        assert absolute_error(3, 5) == 2
+
+    def test_summary_errors(self):
+        reference = {"a": 10.0, "b": 20.0}
+        measured = {"a": 11.0, "b": 20.0, "c": 5.0}
+        errors = summary_errors(measured, reference)
+        assert errors == {"a": pytest.approx(10.0), "b": 0.0}

@@ -1,0 +1,22 @@
+"""Tests for the markdown report generator (tiny scale)."""
+
+from repro.eval.comparison import clear_cache
+from repro.eval.report import build_report, write_report
+
+
+class TestReport:
+    def test_build_report_structure(self):
+        clear_cache()
+        report = build_report(num_requests=1_200, spec_benchmarks=["hmmer"])
+        assert report.startswith("# Mocktails reproduction report")
+        for heading in ("Fig. 6", "Fig. 9", "Fig. 10", "Fig. 13", "Fig. 14", "Fig. 17"):
+            assert heading in report
+        # Markdown tables present.
+        assert "| device |" in report
+        assert "Overall profile/trace size ratio" in report
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", num_requests=1_200,
+                            spec_benchmarks=["hmmer"])
+        assert path.exists()
+        assert path.read_text().startswith("# Mocktails reproduction report")

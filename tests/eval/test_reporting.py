@@ -1,0 +1,39 @@
+"""Unit tests for text table rendering."""
+
+from repro.eval.reporting import format_cell, format_table, print_table
+
+
+class TestFormatCell:
+    def test_float_two_decimals(self):
+        assert format_cell(3.14159) == "3.14"
+
+    def test_int_thousands(self):
+        assert format_cell(1234567) == "1,234,567"
+
+    def test_string_passthrough(self):
+        assert format_cell("hello") == "hello"
+
+
+class TestFormatTable:
+    def test_header_and_rows(self):
+        table = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = table.splitlines()
+        assert lines[0].startswith("name")
+        assert "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_alignment(self):
+        table = format_table(["x"], [["longvalue"], ["s"]])
+        lines = table.splitlines()
+        assert len(lines[2]) >= len("longvalue")
+
+    def test_empty_rows(self):
+        table = format_table(["a"], [])
+        assert len(table.splitlines()) == 2
+
+    def test_print_table(self, capsys):
+        print_table("Title", ["h"], [["v"]])
+        out = capsys.readouterr().out
+        assert "== Title ==" in out
+        assert "v" in out

@@ -1,0 +1,63 @@
+"""Integration matrix: profile/synthesis invariants for every workload.
+
+Runs the full Mocktails loop over all 18 Table II traces and a sample of
+SPEC-like traces, checking the invariants the methodology guarantees:
+exact request/read/write/size reproduction (strict convergence), footprint
+containment, time-span preservation and serialization round-trips.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.profiler import build_profile
+from repro.core.serialization import profile_from_dict, profile_to_dict
+from repro.core.synthesis import synthesize
+from repro.core.hierarchy import two_level_rs, two_level_ts
+from repro.workloads.registry import TABLE_II_WORKLOADS, workload_trace
+from repro.workloads.spec import FIG15_BENCHMARKS
+
+SMALL = 2_000
+
+
+def _config_for(name: str):
+    # SPEC traces use request-count intervals (Sec. V); Table II traces
+    # use the 2L-TS cycle-count configuration (Sec. IV).
+    if name in TABLE_II_WORKLOADS:
+        return two_level_ts(500_000)
+    return two_level_rs(SMALL // 4)
+
+
+@pytest.mark.parametrize("name", TABLE_II_WORKLOADS + FIG15_BENCHMARKS)
+class TestWorkloadMatrix:
+    def test_strict_convergence_invariants(self, name):
+        trace = workload_trace(name, num_requests=SMALL)
+        profile = build_profile(trace, _config_for(name))
+        synthetic = synthesize(profile, seed=11)
+
+        assert len(synthetic) == len(trace)
+        assert synthetic.is_sorted()
+        assert synthetic.read_count() == trace.read_count()
+        assert Counter(r.size for r in synthetic) == Counter(r.size for r in trace)
+
+    def test_footprint_containment(self, name):
+        trace = workload_trace(name, num_requests=SMALL)
+        profile = build_profile(trace, _config_for(name))
+        synthetic = synthesize(profile, seed=11)
+        footprint = trace.address_range()
+        assert all(footprint.contains(r.address) for r in synthetic)
+
+    def test_time_span_preserved(self, name):
+        trace = workload_trace(name, num_requests=SMALL)
+        profile = build_profile(trace, _config_for(name))
+        synthetic = synthesize(profile, seed=11)
+        # Leaves keep their start times, so the synthetic trace must span
+        # roughly the same window (within one temporal interval).
+        assert synthetic.start_time >= trace.start_time
+        assert abs(synthetic.end_time - trace.end_time) <= 1_000_000
+
+    def test_profile_roundtrip(self, name):
+        trace = workload_trace(name, num_requests=SMALL)
+        profile = build_profile(trace, _config_for(name))
+        restored = profile_from_dict(profile_to_dict(profile))
+        assert synthesize(restored, seed=5) == synthesize(profile, seed=5)

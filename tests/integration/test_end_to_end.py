@@ -1,0 +1,90 @@
+"""Integration tests: the full industry->academia pipeline."""
+
+import pytest
+
+from repro import (
+    available_workloads,
+    build_profile,
+    load_profile,
+    save_profile,
+    synthesize,
+    two_level_rs,
+    two_level_ts,
+    workload_trace,
+)
+from repro.baselines.hrd import HRDModel
+from repro.baselines.stm import stm_leaf_factory
+from repro.eval.metrics import percent_error
+from repro.sim.cache_driver import run_cache_trace
+from repro.sim.driver import simulate_trace
+
+
+class TestOptionAPipeline:
+    """Fig. 1 Option A: trace -> profile -> synthetic trace -> simulator."""
+
+    def test_full_pipeline_hevc(self, tmp_path):
+        trace = workload_trace("hevc1", num_requests=4_000)
+        profile = build_profile(trace, name="hevc1")
+
+        # Industry ships the profile file; academia loads it.
+        path = tmp_path / "hevc1.mprof.gz"
+        save_profile(profile, path)
+        received = load_profile(path)
+
+        synthetic = synthesize(received, seed=7)
+        assert len(synthetic) == len(trace)
+
+        baseline = simulate_trace(trace)
+        recreated = simulate_trace(synthetic)
+        # Strict convergence: burst totals match very closely.
+        assert percent_error(recreated.read_bursts, baseline.read_bursts) < 5
+        assert percent_error(recreated.write_bursts, baseline.write_bursts) < 5
+
+    @pytest.mark.parametrize("name", ["fbc-linear1", "trex1", "crypto1"])
+    def test_row_hit_fidelity(self, name):
+        trace = workload_trace(name, num_requests=6_000)
+        profile = build_profile(trace)
+        synthetic = synthesize(profile, seed=3)
+        baseline = simulate_trace(trace)
+        recreated = simulate_trace(synthetic)
+        assert percent_error(recreated.read_row_hits, baseline.read_row_hits) < 20
+
+    def test_stm_leaf_pipeline(self):
+        trace = workload_trace("fbc-tiled1", num_requests=4_000)
+        profile = build_profile(trace, leaf_factory=stm_leaf_factory)
+        synthetic = synthesize(profile, seed=3)
+        assert len(synthetic) == len(trace)
+        assert synthetic.read_count() == trace.read_count()
+
+
+class TestCachePipeline:
+    """Sec. V: CPU->L1 traces through the cache hierarchy."""
+
+    def test_mocktails_tracks_baseline_miss_rate(self):
+        trace = workload_trace("hmmer", num_requests=15_000)
+        profile = build_profile(trace, two_level_rs(5_000))
+        synthetic = synthesize(profile, seed=2)
+
+        baseline = run_cache_trace(trace)
+        recreated = run_cache_trace(synthetic)
+        assert abs(recreated.l1_miss_rate - baseline.l1_miss_rate) < 0.08
+
+    def test_hrd_tracks_baseline_miss_rate(self):
+        trace = workload_trace("hmmer", num_requests=15_000)
+        synthetic = HRDModel.fit(trace).synthesize(seed=2)
+        baseline = run_cache_trace(trace)
+        recreated = run_cache_trace(synthetic)
+        assert abs(recreated.l1_miss_rate - baseline.l1_miss_rate) < 0.12
+
+
+class TestDeterminism:
+    def test_whole_pipeline_reproducible(self):
+        trace_a = workload_trace("manhattan", num_requests=2_000, seed=4)
+        trace_b = workload_trace("manhattan", num_requests=2_000, seed=4)
+        assert trace_a == trace_b
+        synth_a = synthesize(build_profile(trace_a), seed=9)
+        synth_b = synthesize(build_profile(trace_b), seed=9)
+        assert synth_a == synth_b
+
+    def test_all_workloads_importable(self):
+        assert len(available_workloads()) == 41

@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs end to end (reduced scale)."""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.fixture(autouse=True)
+def small_scale(monkeypatch):
+    monkeypatch.setenv("EXAMPLE_REQUESTS", "1500")
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_example_inventory():
+    # The README promises these examples exist.
+    for name in (
+        "quickstart.py",
+        "soc_memory_exploration.py",
+        "profile_exchange.py",
+        "cache_study.py",
+        "full_soc.py",
+        "noc_study.py",
+    ):
+        assert name in EXAMPLES

@@ -1,0 +1,56 @@
+"""Unit tests for the crossbar."""
+
+import pytest
+
+from repro.dram.config import MemoryConfig
+from repro.dram.memory_system import MemorySystem
+from repro.interconnect.crossbar import Crossbar, CrossbarConfig
+
+from ..conftest import req
+
+
+class TestCrossbarConfig:
+    def test_defaults(self):
+        config = CrossbarConfig()
+        assert config.latency >= 0
+        assert config.min_gap > 0
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(latency=-1)
+
+    def test_rejects_zero_gap(self):
+        with pytest.raises(ValueError):
+            CrossbarConfig(min_gap=0)
+
+
+class TestCrossbar:
+    def test_adds_latency(self):
+        memory = MemorySystem()
+        crossbar = Crossbar(memory, CrossbarConfig(latency=8))
+        delay = crossbar.send(req(100, 0x0))
+        assert delay == 0  # accepted exactly at t + latency
+        memory.drain()
+        # Latency is measured from submission, which was at t=108.
+        assert memory.stats.latency_count == 1
+
+    def test_serializes_back_to_back(self):
+        memory = MemorySystem()
+        crossbar = Crossbar(memory, CrossbarConfig(latency=0, min_gap=4))
+        assert crossbar.send(req(0, 0x0)) == 0
+        delay = crossbar.send(req(0, 0x100))
+        assert delay == 4  # had to wait for the port
+
+    def test_delay_propagates_memory_backpressure(self):
+        config = MemoryConfig(num_channels=1, read_queue_size=2)
+        memory = MemorySystem(config)
+        crossbar = Crossbar(memory, CrossbarConfig(latency=0))
+        delays = [crossbar.send(req(0, i * 32, "R", 32)) for i in range(40)]
+        assert any(d > 0 for d in delays)
+        assert crossbar.total_delay == sum(delays)
+
+    def test_sparse_traffic_no_delay(self):
+        memory = MemorySystem()
+        crossbar = Crossbar(memory)
+        for i in range(10):
+            assert crossbar.send(req(i * 100_000, i * 64)) == 0

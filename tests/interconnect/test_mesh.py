@@ -1,0 +1,130 @@
+"""Unit tests for the 2D-mesh NoC model."""
+
+import pytest
+
+from repro.interconnect.mesh import (
+    MeshConfig,
+    MeshNetwork,
+    controller_placement,
+)
+
+from ..conftest import req
+
+
+class TestMeshConfig:
+    def test_defaults(self):
+        config = MeshConfig()
+        assert config.contains((0, 0))
+        assert config.contains((3, 3))
+        assert not config.contains((4, 0))
+        assert not config.contains((0, -1))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"width": 0}, {"height": 0}, {"hop_latency": 0}, {"flit_bytes": 0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            MeshConfig(**kwargs)
+
+
+class TestXYRouting:
+    def test_same_node(self):
+        assert MeshNetwork.xy_route((1, 1), (1, 1)) == []
+
+    def test_x_then_y(self):
+        links = MeshNetwork.xy_route((0, 0), (2, 1))
+        assert links == [((0, 0), (1, 0)), ((1, 0), (2, 0)), ((2, 0), (2, 1))]
+
+    def test_negative_directions(self):
+        links = MeshNetwork.xy_route((2, 2), (0, 0))
+        assert len(links) == 4
+        assert links[0] == ((2, 2), (1, 2))
+
+    def test_hop_count_is_manhattan(self):
+        for src, dst in (((0, 0), (3, 3)), ((1, 2), (2, 0))):
+            links = MeshNetwork.xy_route(src, dst)
+            manhattan = abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+            assert len(links) == manhattan
+
+
+class TestSend:
+    def test_latency_scales_with_hops(self):
+        mesh = MeshNetwork(MeshConfig(hop_latency=3))
+        near = mesh.send(req(0, 0x0, "R", 16), (0, 0), (1, 0))
+        far = mesh.send(req(0, 0x0, "R", 16), (0, 0), (3, 3))
+        assert near == 3
+        assert far - 0 >= 6 * 3
+
+    def test_zero_hop_delivery(self):
+        mesh = MeshNetwork()
+        assert mesh.send(req(100, 0x0, "R", 16), (1, 1), (1, 1)) == 100
+
+    def test_flit_serialization(self):
+        mesh = MeshNetwork(MeshConfig(flit_bytes=16, hop_latency=1))
+        # A 64B packet = 4 flits; tail arrives 3 cycles after the head.
+        arrival = mesh.send(req(0, 0x0, "R", 64), (0, 0), (1, 0))
+        assert arrival == 1 + 3
+
+    def test_link_contention_queues(self):
+        mesh = MeshNetwork(MeshConfig(flit_bytes=16, hop_latency=1))
+        first = mesh.send(req(0, 0x0, "R", 64), (0, 0), (1, 0))
+        second = mesh.send(req(0, 0x40, "R", 64), (0, 0), (1, 0))
+        assert second > first  # same link, must wait
+
+    def test_disjoint_paths_no_contention(self):
+        mesh = MeshNetwork(MeshConfig(flit_bytes=16, hop_latency=1))
+        a = mesh.send(req(0, 0x0, "R", 16), (0, 0), (1, 0))
+        b = mesh.send(req(0, 0x0, "R", 16), (0, 1), (1, 1))
+        assert a == b == 1
+
+    def test_out_of_mesh_rejected(self):
+        mesh = MeshNetwork()
+        with pytest.raises(ValueError):
+            mesh.send(req(0, 0x0), (0, 0), (9, 9))
+        with pytest.raises(ValueError):
+            mesh.send(req(0, 0x0), (9, 9), (0, 0))
+
+    def test_stats(self):
+        mesh = MeshNetwork()
+        mesh.send(req(0, 0x0, "R", 32), (0, 0), (2, 0))
+        assert mesh.stats.packets == 1
+        assert mesh.stats.total_hops == 2
+        assert mesh.stats.avg_latency > 0
+        assert mesh.stats.hottest_links(1)
+
+
+class TestControllerPlacement:
+    def test_count_and_bounds(self):
+        config = MeshConfig()
+        nodes = controller_placement(config, 4)
+        assert len(nodes) == 4
+        assert all(config.contains(node) for node in nodes)
+
+    def test_distinct_for_reasonable_counts(self):
+        nodes = controller_placement(MeshConfig(), 4)
+        assert len(set(nodes)) == 4
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            controller_placement(MeshConfig(), 0)
+
+
+class TestNocDriver:
+    def test_end_to_end(self, bursty_trace):
+        from repro.sim.noc_driver import simulate_trace_mesh
+
+        result = simulate_trace_mesh(bursty_trace)
+        assert result.memory.latency_count == len(bursty_trace)
+        assert result.mesh.packets == len(bursty_trace)
+        assert len(result.controller_nodes) == 4
+
+    def test_mesh_adds_latency_vs_crossbar(self, bursty_trace):
+        from repro.sim.driver import simulate_trace
+        from repro.sim.noc_driver import simulate_trace_mesh
+        from repro.interconnect.crossbar import CrossbarConfig
+
+        flat = simulate_trace(
+            bursty_trace, crossbar_config=CrossbarConfig(latency=0)
+        )
+        meshed = simulate_trace_mesh(bursty_trace)
+        assert meshed.memory.avg_access_latency >= flat.avg_access_latency

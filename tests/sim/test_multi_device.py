@@ -1,0 +1,105 @@
+"""Unit tests for the multi-device SoC simulator."""
+
+import pytest
+
+from repro.core.profiler import build_profile
+from repro.core.trace import Trace
+from repro.dram.config import MemoryConfig
+from repro.sim.multi_device import SoCSimulator, merge_traces, run_soc
+
+from ..conftest import req
+
+
+def small_trace(base, count=50, gap=100, op="R"):
+    return Trace([req(i * gap, base + i * 64, op) for i in range(count)])
+
+
+class TestSoCSimulator:
+    def test_rejects_duplicate_names(self):
+        simulator = SoCSimulator()
+        simulator.add_device("cpu", small_trace(0x1000))
+        with pytest.raises(ValueError):
+            simulator.add_device("cpu", small_trace(0x2000))
+
+    def test_rejects_empty_run(self):
+        with pytest.raises(ValueError):
+            SoCSimulator().run()
+
+    def test_single_device_matches_request_count(self):
+        simulator = SoCSimulator()
+        simulator.add_device("gpu", small_trace(0x1000, count=40))
+        result = simulator.run()
+        assert result.devices["gpu"].requests == 40
+        assert result.memory.latency_count == 40
+
+    def test_two_devices_all_serviced(self):
+        result = run_soc(
+            {"a": small_trace(0x10000), "b": small_trace(0x90000, op="W")}
+        )
+        assert result.devices["a"].requests == 50
+        assert result.devices["b"].requests == 50
+        assert result.memory.latency_count == 100
+
+    def test_per_device_read_write_split(self):
+        result = run_soc(
+            {"reader": small_trace(0x10000, op="R"), "writer": small_trace(0x90000, op="W")}
+        )
+        assert result.devices["reader"].reads == 50
+        assert result.devices["reader"].writes == 0
+        assert result.devices["writer"].writes == 50
+
+    def test_latency_attributed_per_device(self):
+        result = run_soc(
+            {"a": small_trace(0x10000), "b": small_trace(0x90000)}
+        )
+        for stats in result.devices.values():
+            assert stats.latency_count == stats.requests
+            assert stats.avg_access_latency > 0
+
+    def test_bandwidth_share_sums_to_one(self):
+        result = run_soc(
+            {"a": small_trace(0x10000, count=30), "b": small_trace(0x90000, count=70)}
+        )
+        shares = result.bandwidth_share()
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert shares["b"] > shares["a"]
+
+    def test_profile_sources_accepted(self, bursty_trace):
+        profile = build_profile(bursty_trace)
+        result = run_soc({"ip": profile, "cpu": small_trace(0x900000)})
+        assert result.devices["ip"].requests == len(bursty_trace)
+
+    def test_contention_raises_latency(self):
+        alone = run_soc({"a": small_trace(0x10000, gap=10)})
+        contended = run_soc(
+            {
+                "a": small_trace(0x10000, gap=10),
+                "b": small_trace(0x90000, gap=10),
+                "c": small_trace(0x110000, gap=10),
+                "d": small_trace(0x190000, gap=10),
+            },
+            config=MemoryConfig(num_channels=1),
+        )
+        assert (
+            contended.devices["a"].avg_access_latency
+            >= alone.devices["a"].avg_access_latency
+        )
+
+    def test_interleaving_is_time_ordered(self):
+        # Device b starts much later: a's requests must be accepted first.
+        early = small_trace(0x10000, count=10, gap=10)
+        late = Trace([req(1_000_000 + i * 10, 0x90000 + i * 64) for i in range(10)])
+        result = run_soc({"early": early, "late": late})
+        assert result.memory.latency_count == 20
+
+
+class TestMergeTraces:
+    def test_merge_sorted(self):
+        a = small_trace(0x1000, count=5, gap=100)
+        b = Trace([req(i * 100 + 50, 0x9000 + i * 64) for i in range(5)])
+        merged = merge_traces([a, b])
+        assert len(merged) == 10
+        assert merged.is_sorted()
+
+    def test_merge_empty(self):
+        assert len(merge_traces([])) == 0

@@ -1,0 +1,62 @@
+"""Tests for gem5 TrafficGen trace interop."""
+
+import pytest
+
+from repro.tools.gem5 import load_gem5_trace, save_gem5_trace
+
+from ..conftest import req
+from repro.core.trace import Trace
+
+
+class TestGem5Roundtrip:
+    def test_roundtrip(self, tmp_path, mixed_trace):
+        path = tmp_path / "trace.txt"
+        count = save_gem5_trace(mixed_trace, path)
+        assert count == len(mixed_trace)
+        assert load_gem5_trace(path) == mixed_trace
+
+    def test_gzip_roundtrip(self, tmp_path, mixed_trace):
+        path = tmp_path / "trace.txt.gz"
+        save_gem5_trace(mixed_trace, path)
+        assert load_gem5_trace(path) == mixed_trace
+
+    def test_tick_conversion(self, tmp_path):
+        trace = Trace([req(7, 0x100, "R", 64)])
+        path = tmp_path / "t.txt"
+        save_gem5_trace(trace, path, ticks_per_cycle=500)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.split()[0] == "3500"
+        assert load_gem5_trace(path, ticks_per_cycle=500) == trace
+
+    def test_command_letters(self, tmp_path):
+        trace = Trace([req(0, 0x0, "R"), req(1, 0x40, "W")])
+        path = tmp_path / "t.txt"
+        save_gem5_trace(trace, path)
+        lines = path.read_text().splitlines()
+        assert lines[0].split()[1] == "r"
+        assert lines[1].split()[1] == "w"
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("# header\n\n1000 r 256 64\n")
+        trace = load_gem5_trace(path)
+        assert len(trace) == 1
+        assert trace[0].timestamp == 1
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1000 r 256\n")
+        with pytest.raises(ValueError):
+            load_gem5_trace(path)
+
+    def test_unknown_command_rejected(self, tmp_path):
+        path = tmp_path / "t.txt"
+        path.write_text("1000 x 256 64\n")
+        with pytest.raises(ValueError):
+            load_gem5_trace(path)
+
+    def test_bad_ticks_rejected(self, tmp_path, mixed_trace):
+        with pytest.raises(ValueError):
+            save_gem5_trace(mixed_trace, tmp_path / "t.txt", ticks_per_cycle=0)
+        with pytest.raises(ValueError):
+            load_gem5_trace(tmp_path / "t.txt", ticks_per_cycle=-1)

@@ -1,0 +1,64 @@
+"""Tests for the SoC command-line tool."""
+
+import pytest
+
+from repro.tools import soc as soc_tool
+
+
+class TestSocRun:
+    def test_single_device(self, capsys):
+        code = soc_tool.main(
+            ["run", "--device", "cpu=crypto1", "--requests", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cpu" in out
+        assert "memory:" in out
+
+    def test_multiple_devices(self, capsys):
+        code = soc_tool.main(
+            [
+                "run",
+                "--device", "cpu=crypto1",
+                "--device", "dpu=fbc-linear1",
+                "--requests", "800",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cpu" in out and "dpu" in out
+
+    def test_profile_file_source(self, tmp_path, capsys):
+        from repro.core.profiler import build_profile
+        from repro.core.serialization import save_profile
+        from repro.workloads.registry import workload_trace
+
+        profile_path = tmp_path / "ip.mprof.gz"
+        save_profile(build_profile(workload_trace("hevc1", 1_000)), profile_path)
+        code = soc_tool.main(["run", "--device", f"ip={profile_path}"])
+        assert code == 0
+        assert "ip" in capsys.readouterr().out
+
+    def test_no_devices_errors(self, capsys):
+        assert soc_tool.main(["run"]) == 1
+        assert "at least one" in capsys.readouterr().err
+
+    def test_unknown_source_errors(self, capsys):
+        assert soc_tool.main(["run", "--device", "x=doom"]) == 1
+        assert "neither" in capsys.readouterr().err
+
+    def test_bad_device_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            soc_tool.main(["run", "--device", "nodash"])
+
+    def test_chargecache_and_channels_flags(self, capsys):
+        code = soc_tool.main(
+            [
+                "run",
+                "--device", "dpu=fbc-linear1",
+                "--requests", "600",
+                "--chargecache",
+                "--channels", "2",
+            ]
+        )
+        assert code == 0

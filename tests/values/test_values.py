@@ -1,0 +1,203 @@
+"""Unit tests for the data-value modeling extension."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.core.hierarchy import two_level_ts
+from repro.core.profiler import build_profile
+from repro.core.trace import Trace
+from repro.values import (
+    ValueProfile,
+    attach_values,
+    bdi_compressibility,
+    build_value_profile,
+    histogram_distance,
+    laplace_noise_histogram,
+    laplace_sample,
+    last_value_prediction_rate,
+    synthesize_with_values,
+    value_entropy,
+)
+from repro.values.model import LeafValueModel
+
+from ..conftest import req
+
+
+@pytest.fixture
+def trace():
+    return Trace([req(i * 10, 0x1000 + (i % 16) * 64) for i in range(200)])
+
+
+class TestAttachValues:
+    @pytest.mark.parametrize("kind", ["pixels", "counters", "sparse"])
+    def test_one_value_per_request(self, trace, kind):
+        values = attach_values(trace, kind)
+        assert len(values) == len(trace)
+        assert all(0 <= v <= 0xFFFF_FFFF for v in values)
+
+    def test_unknown_kind(self, trace):
+        with pytest.raises(ValueError):
+            attach_values(trace, "noise")
+
+    def test_deterministic(self, trace):
+        assert attach_values(trace, "pixels", seed=3) == attach_values(
+            trace, "pixels", seed=3
+        )
+
+    def test_pixels_value_local(self, trace):
+        values = attach_values(trace, "pixels")
+        rate = last_value_prediction_rate(trace, values)
+        assert rate > 0.3  # same-location values barely change
+
+    def test_sparse_mostly_zero(self, trace):
+        values = attach_values(trace, "sparse")
+        assert values.count(0) > len(values) * 0.5
+
+
+class TestPrivacy:
+    def test_laplace_sample_centered(self):
+        rng = random.Random(0)
+        samples = [laplace_sample(rng, 1.0) for _ in range(5000)]
+        assert abs(sum(samples) / len(samples)) < 0.1
+
+    def test_noised_histogram_close_for_large_epsilon(self):
+        counts = Counter({0: 1000, 1: 500, -1: 500})
+        noised = laplace_noise_histogram(counts, epsilon=10.0, rng=random.Random(0))
+        assert histogram_distance(counts, noised) < 0.05
+
+    def test_small_epsilon_distorts_more(self):
+        counts = Counter({0: 100, 1: 50})
+        rng = random.Random(0)
+        strong = laplace_noise_histogram(counts, epsilon=0.05, rng=rng)
+        weak = laplace_noise_histogram(counts, epsilon=50.0, rng=random.Random(0))
+        assert histogram_distance(counts, strong) >= histogram_distance(counts, weak)
+
+    def test_never_empty(self):
+        counts = Counter({7: 1})
+        noised = laplace_noise_histogram(counts, epsilon=0.01, rng=random.Random(1))
+        assert sum(noised.values()) >= 1
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            laplace_noise_histogram(Counter({0: 1}), 0.0, random.Random(0))
+
+
+class TestLeafValueModel:
+    def test_fit_and_generate_count(self):
+        model = LeafValueModel.fit([10, 12, 14, 16], None, random.Random(0))
+        assert len(model.generate(random.Random(1))) == 4
+
+    def test_constant_values(self):
+        model = LeafValueModel.fit([5, 5, 5], None, random.Random(0))
+        generated = model.generate(random.Random(1))
+        # Start quantized to 16; deltas all zero.
+        assert generated == [0, 0, 0]
+
+    def test_start_value_quantized(self):
+        model = LeafValueModel.fit([1234], None, random.Random(0))
+        assert model.start_value % 16 == 0
+
+    def test_roundtrip(self):
+        model = LeafValueModel.fit([1, 3, 2, 5, 4], None, random.Random(0))
+        restored = LeafValueModel.from_dict(model.to_dict())
+        assert restored.generate(random.Random(2)) == model.generate(random.Random(2))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LeafValueModel.fit([], None, random.Random(0))
+
+
+class TestValueProfile:
+    def test_alignment_with_request_profile(self, trace):
+        values = attach_values(trace, "counters")
+        config = two_level_ts(1_000)
+        request_profile = build_profile(trace, config)
+        value_profile = build_value_profile(trace, values, config, epsilon=None)
+        assert len(value_profile) == len(request_profile)
+        assert value_profile.total_values == len(trace)
+
+    def test_mismatched_lengths_rejected(self, trace):
+        with pytest.raises(ValueError):
+            build_value_profile(trace, [1, 2, 3])
+
+    def test_generate_right_count(self, trace):
+        values = attach_values(trace, "counters")
+        profile = build_value_profile(trace, values, epsilon=1.0)
+        assert len(profile.generate(seed=1)) == len(trace)
+
+    def test_roundtrip(self, trace):
+        values = attach_values(trace, "pixels")
+        profile = build_value_profile(trace, values, epsilon=1.0)
+        restored = ValueProfile.from_dict(profile.to_dict())
+        assert restored.generate(seed=4) == profile.generate(seed=4)
+        assert restored.epsilon == profile.epsilon
+
+    def test_file_roundtrip(self, trace, tmp_path):
+        values = attach_values(trace, "pixels")
+        profile = build_value_profile(trace, values, epsilon=1.0)
+        path = tmp_path / "values.mvprof.gz"
+        size = profile.save(path)
+        assert size == path.stat().st_size
+        restored = ValueProfile.load(path)
+        assert restored.generate(seed=4) == profile.generate(seed=4)
+
+    def test_synthesize_with_values(self, trace):
+        values = attach_values(trace, "counters")
+        config = two_level_ts(1_000)
+        request_profile = build_profile(trace, config)
+        value_profile = build_value_profile(trace, values, config, epsilon=None)
+        synthetic, synthetic_values = synthesize_with_values(
+            request_profile, value_profile, seed=2
+        )
+        assert len(synthetic) == len(trace)
+        assert len(synthetic_values) == len(trace)
+        assert synthetic.is_sorted()
+
+    def test_value_locality_preserved(self, trace):
+        # The headline property: downstream value-locality metrics of the
+        # synthetic stream track the original.
+        values = attach_values(trace, "counters")
+        config = two_level_ts(1_000)
+        request_profile = build_profile(trace, config)
+        value_profile = build_value_profile(trace, values, config, epsilon=2.0)
+        synthetic, synthetic_values = synthesize_with_values(
+            request_profile, value_profile, seed=2
+        )
+        original = bdi_compressibility(values)
+        recreated = bdi_compressibility(synthetic_values)
+        assert abs(original - recreated) < 0.3
+
+    def test_privacy_hides_exact_values(self, trace):
+        values = attach_values(trace, "pixels")
+        profile = build_value_profile(trace, values, epsilon=1.0, seed=9)
+        generated = profile.generate(seed=1)
+        # The exact original sequence must not be reproduced.
+        assert generated != list(values)
+
+
+class TestValueMetrics:
+    def test_prediction_rate_perfect_for_constant(self, trace):
+        values = [7] * len(trace)
+        assert last_value_prediction_rate(trace, values) == 1.0
+
+    def test_prediction_rate_zero_for_changing(self, trace):
+        values = list(range(len(trace)))
+        assert last_value_prediction_rate(trace, values) == 0.0
+
+    def test_prediction_rate_validates(self, trace):
+        with pytest.raises(ValueError):
+            last_value_prediction_rate(trace, [1])
+
+    def test_bdi_all_small_deltas(self):
+        assert bdi_compressibility(list(range(64))) == 1.0
+
+    def test_bdi_incompressible(self):
+        values = [i * (1 << 20) for i in range(64)]
+        assert bdi_compressibility(values) < 0.2
+
+    def test_entropy_bounds(self):
+        assert value_entropy([5, 5, 5, 5]) == 0.0
+        assert value_entropy([1, 2, 3, 4]) == pytest.approx(2.0)
+        assert value_entropy([]) == 0.0

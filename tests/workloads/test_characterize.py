@@ -1,0 +1,74 @@
+"""Tests for workload characterization."""
+
+import pytest
+
+from repro.core.trace import Trace
+from repro.workloads.characterize import characterize, format_character
+from repro.workloads.registry import workload_trace
+
+from ..conftest import req
+
+
+class TestCharacterize:
+    def test_empty_trace(self):
+        character = characterize(Trace())
+        assert character.requests == 0
+        assert character.footprint_bytes == 0
+
+    def test_basic_counts(self, mixed_trace):
+        character = characterize(mixed_trace)
+        assert character.requests == len(mixed_trace)
+        assert character.read_fraction == pytest.approx(0.5)
+        assert character.total_bytes == mixed_trace.total_bytes()
+
+    def test_footprint_block_granular(self):
+        trace = Trace([req(0, 0, "R", 4), req(1, 8, "R", 4), req(2, 64, "R", 4)])
+        assert characterize(trace).footprint_bytes == 128  # two 64B blocks
+
+    def test_constant_stride_zero_entropy(self, linear_trace):
+        character = characterize(linear_trace)
+        assert character.stride_entropy_bits == 0.0
+        assert character.dominant_stride == 64
+        assert character.dominant_stride_fraction == 1.0
+
+    def test_irregular_stride_positive_entropy(self, mixed_trace):
+        assert characterize(mixed_trace).stride_entropy_bits > 0.0
+
+    def test_bursty_trace_high_burstiness(self, bursty_trace, linear_trace):
+        bursty = characterize(bursty_trace).burstiness
+        steady = characterize(linear_trace).burstiness
+        assert bursty > steady
+        assert bursty > 10  # long idle gaps between dense bursts
+
+    def test_size_histogram(self, mixed_trace):
+        histogram = characterize(mixed_trace).size_histogram
+        assert histogram == {64: 24, 32: 24}
+
+    def test_request_rate(self):
+        trace = Trace([req(i * 100, i * 64) for i in range(11)])
+        character = characterize(trace)
+        assert character.mean_request_rate == pytest.approx(11.0)
+
+    def test_device_fingerprints_differ(self):
+        hevc = characterize(workload_trace("hevc1", 3_000))
+        fbc = characterize(workload_trace("fbc-linear1", 3_000))
+        # Display scan-out is more stride-regular than video decode.
+        assert fbc.dominant_stride_fraction > hevc.dominant_stride_fraction
+
+    def test_format_renders(self, mixed_trace):
+        text = format_character(characterize(mixed_trace))
+        assert "requests:" in text
+        assert "stride entropy:" in text
+
+
+class TestCLIIntegration:
+    def test_characterize_command(self, tmp_path, capsys):
+        from repro.tools import trace as trace_tool
+
+        path = tmp_path / "t.mtr.gz"
+        trace_tool.main(["generate", "fbc-linear1", str(path), "--requests", "1000"])
+        capsys.readouterr()
+        assert trace_tool.main(["characterize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "requests:          1,000" in out
+        assert "burstiness" in out

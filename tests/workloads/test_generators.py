@@ -1,0 +1,150 @@
+"""Unit tests for the Table II workload generators."""
+
+import pytest
+
+from repro.core.request import Operation
+from repro.workloads.base import TraceBuilder, align
+from repro.workloads.cpu import CryptoWorkload, DeviceDriverWorkload
+from repro.workloads.dpu import FrameBufferCompression, MultiLayerDisplay
+from repro.workloads.gpu import GraphicsRender, OpenCLStress
+from repro.workloads.registry import TABLE_II_WORKLOADS, make_generator
+from repro.workloads.vpu import HEVCDecode
+
+
+class TestTraceBuilder:
+    def test_emit_advances_clock(self):
+        builder = TraceBuilder()
+        builder.emit(0x100, Operation.READ, 64, gap=5)
+        builder.emit(0x140, Operation.READ, 64, gap=3)
+        trace = builder.build()
+        assert [r.timestamp for r in trace] == [5, 8]
+
+    def test_idle_advances_without_emitting(self):
+        builder = TraceBuilder()
+        builder.emit(0, Operation.READ, 64, gap=1)
+        builder.idle(100)
+        builder.emit(0, Operation.READ, 64, gap=1)
+        trace = builder.build()
+        assert trace[1].timestamp - trace[0].timestamp == 101
+
+    def test_rejects_negative(self):
+        builder = TraceBuilder()
+        with pytest.raises(ValueError):
+            builder.emit(0, Operation.READ, 64, gap=-1)
+        with pytest.raises(ValueError):
+            builder.idle(-1)
+
+    def test_align(self):
+        assert align(0x1234, 0x1000) == 0x1000
+        assert align(0x1000, 0x1000) == 0x1000
+        assert align(100, 8) == 96
+
+
+@pytest.mark.parametrize("name", TABLE_II_WORKLOADS)
+class TestAllGenerators:
+    def test_generates_exact_count(self, name):
+        trace = make_generator(name).generate(2_000)
+        assert len(trace) == 2_000
+
+    def test_sorted_and_valid(self, name):
+        trace = make_generator(name).generate(1_000)
+        assert trace.is_sorted()
+        assert all(r.size > 0 for r in trace)
+        assert all(r.address >= 0 for r in trace)
+
+    def test_deterministic(self, name):
+        a = make_generator(name, seed=5).generate(500)
+        b = make_generator(name, seed=5).generate(500)
+        assert a == b
+
+    def test_seed_changes_output(self, name):
+        a = make_generator(name, seed=5).generate(500)
+        b = make_generator(name, seed=6).generate(500)
+        assert a != b
+
+
+class TestDeviceSignatures:
+    def test_hevc_has_idle_gaps(self):
+        trace = HEVCDecode(variant=1).generate(10_000)
+        gaps = [
+            b.timestamp - a.timestamp
+            for a, b in zip(trace, list(trace)[1:])
+        ]
+        assert max(gaps) > 50_000  # CTU-row / frame separation
+
+    def test_hevc_mixed_sizes(self):
+        trace = HEVCDecode(variant=1).generate(5_000)
+        sizes = {r.size for r in trace}
+        assert 64 in sizes and 128 in sizes
+
+    def test_hevc_reads_and_writes(self):
+        trace = HEVCDecode(variant=1).generate(5_000)
+        assert trace.read_count() > 0 and trace.write_count() > 0
+
+    def test_fbc_linear_mostly_sequential_reads(self):
+        trace = FrameBufferCompression(tiled=False).generate(5_000)
+        reads = [r for r in trace if r.is_read]
+        strides = [
+            b.address - a.address for a, b in zip(reads, reads[1:])
+        ]
+        assert strides.count(64) > len(strides) * 0.5
+
+    def test_fbc_tiled_has_tile_jumps(self):
+        trace = FrameBufferCompression(tiled=True).generate(5_000)
+        reads = [r for r in trace if r.is_read]
+        strides = {b.address - a.address for a, b in zip(reads, reads[1:])}
+        assert any(s > 256 for s in strides)  # jumps between tiles
+
+    def test_fbc_write_footprint_narrow(self):
+        trace = FrameBufferCompression(tiled=False).generate(10_000)
+        writes = [r for r in trace if r.is_write]
+        footprint = max(w.end_address for w in writes) - min(w.address for w in writes)
+        assert footprint <= 32 * 1024
+
+    def test_multilayer_interleaves_streams(self):
+        trace = MultiLayerDisplay(num_layers=3).generate(3_000)
+        bases = {r.address >> 24 for r in trace if r.is_read}
+        assert len(bases) >= 3
+
+    def test_gpu_large_requests(self):
+        trace = GraphicsRender(benchmark="trex").generate(5_000)
+        assert any(r.size == 128 for r in trace)
+
+    def test_gpu_dense_bursts(self):
+        trace = GraphicsRender(benchmark="trex").generate(5_000)
+        deltas = [
+            b.timestamp - a.timestamp for a, b in zip(trace, list(trace)[1:])
+        ]
+        assert sum(1 for d in deltas if d <= 2) > len(deltas) * 0.5
+
+    def test_manhattan_heavier_than_trex(self):
+        trex = GraphicsRender(benchmark="trex").generate(5_000)
+        manhattan = GraphicsRender(benchmark="manhattan").generate(5_000)
+        # Manhattan samples more textures per tile -> more distinct texture
+        # neighbourhoods touched in the same number of requests.
+        def texture_regions(trace):
+            return len({r.address >> 11 for r in trace if r.address >> 28 == 0xC})
+        assert texture_regions(manhattan) >= texture_regions(trex) * 0.8
+
+    def test_opencl_grid_strides(self):
+        trace = OpenCLStress(variant=1).generate(4_000)
+        reads = [r for r in trace if r.is_read]
+        strides = [b.address - a.address for a, b in zip(reads, reads[1:])]
+        assert any(s >= 1024 for s in strides)
+
+    def test_crypto_table_lookups_bounded(self):
+        workload = CryptoWorkload(variant=1, table_bytes=16_384)
+        trace = workload.generate(5_000)
+        table_reads = [r for r in trace if 0x1800_0000 <= r.address < 0x1A00_0000]
+        assert table_reads
+        span = max(r.address for r in table_reads) - min(r.address for r in table_reads)
+        assert span <= 16_384
+
+    def test_device_driver_cadence(self):
+        trace = DeviceDriverWorkload(companion="vpu").generate(3_000)
+        gaps = [b.timestamp - a.timestamp for a, b in zip(trace, list(trace)[1:])]
+        assert max(gaps) >= 1_600_000
+
+    def test_device_driver_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            DeviceDriverWorkload(companion="npu")

@@ -1,0 +1,109 @@
+"""Unit tests for trace perturbation utilities and model robustness."""
+
+import pytest
+
+from repro.core.profiler import build_profile
+from repro.core.synthesis import synthesize
+from repro.core.trace import Trace
+from repro.workloads.perturb import (
+    downscale,
+    drop_requests,
+    interleave,
+    scale_time,
+    shift_addresses,
+    truncate_time,
+)
+
+from ..conftest import req
+
+
+class TestShiftAddresses:
+    def test_shift(self, linear_trace):
+        shifted = shift_addresses(linear_trace, 0x1000)
+        assert shifted[0].address == linear_trace[0].address + 0x1000
+        assert len(shifted) == len(linear_trace)
+
+    def test_negative_rejected(self, linear_trace):
+        with pytest.raises(ValueError):
+            shift_addresses(linear_trace, -0x10000000)
+
+    def test_timestamps_untouched(self, linear_trace):
+        shifted = shift_addresses(linear_trace, 64)
+        assert [r.timestamp for r in shifted] == [r.timestamp for r in linear_trace]
+
+
+class TestScaleTime:
+    def test_doubling(self, linear_trace):
+        scaled = scale_time(linear_trace, 2)
+        assert scaled[3].timestamp == linear_trace[3].timestamp * 2
+
+    def test_rational(self, linear_trace):
+        scaled = scale_time(linear_trace, 1, 2)
+        assert scaled[4].timestamp == linear_trace[4].timestamp // 2
+        assert scaled.is_sorted()
+
+    def test_rejects_nonpositive(self, linear_trace):
+        with pytest.raises(ValueError):
+            scale_time(linear_trace, 0)
+        with pytest.raises(ValueError):
+            scale_time(linear_trace, 1, 0)
+
+
+class TestDropAndTruncate:
+    def test_drop_fraction(self, bursty_trace):
+        dropped = drop_requests(bursty_trace, 0.5, seed=1)
+        assert 0.3 * len(bursty_trace) < len(dropped) < 0.7 * len(bursty_trace)
+
+    def test_drop_zero_identity(self, bursty_trace):
+        assert drop_requests(bursty_trace, 0.0) == Trace(list(bursty_trace))
+
+    def test_drop_validates(self, bursty_trace):
+        with pytest.raises(ValueError):
+            drop_requests(bursty_trace, 1.0)
+
+    def test_truncate(self, bursty_trace):
+        truncated = truncate_time(bursty_trace, 100)
+        assert len(truncated) == 20  # exactly the first burst
+        assert truncate_time(Trace(), 10) == Trace()
+
+    def test_downscale(self, bursty_trace):
+        assert len(downscale(bursty_trace, 10)) == 10
+        assert downscale(bursty_trace, 10_000) == Trace(list(bursty_trace))
+
+
+class TestInterleave:
+    def test_merged_and_sorted(self, linear_trace):
+        other = Trace([req(i * 10 + 5, 0x90000 + i * 64) for i in range(10)])
+        merged = interleave(linear_trace, other)
+        assert len(merged) == len(linear_trace) + 10
+        assert merged.is_sorted()
+
+    def test_offset_applied(self, linear_trace):
+        other = Trace([req(0, 0x90000)])
+        merged = interleave(linear_trace, other, offset_b=1_000_000)
+        assert merged[-1].timestamp == 1_000_000
+
+
+class TestModelRobustness:
+    """Mocktails accuracy should be invariant to benign transforms."""
+
+    def test_address_shift_equivariance(self, bursty_trace):
+        profile_plain = build_profile(bursty_trace)
+        shifted = shift_addresses(bursty_trace, 0x100000)
+        profile_shifted = build_profile(shifted)
+        synth_plain = synthesize(profile_plain, seed=3)
+        synth_shifted = synthesize(profile_shifted, seed=3)
+        # Same structure, just translated.
+        assert len(synth_plain) == len(synth_shifted)
+        deltas = {
+            b.address - a.address
+            for a, b in zip(synth_plain, synth_shifted)
+        }
+        assert deltas == {0x100000}
+
+    def test_time_scale_preserves_counts(self, bursty_trace):
+        scaled = scale_time(bursty_trace, 3)
+        profile = build_profile(scaled)
+        synthetic = synthesize(profile, seed=1)
+        assert len(synthetic) == len(bursty_trace)
+        assert synthetic.read_count() == bursty_trace.read_count()

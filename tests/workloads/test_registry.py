@@ -1,0 +1,59 @@
+"""Unit tests for the workload registry."""
+
+import pytest
+
+from repro.workloads.registry import (
+    TABLE_II_DEVICES,
+    TABLE_II_WORKLOADS,
+    available_workloads,
+    device_of,
+    make_generator,
+    workload_trace,
+)
+from repro.workloads.spec import SPEC_BENCHMARKS
+
+
+class TestTableII:
+    def test_18_traces(self):
+        # Table II: 2 crypto + 3 cpu-x + 5 DPU + 5 GPU + 3 HEVC = 18.
+        assert len(TABLE_II_WORKLOADS) == 18
+
+    def test_device_groups(self):
+        assert set(TABLE_II_DEVICES) == {"CPU", "DPU", "GPU", "VPU"}
+        assert len(TABLE_II_DEVICES["CPU"]) == 5
+        assert len(TABLE_II_DEVICES["DPU"]) == 5
+        assert len(TABLE_II_DEVICES["GPU"]) == 5
+        assert len(TABLE_II_DEVICES["VPU"]) == 3
+
+    def test_device_of(self):
+        assert device_of("hevc1") == "VPU"
+        assert device_of("trex2") == "GPU"
+        assert device_of("fbc-linear1") == "DPU"
+        assert device_of("crypto1") == "CPU"
+        assert device_of("gobmk") is None
+
+    def test_generator_name_matches_registry(self):
+        for name in TABLE_II_WORKLOADS:
+            assert make_generator(name).name == name
+
+
+class TestRegistry:
+    def test_available_includes_everything(self):
+        names = available_workloads()
+        assert set(TABLE_II_WORKLOADS) <= set(names)
+        assert set(SPEC_BENCHMARKS) <= set(names)
+        assert len(names) == len(TABLE_II_WORKLOADS) + len(SPEC_BENCHMARKS)
+
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError):
+            make_generator("quake3")
+
+    def test_workload_trace_shortcut(self):
+        trace = workload_trace("crypto1", num_requests=500)
+        assert len(trace) == 500
+
+    def test_multi_trace_workloads_distinct(self):
+        a = workload_trace("crypto1", 1_000)
+        b = workload_trace("crypto2", 1_000)
+        assert a != b
+        assert workload_trace("trex1", 1_000) != workload_trace("trex2", 1_000)

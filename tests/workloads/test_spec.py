@@ -1,0 +1,104 @@
+"""Unit tests for the SPEC-like CPU trace models."""
+
+import pytest
+
+from repro.workloads.spec import (
+    FIG15_BENCHMARKS,
+    SPEC_BENCHMARKS,
+    SPEC_PARAMS,
+    SpecWorkload,
+    spec_workloads,
+)
+
+
+class TestCatalog:
+    def test_23_benchmarks(self):
+        assert len(SPEC_BENCHMARKS) == 23
+
+    def test_fig15_subset(self):
+        assert set(FIG15_BENCHMARKS) <= set(SPEC_BENCHMARKS)
+        assert len(FIG15_BENCHMARKS) == 6
+
+    def test_params_complete(self):
+        for name in SPEC_BENCHMARKS:
+            params = SPEC_PARAMS[name]
+            assert params.footprint > 0
+            assert 0 <= params.write_fraction <= 1
+            assert params.phase_count >= 1
+
+    def test_spec_workloads_factory(self):
+        workloads = spec_workloads()
+        assert [w.name for w in workloads] == SPEC_BENCHMARKS
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            SpecWorkload("notabenchmark")
+
+
+class TestGeneration:
+    def test_exact_count(self):
+        trace = SpecWorkload("gobmk").generate(3_000)
+        assert len(trace) == 3_000
+
+    def test_word_sized_requests(self):
+        trace = SpecWorkload("milc").generate(2_000)
+        assert {r.size for r in trace} <= {4, 8}
+
+    def test_deterministic(self):
+        a = SpecWorkload("soplex", seed=1).generate(1_000)
+        b = SpecWorkload("soplex", seed=1).generate(1_000)
+        assert a == b
+
+    def test_sorted(self):
+        assert SpecWorkload("astar").generate(2_000).is_sorted()
+
+
+class TestPersonalities:
+    @staticmethod
+    def _footprint(name, count=20_000):
+        trace = SpecWorkload(name).generate(count)
+        return len({r.address // 64 for r in trace}) * 64
+
+    def test_libquantum_streams(self):
+        # Streaming benchmark: footprint grows with trace length.
+        trace = SpecWorkload("libquantum").generate(20_000)
+        blocks = {r.address // 64 for r in trace}
+        assert len(blocks) > 2_000
+
+    def test_hmmer_small_footprint(self):
+        assert self._footprint("hmmer") < self._footprint("libquantum")
+
+    def test_mcf_jumps_more_than_libquantum(self):
+        # Pointer-chasing hops between heap nodes far more often than a
+        # streaming benchmark leaves its stride.
+        def jump_fraction(name):
+            trace = SpecWorkload(name).generate(10_000)
+            addresses = [r.address for r in trace]
+            jumps = sum(1 for a, b in zip(addresses, addresses[1:]) if abs(b - a) > 64)
+            return jumps / (len(addresses) - 1)
+
+        assert jump_fraction("mcf") > jump_fraction("libquantum") * 1.2
+
+    def test_libquantum_stride_regular(self):
+        trace = SpecWorkload("libquantum").generate(10_000)
+        addresses = [r.address for r in trace]
+        strides = [b - a for a, b in zip(addresses, addresses[1:])]
+        assert strides.count(16) > len(strides) * 0.5
+
+    def test_write_fractions_differ(self):
+        lbm = SpecWorkload("lbm").generate(10_000)
+        sjeng = SpecWorkload("sjeng").generate(10_000)
+        lbm_fraction = lbm.write_count() / len(lbm)
+        sjeng_fraction = sjeng.write_count() / len(sjeng)
+        assert lbm_fraction > sjeng_fraction
+
+    def test_phase_behaviour(self):
+        # gcc has 8 phases over distinct footprint slices: address regions
+        # shift over time.
+        trace = SpecWorkload("gcc").generate(30_000)
+        first = {r.address // 4096 for r in list(trace)[:5_000] if r.address < 0x7000_0000}
+        later = {
+            r.address // 4096 for r in list(trace)[14_000:19_000] if r.address < 0x7000_0000
+        }
+        jaccard = len(first & later) / max(1, len(first | later))
+        assert jaccard < 0.6
