@@ -1,0 +1,132 @@
+"""Performance-regression snapshot (``-m perf``; excluded by default).
+
+Times the core hot paths (profile build, synthesis, trace replay) and
+the three slowest figure runners (Figs. 6, 13, 14) serially and under
+the parallel prewarm, verifies the parallel results are bit-identical,
+and writes the measurements to ``BENCH_perf.json`` at the repo root so
+the performance trajectory is tracked PR over PR (``scripts/bench.sh``
+diffs consecutive snapshots).
+
+Scale defaults to the bench scale (``MOCKTAILS_BENCH_REQUESTS`` /
+``MOCKTAILS_BENCH_SPEC_REQUESTS``); override with
+``MOCKTAILS_PERF_REQUESTS`` / ``MOCKTAILS_PERF_SPEC_REQUESTS``.
+"""
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.hierarchy import two_level_ts
+from repro.core.profiler import build_profile
+from repro.core.synthesis import synthesize
+from repro.eval import experiments
+from repro.eval.comparison import baseline_trace, clear_cache
+from repro.eval.parallel import jobs_for, prewarm
+from repro.sim.driver import simulate_trace
+
+from conftest import BENCH_REQUESTS, SPEC_REQUESTS
+
+pytestmark = pytest.mark.perf
+
+PERF_REQUESTS = int(os.environ.get("MOCKTAILS_PERF_REQUESTS", str(BENCH_REQUESTS)))
+PERF_SPEC_REQUESTS = int(
+    os.environ.get("MOCKTAILS_PERF_SPEC_REQUESTS", str(SPEC_REQUESTS))
+)
+CORE_REQUESTS = 20_000  # fixed scale for the synthesis/replay micro-timings
+
+FIG13_INTERVALS = (100_000, 500_000, 1_000_000)
+FIG14_BENCHMARKS = (
+    "gobmk", "h264ref", "hmmer", "libquantum", "mcf", "milc", "soplex", "zeusmp",
+)
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def _clear_caches():
+    clear_cache()
+    experiments._SPEC_SYNTH_CACHE.clear()
+    experiments._SPEC_SIZE_CACHE.clear()
+
+
+def _timed(func):
+    start = time.perf_counter()
+    result = func()
+    return result, time.perf_counter() - start
+
+
+def test_perf_snapshot(bench_jobs, capsys):
+    jobs = bench_jobs if bench_jobs > 1 else 4
+    timings = {}
+
+    # -- core hot paths ----------------------------------------------------
+    trace = baseline_trace("hevc1", CORE_REQUESTS)
+    profile, timings["profile_build"] = _timed(
+        lambda: build_profile(trace, two_level_ts(), name="hevc1")
+    )
+    synthetic, timings["synthesize"] = _timed(lambda: synthesize(profile, seed=1))
+    _, timings["replay"] = _timed(lambda: simulate_trace(synthetic))
+
+    # -- figure runners: serial (cold caches) ------------------------------
+    runners = {
+        "fig6": lambda: experiments.figure_6(PERF_REQUESTS),
+        "fig13": lambda: experiments.figure_13(
+            PERF_REQUESTS, intervals=FIG13_INTERVALS
+        ),
+        "fig14": lambda: experiments.figure_14(
+            PERF_SPEC_REQUESTS, benchmarks=FIG14_BENCHMARKS
+        ),
+    }
+    job_lists = {
+        "fig6": jobs_for("fig6", PERF_REQUESTS),
+        "fig13": jobs_for("fig13", PERF_REQUESTS, intervals=FIG13_INTERVALS),
+        "fig14": jobs_for("fig14", PERF_SPEC_REQUESTS, benchmarks=FIG14_BENCHMARKS),
+    }
+
+    serial_results = {}
+    for name, runner in runners.items():
+        _clear_caches()
+        serial_results[name], timings[f"{name}_serial"] = _timed(runner)
+
+    # -- figure runners: parallel prewarm + aggregate ----------------------
+    for name, runner in runners.items():
+        _clear_caches()
+        start = time.perf_counter()
+        prewarm(job_lists[name], processes=jobs)
+        result = runner()
+        timings[f"{name}_jobs{jobs}"] = time.perf_counter() - start
+        assert result == serial_results[name], (
+            f"{name}: parallel result differs from serial"
+        )
+
+    serial_total = sum(timings[f"{name}_serial"] for name in runners)
+    parallel_total = sum(timings[f"{name}_jobs{jobs}"] for name in runners)
+    timings["figures_serial_total"] = serial_total
+    timings[f"figures_jobs{jobs}_total"] = parallel_total
+
+    snapshot = {
+        "schema": 1,
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": {"cpus": os.cpu_count(), "python": platform.python_version()},
+        "scale": {
+            "core_requests": CORE_REQUESTS,
+            "figure_requests": PERF_REQUESTS,
+            "spec_requests": PERF_SPEC_REQUESTS,
+            "jobs": jobs,
+        },
+        "parallel_identical": True,  # asserted above
+        "speedup_serial_over_parallel": (
+            serial_total / parallel_total if parallel_total else None
+        ),
+        "timings_seconds": {key: round(value, 4) for key, value in timings.items()},
+    }
+    RESULT_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+    with capsys.disabled():
+        print(f"\n== perf snapshot ({PERF_REQUESTS:,} requests, jobs={jobs}) ==")
+        for key in sorted(timings):
+            print(f"  {key:>24}: {timings[key]:8.3f}s")
+        print(f"  -> {RESULT_PATH}")

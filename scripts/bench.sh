@@ -1,0 +1,23 @@
+#!/bin/sh
+# Run the perf-regression bench and diff BENCH_perf.json against the
+# previous snapshot.
+#
+# Usage: scripts/bench.sh [--jobs N] [extra pytest args...]
+set -eu
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+snapshot="$repo/BENCH_perf.json"
+previous="$repo/BENCH_perf.prev.json"
+
+if [ -f "$snapshot" ]; then
+    cp "$snapshot" "$previous"
+fi
+
+cd "$repo"
+PYTHONPATH=src python -m pytest benchmarks/test_perf.py -m perf -q -p no:cacheprovider "$@"
+
+if [ -f "$previous" ]; then
+    python scripts/bench_diff.py "$previous" "$snapshot"
+else
+    echo "no previous BENCH_perf.json - baseline recorded"
+fi

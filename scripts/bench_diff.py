@@ -1,0 +1,45 @@
+"""Diff two BENCH_perf.json snapshots: per-timing deltas, worst first.
+
+Usage: python scripts/bench_diff.py OLD.json NEW.json
+"""
+
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as handle:
+        old = json.load(handle)
+    with open(argv[2]) as handle:
+        new = json.load(handle)
+
+    if old.get("scale") != new.get("scale"):
+        print(f"note: scales differ ({old.get('scale')} vs {new.get('scale')}); "
+              "deltas are not comparable")
+
+    old_times = old.get("timings_seconds", {})
+    new_times = new.get("timings_seconds", {})
+    rows = []
+    for key in sorted(set(old_times) | set(new_times)):
+        before, after = old_times.get(key), new_times.get(key)
+        if before is None or after is None or before == 0:
+            rows.append((float("-inf"), key, before, after, None))
+        else:
+            rows.append((after / before - 1.0, key, before, after, after / before - 1.0))
+    rows.sort(reverse=True)
+
+    width = max(len(key) for _, key, *_ in rows)
+    print(f"{'timing':>{width}}  {'before':>8}  {'after':>8}  {'delta':>8}")
+    for _, key, before, after, delta in rows:
+        before_s = "-" if before is None else f"{before:8.3f}"
+        after_s = "-" if after is None else f"{after:8.3f}"
+        delta_s = "new/gone" if delta is None else f"{delta:+7.1%}"
+        print(f"{key:>{width}}  {before_s}  {after_s}  {delta_s}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

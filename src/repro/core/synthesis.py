@@ -122,6 +122,66 @@ class FeedbackSynthesizer:
             yield request
 
 
+class _DecrementalWeights:
+    """Weighted index sampling with O(log n) decrements (Fenwick tree).
+
+    Draw-for-draw compatible with ``rng.choices(range(n), weights)``: one
+    ``rng.random()`` call per choice, resolved with the same
+    insertion-point semantics over the exact integer cumulative weights
+    (comparisons pit the float threshold against exact integer prefix
+    sums, so no float accumulation error can flip a boundary). Replaces
+    rebuilding the full weight list on every draw.
+    """
+
+    __slots__ = ("_tree", "_size", "_top", "_total")
+
+    def __init__(self, weights: List[int]):
+        size = len(weights)
+        tree = [0] * (size + 1)
+        for index, weight in enumerate(weights, start=1):
+            tree[index] += weight
+            parent = index + (index & -index)
+            if parent <= size:
+                tree[parent] += tree[index]
+        self._tree = tree
+        self._size = size
+        top = 1
+        while (top << 1) <= size:
+            top <<= 1
+        self._top = top
+        self._total = sum(weights)
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def choose(self, rng: random.Random) -> int:
+        """Sample an index proportionally to the current weights."""
+        # random.choices picks the insertion point of random()*total in
+        # the cumulative weights, clamped to the last index.
+        threshold = rng.random() * self._total
+        tree = self._tree
+        position = 0
+        prefix = 0
+        bit = self._top
+        while bit:
+            probe = position + bit
+            if probe <= self._size and prefix + tree[probe] <= threshold:
+                position = probe
+                prefix += tree[probe]
+            bit >>= 1
+        return min(position, self._size - 1)
+
+    def decrement(self, index: int) -> None:
+        """Subtract 1 from ``weights[index]``."""
+        self._total -= 1
+        position = index + 1
+        tree = self._tree
+        while position <= self._size:
+            tree[position] -= 1
+            position += position & -position
+
+
 def synthesize_transition_based(
     profile: Profile,
     seed: Union[int, random.Random, None] = 0,
@@ -141,15 +201,14 @@ def synthesize_transition_based(
     positions = [0] * len(pending)
     requests: List[MemoryRequest] = []
     clock = min((leaf.start_time for leaf in profile), default=0)
-    remaining = sum(len(batch) for batch in pending)
-    while remaining:
-        weights = [len(batch) - pos for batch, pos in zip(pending, positions)]
-        index = rng.choices(range(len(pending)), weights=weights, k=1)[0]
+    weights = _DecrementalWeights([len(batch) for batch in pending])
+    while weights.total:
+        index = weights.choose(rng)
         batch, position = pending[index], positions[index]
         request = batch[position]
         if position > 0:
             clock += max(0, request.timestamp - batch[position - 1].timestamp)
         requests.append(MemoryRequest(clock, request.address, request.operation, request.size))
         positions[index] += 1
-        remaining -= 1
+        weights.decrement(index)
     return Trace(requests)

@@ -23,6 +23,8 @@ from .config import MemoryConfig
 class DramCoordinates:
     """Decoded location of one burst."""
 
+    __slots__ = ("channel", "rank", "bank", "row", "column")
+
     channel: int
     rank: int
     bank: int  # bank index within the rank
@@ -34,6 +36,15 @@ class DramCoordinates:
         """Flat bank index within the channel (rank-major)."""
         return self.rank * _BANK_STRIDE + self.bank
 
+    # frozen + __slots__ needs explicit pickle support: the default
+    # slot-state restore assigns through the (blocked) __setattr__.
+    def __getstate__(self):
+        return (self.channel, self.rank, self.bank, self.row, self.column)
+
+    def __setstate__(self, state):
+        for name, value in zip(self.__slots__, state):
+            object.__setattr__(self, name, value)
+
 
 _BANK_STRIDE = 1 << 20  # large constant so bank_id never collides across ranks
 
@@ -43,14 +54,28 @@ class Burst:
     """One burst-sized DRAM packet derived from a memory request.
 
     ``request_id`` links bursts back to their originating request so the
-    memory system can report per-request completion latency.
+    memory system can report per-request completion latency. ``bank_id``
+    caches ``coordinates.bank_id``, which the controller's scheduler
+    reads on every decision.
     """
+
+    __slots__ = (
+        "address",
+        "operation",
+        "coordinates",
+        "arrival_time",
+        "request_id",
+        "bank_id",
+    )
 
     address: int
     operation: Operation
     coordinates: DramCoordinates
     arrival_time: int
     request_id: int
+
+    def __post_init__(self) -> None:
+        self.bank_id = self.coordinates.bank_id
 
     @property
     def is_read(self) -> bool:

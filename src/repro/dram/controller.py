@@ -23,8 +23,9 @@ at a fraction of the cost of a cycle-accurate loop.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
 
 from .address_map import Burst
 from .config import MemoryConfig
@@ -34,10 +35,106 @@ from .stats import ControllerStats
 CompletionCallback = Callable[[int, int, bool], None]
 
 
-@dataclass
 class _BankState:
-    open_row: Optional[int] = None
-    ready_at: int = 0  # earliest time the next column access may start
+    __slots__ = ("open_row", "ready_at")
+
+    def __init__(self) -> None:
+        self.open_row: Optional[int] = None
+        self.ready_at = 0  # earliest time the next column access may start
+
+
+class _BurstQueue:
+    """FCFS burst queue with a per-(bank, row) index for FR-FCFS.
+
+    Bursts must be enqueued in nondecreasing ``arrival_time`` order (the
+    memory system accepts requests in time order), so the FIFO-oldest
+    entry is also the earliest arrival — making the earliest-arrival
+    lookup O(1) instead of a ``min()`` scan per scheduling decision.
+
+    ``_entries`` maps a monotonically increasing sequence number to the
+    queued burst (dict order == FIFO order; entries are only ever
+    deleted, never reordered). ``_by_row`` maps (bank_id, row) to the
+    sequence numbers of queued bursts targeting that row, so row-hit
+    searches touch only the banks that currently hold an open row
+    instead of scanning the whole queue. Because FR-FCFS only ever pops
+    either a row-index head or the FIFO-oldest entry, popped sequence
+    numbers are cleaned from their row deque eagerly and the index never
+    accumulates stale entries beyond the live queue.
+    """
+
+    __slots__ = ("_entries", "_by_row", "_next_seq", "_last_arrival")
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, Burst] = {}
+        self._by_row: Dict[Tuple[int, int], Deque[int]] = {}
+        self._next_seq = 0
+        self._last_arrival = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Burst]:
+        return iter(self._entries.values())
+
+    def append(self, burst: Burst) -> None:
+        arrival = burst.arrival_time
+        if arrival < self._last_arrival:
+            raise ValueError(
+                f"bursts must be enqueued in arrival order "
+                f"({arrival} < {self._last_arrival})"
+            )
+        self._last_arrival = arrival
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        self._entries[seq] = burst
+        key = (burst.bank_id, burst.coordinates.row)
+        row_queue = self._by_row.get(key)
+        if row_queue is None:
+            self._by_row[key] = deque((seq,))
+        else:
+            row_queue.append(seq)
+
+    def oldest_seq(self) -> Optional[int]:
+        """Sequence number of the FIFO-oldest queued burst."""
+        if not self._entries:
+            return None
+        return next(iter(self._entries))
+
+    def earliest_arrival(self) -> int:
+        """Arrival time of the oldest queued burst (queue must be non-empty)."""
+        return self._entries[next(iter(self._entries))].arrival_time
+
+    def burst(self, seq: int) -> Burst:
+        return self._entries[seq]
+
+    def first_for_row(self, bank_id: int, row: int) -> Optional[int]:
+        """Sequence number of the oldest queued burst hitting (bank, row)."""
+        key = (bank_id, row)
+        row_queue = self._by_row.get(key)
+        if row_queue is None:
+            return None
+        entries = self._entries
+        while row_queue and row_queue[0] not in entries:
+            row_queue.popleft()
+        if not row_queue:
+            del self._by_row[key]
+            return None
+        return row_queue[0]
+
+    def has_row(self, bank_id: int, row: int) -> bool:
+        return self.first_for_row(bank_id, row) is not None
+
+    def pop(self, seq: int) -> Burst:
+        burst = self._entries.pop(seq)
+        key = (burst.bank_id, burst.coordinates.row)
+        row_queue = self._by_row.get(key)
+        if row_queue is not None:
+            entries = self._entries
+            while row_queue and row_queue[0] not in entries:
+                row_queue.popleft()
+            if not row_queue:
+                del self._by_row[key]
+        return burst
 
 
 @dataclass
@@ -53,8 +150,8 @@ class MemoryController:
     def __post_init__(self) -> None:
         from .chargecache import ChargeCache
 
-        self._read_queue: List[Burst] = []
-        self._write_queue: List[Burst] = []
+        self._read_queue = _BurstQueue()
+        self._write_queue = _BurstQueue()
         self._banks: Dict[int, _BankState] = {}
         self._bus_free_at = 0
         self._last_was_write: Optional[bool] = None
@@ -101,7 +198,10 @@ class MemoryController:
     # -- scheduling ------------------------------------------------------------
 
     def _bank(self, burst: Burst) -> _BankState:
-        return self._banks.setdefault(burst.coordinates.bank_id, _BankState())
+        bank = self._banks.get(burst.bank_id)
+        if bank is None:
+            self._banks[burst.bank_id] = bank = _BankState()
+        return bank
 
     def _choose_direction(self) -> Optional[bool]:
         """Pick the queue to service next; returns is_write or None if idle."""
@@ -129,22 +229,32 @@ class MemoryController:
             self.stats.reads_per_turnaround.append(self._reads_since_turnaround)
             self._reads_since_turnaround = 0
 
-    def _pick_burst(self, queue: List[Burst], decision_time: int) -> Optional[int]:
-        """FR-FCFS: first arrived row-hit, else the oldest arrived burst."""
-        oldest: Optional[int] = None
-        for index, burst in enumerate(queue):
-            if burst.arrival_time > decision_time:
-                continue
-            if oldest is None:
-                oldest = index
-            bank = self._banks.get(burst.coordinates.bank_id)
-            if bank is not None and bank.open_row == burst.coordinates.row:
-                return index
-        return oldest
+    def _pick_burst(self, queue: _BurstQueue, decision_time: int) -> Optional[int]:
+        """FR-FCFS: first arrived row-hit, else the oldest arrived burst.
 
-    def _next_decision_time(self, queue: List[Burst]) -> int:
-        earliest_arrival = min(burst.arrival_time for burst in queue)
-        return max(self._bus_free_at, earliest_arrival)
+        Returns the chosen burst's queue sequence number. Instead of
+        scanning the queue, the row-hit search consults the queue's
+        (bank, row) index for each bank that holds an open row — at most
+        one candidate per bank. Because bursts arrive in FIFO order, the
+        earliest row-hit candidate being un-arrived means every row-hit
+        is un-arrived, and the FIFO-oldest entry is the oldest arrival.
+        """
+        best: Optional[int] = None
+        for bank_id, bank in self._banks.items():
+            if bank.open_row is None:
+                continue
+            seq = queue.first_for_row(bank_id, bank.open_row)
+            if seq is not None and (best is None or seq < best):
+                best = seq
+        if best is not None and queue.burst(best).arrival_time <= decision_time:
+            return best
+        oldest = queue.oldest_seq()
+        if oldest is not None and queue.burst(oldest).arrival_time <= decision_time:
+            return oldest
+        return None
+
+    def _next_decision_time(self, queue: _BurstQueue) -> int:
+        return max(self._bus_free_at, queue.earliest_arrival())
 
     def _apply_refresh(self, decision_time: int) -> int:
         """Stall for any refresh windows that expire before ``decision_time``."""
@@ -160,11 +270,11 @@ class MemoryController:
             self.stats.refreshes += 1
         return decision_time
 
-    def _issue(self, queue: List[Burst], index: int, decision_time: int) -> int:
+    def _issue(self, queue: _BurstQueue, seq: int, decision_time: int) -> int:
         """Issue one burst; returns the time the data transfer finishes."""
         timing = self.config.timing
         decision_time = self._apply_refresh(decision_time)
-        burst = queue.pop(index)
+        burst = queue.pop(seq)
         bank = self._bank(burst)
         row = burst.coordinates.row
         row_hit = bank.open_row == row
@@ -176,10 +286,10 @@ class MemoryController:
         if not row_hit:
             if bank.open_row is not None:
                 start += timing.t_rp
-                self._record_row_close(burst.coordinates.bank_id, bank.open_row, start)
+                self._record_row_close(burst.bank_id, bank.open_row, start)
             activation = timing.t_rcd
             if self.charge_cache is not None and self.charge_cache.lookup(
-                burst.coordinates.bank_id, row, start
+                burst.bank_id, row, start
             ):
                 # Recently-closed row still holds charge: faster activate.
                 activation = max(0, activation - self.charge_cache.activation_saving)
@@ -194,11 +304,11 @@ class MemoryController:
         # Open-adaptive page policy: keep the row open only when another
         # queued burst will hit it; otherwise precharge right away.
         if self.config.page_policy == "open_adaptive" and not self._has_pending_row_hit(
-            burst.coordinates.bank_id, row
+            burst.bank_id, row
         ):
             bank.open_row = None
             bank.ready_at = finish + timing.t_rp
-            self._record_row_close(burst.coordinates.bank_id, row, finish + timing.t_rp)
+            self._record_row_close(burst.bank_id, row, finish + timing.t_rp)
 
         completion = finish + (timing.t_cl if burst.is_read else 0)
         self._record_issue(burst, row_hit)
@@ -211,12 +321,9 @@ class MemoryController:
             self.charge_cache.insert(bank_id, row, now)
 
     def _has_pending_row_hit(self, bank_id: int, row: int) -> bool:
-        for queue in (self._read_queue, self._write_queue):
-            for burst in queue:
-                coords = burst.coordinates
-                if coords.bank_id == bank_id and coords.row == row:
-                    return True
-        return False
+        return self._read_queue.has_row(bank_id, row) or self._write_queue.has_row(
+            bank_id, row
+        )
 
     def _record_issue(self, burst: Burst, row_hit: bool) -> None:
         stats = self.stats
@@ -225,7 +332,7 @@ class MemoryController:
             stats.first_issue_time = self._bus_free_at - timing.t_burst
         stats.last_finish_time = self._bus_free_at
         stats.data_bus_busy_cycles += timing.t_burst
-        bank_id = burst.coordinates.bank_id
+        bank_id = burst.bank_id
         if burst.is_read:
             stats.read_bursts += 1
             stats.read_row_hits += row_hit
@@ -248,13 +355,13 @@ class MemoryController:
             decision_time = self._next_decision_time(queue)
             if decision_time >= time_limit:
                 return
-            index = self._pick_burst(queue, decision_time)
-            if index is None:
+            seq = self._pick_burst(queue, decision_time)
+            if seq is None:
                 # Nothing in the active queue has arrived yet; re-evaluate at
                 # the earliest arrival (handled by decision_time), so this
                 # only happens when time_limit cuts in between.
                 return
-            self._issue(queue, index, decision_time)
+            self._issue(queue, seq, decision_time)
 
     def service_one(self) -> int:
         """Issue exactly one burst regardless of time (backpressure relief).
@@ -266,9 +373,9 @@ class MemoryController:
             raise RuntimeError("service_one called with empty queues")
         queue = self._write_queue if direction else self._read_queue
         decision_time = self._next_decision_time(queue)
-        index = self._pick_burst(queue, decision_time)
-        assert index is not None  # decision_time >= some arrival by construction
-        return self._issue(queue, index, decision_time)
+        seq = self._pick_burst(queue, decision_time)
+        assert seq is not None  # decision_time >= some arrival by construction
+        return self._issue(queue, seq, decision_time)
 
     def drain(self) -> None:
         """Service everything that is still queued."""

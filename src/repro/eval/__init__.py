@@ -1,4 +1,9 @@
-"""Evaluation harness: per-figure experiment runners and error metrics."""
+"""Evaluation harness: per-figure experiment runners and error metrics.
+
+For multi-core machines, :mod:`repro.eval.parallel` fans the independent
+simulation jobs behind each figure out across worker processes (see
+``python -m repro.eval run <exp> --jobs N``).
+"""
 
 from .comparison import WorkloadRun, baseline_trace, clear_cache, dram_comparison
 from .metrics import (

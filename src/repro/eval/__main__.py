@@ -174,12 +174,17 @@ def _print_generic(result) -> None:
     print(format_table(headers, rows))
 
 
-def run_experiment(name: str, num_requests: int) -> None:
+def run_experiment(name: str, num_requests: int, jobs: int = 1) -> None:
     runner, printer = EXPERIMENTS[name]
     start = time.time()
+    if jobs > 1:
+        from .parallel import jobs_for, prewarm
+
+        prewarm(jobs_for(name, num_requests), processes=jobs)
     result = runner(num_requests)
     elapsed = time.time() - start
-    print(f"\n=== {name} ({num_requests:,} requests/trace, {elapsed:.1f}s) ===")
+    workers = f", {jobs} jobs" if jobs > 1 else ""
+    print(f"\n=== {name} ({num_requests:,} requests/trace, {elapsed:.1f}s{workers}) ===")
     (printer or _print_generic)(result)
 
 
@@ -194,8 +199,13 @@ def main(argv=None) -> int:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--requests", type=int, default=20_000,
                      help="requests per trace (default 20,000)")
+    run.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for the simulation fan-out "
+                          "(default 1 = serial; results are identical)")
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--requests", type=int, default=20_000)
+    everything.add_argument("--jobs", type=int, default=1,
+                            help="worker processes per experiment")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -203,10 +213,10 @@ def main(argv=None) -> int:
             print(name)
         return 0
     if args.command == "run":
-        run_experiment(args.experiment, args.requests)
+        run_experiment(args.experiment, args.requests, jobs=args.jobs)
         return 0
     for name in EXPERIMENTS:
-        run_experiment(name, args.requests)
+        run_experiment(name, args.requests, jobs=args.jobs)
     return 0
 
 

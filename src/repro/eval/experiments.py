@@ -265,9 +265,12 @@ def figure_12(
     return result
 
 
+FIG13_INTERVALS = (100_000, 250_000, 500_000, 750_000, 1_000_000)
+
+
 def figure_13(
     num_requests: int = DEFAULT_REQUESTS,
-    intervals: Sequence[int] = (100_000, 250_000, 500_000, 750_000, 1_000_000),
+    intervals: Sequence[int] = FIG13_INTERVALS,
 ) -> Dict[str, List[Tuple[int, float]]]:
     """Average-memory-access-latency error vs temporal partition size."""
     result: Dict[str, List[Tuple[int, float]]] = {device: [] for device in DEVICES}
@@ -392,26 +395,39 @@ def figure_16(
     return _associativity_sweep("write_backs", num_requests, benchmarks, associativities)
 
 
+_SPEC_SIZE_CACHE: Dict[Tuple[str, int], dict] = {}
+
+
+def spec_size_record(benchmark: str, num_requests: int = DEFAULT_REQUESTS) -> dict:
+    """On-disk sizes for one benchmark: trace vs dynamic vs 4KB profile."""
+    key = (benchmark, num_requests)
+    cached = _SPEC_SIZE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    interval = _spec_interval(num_requests)
+    trace = make_generator(benchmark).generate(num_requests)
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_bytes = trace.save_binary(Path(tmp) / f"{benchmark}.mtr.gz")
+    dynamic = build_profile(trace, two_level_rs(interval, "dynamic"))
+    fixed = build_profile(trace, two_level_rs(interval, "fixed"))
+    record = {
+        "trace": trace_bytes,
+        "dynamic": profile_size_bytes(dynamic),
+        "fixed4k": profile_size_bytes(fixed),
+    }
+    _SPEC_SIZE_CACHE[key] = record
+    return record
+
+
 def figure_17(
     num_requests: int = DEFAULT_REQUESTS,
     benchmarks: Optional[Sequence[str]] = None,
 ) -> Dict[str, dict]:
     """On-disk sizes: trace vs dynamic-profile vs 4KB-profile (bytes)."""
     benchmarks = list(benchmarks) if benchmarks is not None else SPEC_BENCHMARKS
-    interval = _spec_interval(num_requests)
-    result = {}
-    with tempfile.TemporaryDirectory() as tmp:
-        for benchmark in benchmarks:
-            trace = make_generator(benchmark).generate(num_requests)
-            trace_bytes = trace.save_binary(Path(tmp) / f"{benchmark}.mtr.gz")
-            dynamic = build_profile(trace, two_level_rs(interval, "dynamic"))
-            fixed = build_profile(trace, two_level_rs(interval, "fixed"))
-            result[benchmark] = {
-                "trace": trace_bytes,
-                "dynamic": profile_size_bytes(dynamic),
-                "fixed4k": profile_size_bytes(fixed),
-            }
-    return result
+    return {
+        benchmark: spec_size_record(benchmark, num_requests) for benchmark in benchmarks
+    }
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,244 @@
+"""Process-pool fan-out for the experiment runners.
+
+The expensive experiments are embarrassingly parallel: Figs. 6-13 run
+one independent baseline/McC/STM simulation trio per (workload,
+interval), and Figs. 14-17 sweep 23 independent SPEC-like benchmarks.
+This module fans those unit jobs out across worker processes and merges
+the results back into the caches the figure runners read
+(:mod:`repro.eval.comparison` and :mod:`repro.eval.experiments`), so a
+subsequent figure call computes nothing — it only aggregates.
+
+Determinism: every job carries its seeds explicitly and the workload
+generators derive their RNG streams from stable (crc32) name hashes, so
+a worker process reproduces exactly the simulation the serial path
+would have run. Figure results after a parallel prewarm are therefore
+bit-identical to serial execution — the aggregation code is literally
+the same, only the cache-fill order differs (and every cache is keyed,
+never order-dependent).
+
+Usage::
+
+    from repro.eval.parallel import jobs_for, prewarm
+
+    prewarm(jobs_for("fig6", 20_000), processes=4)
+    figure_6(20_000)          # served entirely from the warmed cache
+
+or, end to end::
+
+    run_experiment("fig6", 20_000, processes=4)
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..workloads.registry import TABLE_II_WORKLOADS
+from ..workloads.spec import FIG15_BENCHMARKS, SPEC_BENCHMARKS
+from . import comparison, experiments
+from .comparison import DEFAULT_INTERVAL, DEFAULT_REQUESTS
+
+
+@dataclass(frozen=True)
+class DramJob:
+    """One baseline/McC(/STM) DRAM simulation trio (Figs. 6-13)."""
+
+    name: str
+    num_requests: int = DEFAULT_REQUESTS
+    seed: int = 0
+    interval: int = DEFAULT_INTERVAL
+    include_stm: bool = True
+
+
+@dataclass(frozen=True)
+class SpecJob:
+    """Baseline + three synthetic traces for one SPEC-like benchmark
+    (Figs. 14-16)."""
+
+    benchmark: str
+    num_requests: int = DEFAULT_REQUESTS
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class SizeJob:
+    """Trace/profile on-disk size measurement for one benchmark (Fig. 17)."""
+
+    benchmark: str
+    num_requests: int = DEFAULT_REQUESTS
+
+
+Job = Union[DramJob, SpecJob, SizeJob]
+
+
+def execute_job(job: Job) -> Tuple[Job, object]:
+    """Run one job (in whatever process this is) and return its payload."""
+    if isinstance(job, DramJob):
+        payload = comparison.dram_comparison(
+            job.name,
+            job.num_requests,
+            seed=job.seed,
+            interval=job.interval,
+            include_stm=job.include_stm,
+        )
+    elif isinstance(job, SpecJob):
+        payload = experiments.spec_synthetics(job.benchmark, job.num_requests, job.seed)
+    elif isinstance(job, SizeJob):
+        payload = experiments.spec_size_record(job.benchmark, job.num_requests)
+    else:
+        raise TypeError(f"unknown job type: {job!r}")
+    return job, payload
+
+
+def _install(job: Job, payload: object) -> None:
+    """Merge one job result into the cache its figure runner reads."""
+    if isinstance(job, DramJob):
+        key = (job.name, job.num_requests, job.seed, job.interval, job.include_stm, None)
+        comparison._run_cache[key] = payload
+    elif isinstance(job, SpecJob):
+        experiments._SPEC_SYNTH_CACHE[(job.benchmark, job.num_requests, job.seed)] = payload
+    elif isinstance(job, SizeJob):
+        experiments._SPEC_SIZE_CACHE[(job.benchmark, job.num_requests)] = payload
+    else:  # pragma: no cover - guarded in execute_job
+        raise TypeError(f"unknown job type: {job!r}")
+
+
+def default_processes() -> int:
+    """Worker count when none is given: all cores, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def _make_pool(processes: int) -> ProcessPoolExecutor:
+    # fork (where available) keeps workers cheap; spawn works too because
+    # jobs and payloads are plain picklable dataclasses.
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    return ProcessPoolExecutor(max_workers=processes, mp_context=context)
+
+
+def prewarm(jobs: Sequence[Job], processes: Optional[int] = None) -> int:
+    """Execute ``jobs`` and merge the results into the runner caches.
+
+    With ``processes`` <= 1 the jobs run serially in this process (still
+    warming the caches, so the figure call afterwards is identical
+    either way). Returns the number of jobs actually executed — jobs
+    whose results are already cached are skipped.
+    """
+    todo = [job for job in dict.fromkeys(jobs) if not _is_cached(job)]
+    if not todo:
+        return 0
+    processes = default_processes() if processes is None else processes
+    if processes <= 1 or len(todo) == 1:
+        for job in todo:
+            _install(*execute_job(job))
+        return len(todo)
+    with _make_pool(min(processes, len(todo))) as pool:
+        for job, payload in pool.map(execute_job, todo):
+            _install(job, payload)
+    return len(todo)
+
+
+def _is_cached(job: Job) -> bool:
+    if isinstance(job, DramJob):
+        key = (job.name, job.num_requests, job.seed, job.interval, job.include_stm, None)
+        return key in comparison._run_cache
+    if isinstance(job, SpecJob):
+        return (job.benchmark, job.num_requests, job.seed) in experiments._SPEC_SYNTH_CACHE
+    if isinstance(job, SizeJob):
+        return (job.benchmark, job.num_requests) in experiments._SPEC_SIZE_CACHE
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Experiment -> job-list mapping
+# ---------------------------------------------------------------------------
+
+
+def _device_sweep(num_requests: int, **_: object) -> List[Job]:
+    return [DramJob(name, num_requests) for name in TABLE_II_WORKLOADS]
+
+
+def _workloads(*names: str) -> Callable[..., List[Job]]:
+    def jobs(num_requests: int, **_: object) -> List[Job]:
+        return [DramJob(name, num_requests) for name in names]
+
+    return jobs
+
+
+def _fig13_jobs(
+    num_requests: int, intervals: Optional[Sequence[int]] = None, **_: object
+) -> List[Job]:
+    intervals = experiments.FIG13_INTERVALS if intervals is None else intervals
+    return [
+        DramJob(name, num_requests, interval=interval, include_stm=False)
+        for interval in intervals
+        for name in TABLE_II_WORKLOADS
+    ]
+
+
+def _spec_sweep(
+    default_benchmarks: Sequence[str],
+) -> Callable[..., List[Job]]:
+    def jobs(
+        num_requests: int, benchmarks: Optional[Sequence[str]] = None, **_: object
+    ) -> List[Job]:
+        names = default_benchmarks if benchmarks is None else benchmarks
+        return [SpecJob(benchmark, num_requests) for benchmark in names]
+
+    return jobs
+
+
+def _fig17_jobs(
+    num_requests: int, benchmarks: Optional[Sequence[str]] = None, **_: object
+) -> List[Job]:
+    names = SPEC_BENCHMARKS if benchmarks is None else benchmarks
+    return [SizeJob(benchmark, num_requests) for benchmark in names]
+
+
+JOB_BUILDERS: Dict[str, Callable[..., List[Job]]] = {
+    "fig6": _device_sweep,
+    "fig7": _device_sweep,
+    "fig8": _workloads("trex1"),
+    "fig9": _device_sweep,
+    "fig10": _workloads("fbc-linear1", "fbc-tiled1"),
+    "fig11": _workloads("fbc-linear1", "fbc-tiled1"),
+    "fig12": _workloads("fbc-linear1"),
+    "fig13": _fig13_jobs,
+    "fig14": _spec_sweep(SPEC_BENCHMARKS),
+    "fig15": _spec_sweep(tuple(FIG15_BENCHMARKS)),
+    "fig16": _spec_sweep(tuple(FIG15_BENCHMARKS)),
+    "fig17": _fig17_jobs,
+}
+
+
+def jobs_for(experiment: str, num_requests: int, **kwargs: object) -> List[Job]:
+    """The unit jobs behind one experiment's runner.
+
+    ``kwargs`` mirror the runner's own keyword arguments where they
+    change the work to be done (``intervals`` for fig13, ``benchmarks``
+    for figs 14-17). Experiments without a parallel decomposition
+    (fig2/fig3/table1 and the extension studies are single-simulation
+    or trivially cheap) return an empty list.
+    """
+    builder = JOB_BUILDERS.get(experiment)
+    if builder is None:
+        return []
+    return builder(num_requests, **kwargs)
+
+
+def run_experiment(
+    experiment: str,
+    num_requests: int,
+    processes: Optional[int] = None,
+    **kwargs: object,
+):
+    """Prewarm an experiment's jobs in parallel, then run its runner."""
+    runner = getattr(experiments, _RUNNER_NAMES[experiment])
+    prewarm(jobs_for(experiment, num_requests, **kwargs), processes=processes)
+    return runner(num_requests, **kwargs)
+
+
+_RUNNER_NAMES = {name: f"figure_{name[3:]}" for name in JOB_BUILDERS}

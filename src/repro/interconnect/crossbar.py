@@ -33,6 +33,8 @@ class CrossbarConfig:
 class Crossbar:
     """Forwards requests from one device port into the memory system."""
 
+    __slots__ = ("memory", "config", "_last_forward_time", "total_delay")
+
     def __init__(self, memory: MemorySystem, config: Optional[CrossbarConfig] = None):
         self.memory = memory
         self.config = config if config is not None else CrossbarConfig()

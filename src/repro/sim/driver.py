@@ -3,22 +3,23 @@
 Mirrors the paper's validation platform (Sec. IV-A): a traffic generator
 feeding main memory through a crossbar. Three entry points:
 
-* :func:`simulate_trace` — replay a trace (the *baseline* runs, and
-  Option A synthesis, where a synthetic trace is produced first);
+* :func:`simulate_trace` — replay a trace or any time-ordered request
+  iterable (the *baseline* runs, and Option A synthesis);
 * :func:`simulate_profile` — coupled Option B: synthesis pulls requests
   from a :class:`FeedbackSynthesizer` and feeds backpressure delays back
   into its timestamps;
-* :func:`simulate_synthetic` — convenience: profile -> trace -> replay.
+* :func:`simulate_synthetic` — Option A: profile -> streamed synthetic
+  requests -> replay, without materializing the trace.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from ..core.profile import Profile
-from ..core.synthesis import FeedbackSynthesizer, synthesize
-from ..core.trace import Trace
+from ..core.request import MemoryRequest
+from ..core.synthesis import FeedbackSynthesizer, synthesize_stream
 from ..dram.config import MemoryConfig
 from ..dram.memory_system import MemorySystem
 from ..dram.stats import MemorySystemStats
@@ -26,11 +27,16 @@ from ..interconnect.crossbar import Crossbar, CrossbarConfig
 
 
 def simulate_trace(
-    trace: Trace,
+    trace: Iterable[MemoryRequest],
     config: Optional[MemoryConfig] = None,
     crossbar_config: Optional[CrossbarConfig] = None,
 ) -> MemorySystemStats:
-    """Replay a time-ordered trace through crossbar + memory system."""
+    """Replay a time-ordered request stream through crossbar + memory.
+
+    Accepts a :class:`~repro.core.trace.Trace` or any iterable of
+    time-ordered requests — including a lazy generator, so synthetic
+    streams can be replayed without materializing the full trace.
+    """
     memory = MemorySystem(config)
     crossbar = Crossbar(memory, crossbar_config)
     for request in trace:
@@ -68,7 +74,13 @@ def simulate_synthetic(
     seed: Union[int, random.Random, None] = 0,
     strict: bool = True,
 ) -> MemorySystemStats:
-    """Option A: synthesize a full trace first, then replay it."""
+    """Option A: synthesize and replay, streaming request by request.
+
+    Equivalent to replaying :func:`~repro.core.synthesis.synthesize`'s
+    trace, but the synthetic requests are fed straight from the
+    priority-queue merge into the simulator without buffering the whole
+    stream in memory first.
+    """
     return simulate_trace(
-        synthesize(profile, seed=seed, strict=strict), config, crossbar_config
+        synthesize_stream(profile, seed=seed, strict=strict), config, crossbar_config
     )

@@ -10,6 +10,7 @@ substitutions). Every generator is deterministic given its seed.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Optional
 
 from ..core.request import MemoryRequest, Operation
@@ -68,7 +69,11 @@ class WorkloadGenerator:
         raise NotImplementedError
 
     def _rng(self, salt: int = 0) -> random.Random:
-        return random.Random((hash(self.name) & 0xFFFF_FFFF) ^ self.seed ^ (salt << 16))
+        # crc32 rather than hash(): string hashing is randomized per
+        # process (PYTHONHASHSEED), and generators must produce identical
+        # traces everywhere — including parallel worker processes.
+        name_hash = zlib.crc32(self.name.encode("utf-8"))
+        return random.Random(name_hash ^ self.seed ^ (salt << 16))
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r}, seed={self.seed})"

@@ -150,3 +150,25 @@ class TestTransitionBasedSynthesis:
         # stream generally differs from the paper's approach.
         profile = build_profile(bursty_trace)
         assert synthesize_transition_based(profile, seed=1) != synthesize(profile, seed=1)
+
+    def test_decremental_weights_match_rng_choices(self):
+        # The Fenwick-tree sampler must be draw-for-draw identical to the
+        # rng.choices(range(n), weights=...) loop it replaced.
+        from repro.core.synthesis import _DecrementalWeights
+
+        for trial in range(30):
+            seed_rng = random.Random(1000 + trial)
+            counts = [seed_rng.randrange(0, 8) for _ in range(seed_rng.randrange(1, 12))]
+            if not sum(counts):
+                counts[0] = 1
+
+            rng_a, rng_b = random.Random(trial), random.Random(trial)
+            weights = _DecrementalWeights(list(counts))
+            remaining = list(counts)
+            while weights.total:
+                chosen = weights.choose(rng_a)
+                expected = rng_b.choices(range(len(remaining)), weights=remaining)[0]
+                assert chosen == expected
+                weights.decrement(chosen)
+                remaining[chosen] -= 1
+            assert sum(remaining) == 0

@@ -1,0 +1,181 @@
+"""Invariant tests for the controller's per-(bank, row) burst index.
+
+``_BurstQueue`` replaces the old O(queue) scans in FR-FCFS row-hit
+search and the open-adaptive page policy. These tests pin the index to
+a brute-force reference model through random enqueue/pop workloads, and
+check the controller end to end against the same request stream.
+"""
+
+import random
+
+import pytest
+
+from repro.core.request import MemoryRequest, Operation
+from repro.dram.address_map import Burst, DramCoordinates
+from repro.dram.config import MemoryConfig
+from repro.dram.controller import _BurstQueue
+from repro.dram.memory_system import MemorySystem
+
+
+def _burst(arrival, bank=0, row=0, op=Operation.READ, rank=0):
+    coords = DramCoordinates(channel=0, rank=rank, bank=bank, row=row, column=0)
+    return Burst(
+        address=arrival,
+        operation=op,
+        coordinates=coords,
+        arrival_time=arrival,
+        request_id=arrival,
+    )
+
+
+def _reference_first_for_row(bursts, bank_id, row):
+    """Brute-force oldest queued burst hitting (bank, row)."""
+    for seq, burst in bursts:
+        if burst.bank_id == bank_id and burst.coordinates.row == row:
+            return seq
+    return None
+
+
+def test_append_pop_keeps_fifo_and_row_index():
+    queue = _BurstQueue()
+    first = _burst(10, bank=0, row=5)
+    second = _burst(11, bank=0, row=5)
+    third = _burst(12, bank=1, row=5)
+    for burst in (first, second, third):
+        queue.append(burst)
+
+    assert len(queue) == 3
+    assert queue.earliest_arrival() == 10
+    assert queue.oldest_seq() == 0
+    assert queue.first_for_row(first.bank_id, 5) == 0
+    assert queue.first_for_row(third.bank_id, 5) == 2
+    assert queue.first_for_row(first.bank_id, 99) is None
+
+    assert queue.pop(0) is first
+    assert queue.first_for_row(first.bank_id, 5) == 1
+    assert queue.earliest_arrival() == 11
+    assert queue.pop(1) is second
+    assert not queue.has_row(first.bank_id, 5)
+    assert queue.has_row(third.bank_id, 5)
+    assert queue.pop(2) is third
+    assert len(queue) == 0
+    assert queue.oldest_seq() is None
+
+
+def test_out_of_order_arrival_rejected():
+    queue = _BurstQueue()
+    queue.append(_burst(100))
+    with pytest.raises(ValueError):
+        queue.append(_burst(99))
+    # equal arrivals are fine (many bursts of one request share a timestamp)
+    queue.append(_burst(100))
+
+
+def test_index_matches_brute_force_under_random_workload():
+    rng = random.Random(7)
+    queue = _BurstQueue()
+    reference = []  # list of (seq, burst) in FIFO order
+    seq_counter = 0
+    arrival = 0
+    for _ in range(2000):
+        if reference and rng.random() < 0.45:
+            # Pop the way FR-FCFS does: a row-index head or the FIFO head.
+            if rng.random() < 0.5:
+                seq = reference[0][0]
+            else:
+                victim = rng.choice(reference)
+                seq = _reference_first_for_row(
+                    reference, victim[1].bank_id, victim[1].coordinates.row
+                )
+            queue.pop(seq)
+            reference = [entry for entry in reference if entry[0] != seq]
+        else:
+            arrival += rng.randrange(3)
+            burst = _burst(arrival, bank=rng.randrange(4), row=rng.randrange(6))
+            queue.append(burst)
+            reference.append((seq_counter, burst))
+            seq_counter += 1
+
+        assert len(queue) == len(reference)
+        assert list(queue) == [burst for _, burst in reference]
+        if reference:
+            assert queue.oldest_seq() == reference[0][0]
+            assert queue.earliest_arrival() == reference[0][1].arrival_time
+        for bank in range(4):
+            for row in range(6):
+                bank_id = _burst(0, bank=bank).bank_id
+                assert queue.first_for_row(bank_id, row) == _reference_first_for_row(
+                    reference, bank_id, row
+                ), f"bank={bank} row={row}"
+
+
+def _random_requests(seed, total=400):
+    rng = random.Random(seed)
+    timestamp = 0
+    requests = []
+    for _ in range(total):
+        timestamp += rng.randrange(0, 200)
+        requests.append(
+            MemoryRequest(
+                timestamp=timestamp,
+                address=rng.randrange(0, 1 << 24) & ~0x3F,
+                operation=Operation.READ if rng.random() < 0.7 else Operation.WRITE,
+                size=64 * rng.randrange(1, 4),
+            )
+        )
+    return requests
+
+
+def test_controller_services_every_burst_consistently():
+    """End to end on a random stream: every burst is serviced, and the
+    per-bank/row-hit counters stay internally consistent with the burst
+    totals derived from the address map."""
+    requests = _random_requests(21)
+    memory = MemorySystem(MemoryConfig())
+    for request in requests:
+        memory.submit(request)
+    memory.drain()
+
+    expected = {"read": 0, "write": 0}
+    for index, request in enumerate(requests):
+        for burst in memory.address_map.split_request(request, index):
+            expected["read" if burst.is_read else "write"] += 1
+
+    totals_read = sum(c.stats.read_bursts for c in memory.controllers)
+    totals_write = sum(c.stats.write_bursts for c in memory.controllers)
+    assert totals_read == expected["read"]
+    assert totals_write == expected["write"]
+    for controller in memory.controllers:
+        assert controller.pending == 0
+        cstats = controller.stats
+        assert cstats.read_row_hits <= cstats.read_bursts
+        assert cstats.write_row_hits <= cstats.write_bursts
+        assert sum(cstats.per_bank_reads.values()) == cstats.read_bursts
+        assert sum(cstats.per_bank_writes.values()) == cstats.write_bursts
+
+
+def test_controller_stats_deterministic_across_runs():
+    """Same stream twice -> bit-identical stats (the index must not
+    introduce any ordering nondeterminism)."""
+    snapshots = []
+    for _ in range(2):
+        memory = MemorySystem(MemoryConfig())
+        for request in _random_requests(5, total=250):
+            memory.submit(request)
+        memory.drain()
+        snapshots.append(
+            [
+                (
+                    c.stats.read_bursts,
+                    c.stats.write_bursts,
+                    c.stats.read_row_hits,
+                    c.stats.write_row_hits,
+                    dict(c.stats.per_bank_reads),
+                    dict(c.stats.per_bank_writes),
+                    dict(c.stats.read_queue_len_seen),
+                    dict(c.stats.write_queue_len_seen),
+                )
+                for c in memory.controllers
+            ]
+        )
+    assert snapshots[0] == snapshots[1]
