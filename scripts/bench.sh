@@ -1,6 +1,8 @@
 #!/bin/sh
 # Run the perf-regression bench and diff BENCH_perf.json against the
-# previous snapshot.
+# previous snapshot. A run manifest (host info, phase wall times, all
+# observability counters) is recorded alongside it as
+# BENCH_manifest.json.
 #
 # Usage: scripts/bench.sh [--jobs N] [extra pytest args...]
 set -eu
@@ -20,4 +22,8 @@ if [ -f "$previous" ]; then
     python scripts/bench_diff.py "$previous" "$snapshot"
 else
     echo "no previous BENCH_perf.json - baseline recorded"
+fi
+
+if [ -f "$repo/BENCH_manifest.json" ]; then
+    echo "run manifest: BENCH_manifest.json"
 fi

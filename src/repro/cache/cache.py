@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
+from .. import obs
 from ..core.request import MemoryRequest, Operation
 from .replacement import ReplacementPolicy, make_policy
 
@@ -82,7 +83,12 @@ class _Line:
 class Cache:
     """One level of a write-back, write-allocate cache."""
 
-    def __init__(self, config: CacheConfig, policy: Optional[ReplacementPolicy] = None):
+    def __init__(
+        self,
+        config: CacheConfig,
+        policy: Optional[ReplacementPolicy] = None,
+        obs_label: str = "cache",
+    ):
         self.config = config
         self.stats = CacheStats()
         self._num_sets = config.num_sets
@@ -94,6 +100,12 @@ class Cache:
             if policy is not None
             else make_policy(config.replacement, self._num_sets, config.associativity)
         )
+        registry = obs.active()
+        self._obs = registry
+        if registry is not None:
+            self._obs_hits = registry.counter(f"cache.{obs_label}.hits")
+            self._obs_misses = registry.counter(f"cache.{obs_label}.misses")
+            self._obs_write_backs = registry.counter(f"cache.{obs_label}.write_backs")
 
     def _locate(self, block_address: int):
         set_index = block_address % self._num_sets
@@ -116,10 +128,14 @@ class Cache:
             if line.valid and line.tag == tag:
                 self._policy.touch(set_index, way)
                 line.dirty = line.dirty or is_write
+                if self._obs is not None:
+                    self._obs_hits.inc()
                 return AccessResult(hit=True)
 
         # Miss: allocate (write-allocate for both reads and writes).
         stats.misses += 1
+        if self._obs is not None:
+            self._obs_misses.inc()
         if is_write:
             stats.write_misses += 1
         else:
@@ -140,6 +156,8 @@ class Cache:
             if victim_line.dirty:
                 stats.write_backs += 1
                 writeback_address = victim_address
+                if self._obs is not None:
+                    self._obs_write_backs.inc()
 
         line = ways[victim_way]
         line.tag = tag
@@ -177,6 +195,8 @@ class Cache:
             if victim_line.dirty:
                 self.stats.write_backs += 1
                 writeback_address = victim_address
+                if self._obs is not None:
+                    self._obs_write_backs.inc()
         line = ways[victim_way]
         line.tag = tag
         line.valid = True

@@ -32,8 +32,8 @@ class CacheHierarchy:
         l1_config: Optional[CacheConfig] = None,
         l2_config: Optional[CacheConfig] = None,
     ):
-        self.l1 = Cache(l1_config if l1_config is not None else paper_l1_config())
-        self.l2 = Cache(l2_config if l2_config is not None else paper_l2_config())
+        self.l1 = Cache(l1_config if l1_config is not None else paper_l1_config(), obs_label="l1")
+        self.l2 = Cache(l2_config if l2_config is not None else paper_l2_config(), obs_label="l2")
         if self.l1.config.block_size != self.l2.config.block_size:
             raise ValueError("L1 and L2 must share a block size")
 

@@ -29,7 +29,10 @@ class MultiLevelCache:
         block_sizes = {config.block_size for config in configs}
         if len(block_sizes) > 1:
             raise ValueError("all levels must share a block size")
-        self.levels: List[Cache] = [Cache(config) for config in configs]
+        self.levels: List[Cache] = [
+            Cache(config, obs_label=f"l{index}")
+            for index, config in enumerate(configs, start=1)
+        ]
         self.block_size = configs[0].block_size
         self.memory_reads = 0
         self.memory_writes = 0

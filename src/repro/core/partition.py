@@ -50,9 +50,14 @@ def partition_by_cycle_count(
     partitions: List[List[MemoryRequest]] = []
     current: List[MemoryRequest] = []
     current_bin = 0
+    previous = origin
     for request in requests:
-        if request.timestamp < origin:
-            raise ValueError("requests must be sorted by timestamp")
+        if request.timestamp < previous:
+            raise ValueError(
+                "requests must be sorted by timestamp: "
+                f"{request.timestamp} follows {previous}"
+            )
+        previous = request.timestamp
         bin_index = (request.timestamp - origin) // cycles_per_interval
         if bin_index != current_bin and current:
             partitions.append(current)

@@ -99,9 +99,13 @@ def profile_from_dict(data: dict) -> Profile:
 
 
 def save_profile(profile: Profile, path: Union[str, Path]) -> int:
-    """Write a gzip-compressed profile; returns the file size in bytes."""
+    """Write a gzip-compressed profile; returns the file size in bytes.
+
+    ``mtime=0`` keeps the gzip header timestamp-free, so saving the same
+    profile twice always produces byte-identical files.
+    """
     payload = json.dumps(profile_to_dict(profile), separators=(",", ":")).encode("ascii")
-    data = gzip.compress(payload)
+    data = gzip.compress(payload, mtime=0)
     Path(path).write_bytes(data)
     return len(data)
 
@@ -125,4 +129,4 @@ def load_profile(path: Union[str, Path]) -> Profile:
 def profile_size_bytes(profile: Profile) -> int:
     """Compressed size of a profile without touching disk (Fig. 17)."""
     payload = json.dumps(profile_to_dict(profile), separators=(",", ":")).encode("ascii")
-    return len(gzip.compress(payload))
+    return len(gzip.compress(payload, mtime=0))

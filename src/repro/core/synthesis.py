@@ -19,6 +19,7 @@ import heapq
 import random
 from typing import Iterator, List, Optional, Union
 
+from .. import obs
 from .profile import Profile
 from .request import MemoryRequest
 from .trace import Trace
@@ -41,6 +42,8 @@ def synthesize_stream(
     deterministic for a given seed.
     """
     rng = _make_rng(seed)
+    registry = obs.active()
+    emitted = registry.counter("synthesis.requests_emitted") if registry else None
     heap: List[tuple] = []
     streams = []
     for leaf_index, leaf in enumerate(profile):
@@ -50,8 +53,13 @@ def synthesize_stream(
         first = next(stream, None)
         if first is not None:
             heapq.heappush(heap, (first.timestamp, leaf_index, first))
+    if registry is not None:
+        registry.counter("synthesis.streams").inc()
+        registry.counter("synthesis.leaves").inc(len(streams))
     while heap:
         _, leaf_index, request = heapq.heappop(heap)
+        if emitted is not None:
+            emitted.inc()
         yield request
         nxt = next(streams[leaf_index], None)
         if nxt is not None:
@@ -86,6 +94,7 @@ class FeedbackSynthesizer:
         self._stream = synthesize_stream(profile, seed=seed, strict=strict)
         self._accumulated_delay = 0
         self._exhausted = False
+        self._obs = obs.active()
 
     @property
     def accumulated_delay(self) -> int:
@@ -96,6 +105,11 @@ class FeedbackSynthesizer:
         if delay < 0:
             raise ValueError(f"backpressure delay must be non-negative, got {delay}")
         self._accumulated_delay += delay
+        registry = self._obs
+        if registry is not None and delay:
+            registry.counter("synthesis.backpressure_events").inc()
+            registry.counter("synthesis.backpressure_delay_cycles").inc(delay)
+            registry.gauge("synthesis.accumulated_delay_cycles").set(self._accumulated_delay)
 
     def next_request(self) -> Optional[MemoryRequest]:
         """The next request with backpressure delay applied, or ``None``."""

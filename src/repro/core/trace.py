@@ -3,9 +3,16 @@
 A :class:`Trace` is an ordered sequence of :class:`MemoryRequest` objects,
 sorted by timestamp. Two on-disk formats are provided:
 
-* a human-readable gzip CSV (``.csv.gz``) for interchange, and
-* a compact struct-packed binary (``.mtr.gz``) used for the Fig. 17
-  trace-size comparison (our substitute for the paper's protobuf+gzip).
+* a human-readable CSV (``.csv``, or gzip-compressed ``.csv.gz``) for
+  interchange, and
+* a compact struct-packed binary (``.mtr`` / ``.mtr.gz``) used for the
+  Fig. 17 trace-size comparison (our substitute for the paper's
+  protobuf+gzip).
+
+Compression is keyed on the ``.gz`` suffix at save time and sniffed
+from the gzip magic bytes at load time. Compressed output is
+byte-deterministic: the gzip header is written with ``mtime=0`` and no
+filename, so saving the same trace twice produces identical bytes.
 """
 
 from __future__ import annotations
@@ -18,7 +25,29 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Union
 from .request import AddressRange, MemoryRequest, Operation
 
 _BINARY_MAGIC = b"MTR1"
+_GZIP_MAGIC = b"\x1f\x8b"
 _RECORD = struct.Struct("<QQBI")  # timestamp, address, operation, size
+
+
+def _write_payload(path: Union[str, Path], payload: bytes) -> int:
+    """Write ``payload``, gzip-compressed iff the path ends in ``.gz``.
+
+    Compression uses ``mtime=0`` (and no embedded filename), so the
+    output bytes depend only on the payload — identical traces always
+    serialize identically.
+    """
+    if str(path).endswith(".gz"):
+        payload = gzip.compress(payload, mtime=0)
+    Path(path).write_bytes(payload)
+    return len(payload)
+
+
+def _read_payload(path: Union[str, Path]) -> bytes:
+    """Read a file, transparently decompressing if it is gzipped."""
+    data = Path(path).read_bytes()
+    if data[:2] == _GZIP_MAGIC:
+        return gzip.decompress(data)
+    return data
 
 
 class Trace:
@@ -108,48 +137,55 @@ class Trace:
 
     # -- on-disk formats ------------------------------------------------------
 
-    def save_csv(self, path: Union[str, Path]) -> None:
-        """Write a gzip CSV with header ``timestamp,address,operation,size``."""
-        with gzip.open(path, "wt", encoding="ascii") as handle:
-            handle.write("timestamp,address,operation,size\n")
-            for r in self._requests:
-                handle.write(f"{r.timestamp},{r.address:#x},{r.operation},{r.size}\n")
+    def save_csv(self, path: Union[str, Path]) -> int:
+        """Write ``timestamp,address,operation,size`` CSV; returns bytes.
+
+        Output is gzip-compressed iff the path ends in ``.gz``.
+        """
+        lines = ["timestamp,address,operation,size"]
+        lines.extend(
+            f"{r.timestamp},{r.address:#x},{r.operation},{r.size}" for r in self._requests
+        )
+        payload = ("\n".join(lines) + "\n").encode("ascii")
+        return _write_payload(path, payload)
 
     @classmethod
     def load_csv(cls, path: Union[str, Path]) -> "Trace":
         requests = []
-        with gzip.open(path, "rt", encoding="ascii") as handle:
-            header = handle.readline()
-            if not header.startswith("timestamp"):
-                raise ValueError(f"{path}: missing CSV header")
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                time_s, addr_s, op_s, size_s = line.split(",")
-                requests.append(
-                    MemoryRequest(
-                        timestamp=int(time_s),
-                        address=int(addr_s, 0),
-                        operation=Operation.parse(op_s),
-                        size=int(size_s),
-                    )
+        text = _read_payload(path).decode("ascii")
+        lines = iter(text.splitlines())
+        header = next(lines, "")
+        if not header.startswith("timestamp"):
+            raise ValueError(f"{path}: missing CSV header")
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            time_s, addr_s, op_s, size_s = line.split(",")
+            requests.append(
+                MemoryRequest(
+                    timestamp=int(time_s),
+                    address=int(addr_s, 0),
+                    operation=Operation.parse(op_s),
+                    size=int(size_s),
                 )
+            )
         return cls(requests)
 
     def save_binary(self, path: Union[str, Path]) -> int:
-        """Write the compact gzip binary format; returns bytes written."""
+        """Write the compact binary format; returns bytes written.
+
+        Output is gzip-compressed iff the path ends in ``.gz``.
+        """
         payload = bytearray(_BINARY_MAGIC)
         payload += struct.pack("<Q", len(self._requests))
         for r in self._requests:
             payload += _RECORD.pack(r.timestamp, r.address, int(r.operation), r.size)
-        data = gzip.compress(bytes(payload))
-        Path(path).write_bytes(data)
-        return len(data)
+        return _write_payload(path, bytes(payload))
 
     @classmethod
     def load_binary(cls, path: Union[str, Path]) -> "Trace":
-        payload = gzip.decompress(Path(path).read_bytes())
+        payload = _read_payload(path)
         if payload[:4] != _BINARY_MAGIC:
             raise ValueError(f"{path}: not a Mocktails binary trace")
         (count,) = struct.unpack_from("<Q", payload, 4)

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterator, Optional, Tuple
 
+from .. import obs
 from .address_map import Burst
 from .config import MemoryConfig
 from .stats import ControllerStats
@@ -164,6 +165,17 @@ class MemoryController:
         )
         timing = self.config.timing
         self._next_refresh_at: Optional[int] = timing.t_refi or None
+        # Observability: capture the active registry once; all hot-path
+        # sites reduce to one `is None` test when observability is off.
+        registry = obs.active()
+        self._obs = registry
+        if registry is not None:
+            prefix = f"dram.ch{self.channel}"
+            self._obs_enqueued = registry.counter("dram.enqueued")
+            self._obs_issued = registry.counter("dram.issued")
+            self._obs_row_hits = registry.counter("dram.row_hits")
+            self._obs_read_depth = registry.histogram(f"{prefix}.read_queue_depth")
+            self._obs_write_depth = registry.histogram(f"{prefix}.write_queue_depth")
 
     # -- queue interface -------------------------------------------------------
 
@@ -194,6 +206,24 @@ class MemoryController:
         else:
             self.stats.write_queue_len_seen[len(self._write_queue)] += 1
             self._write_queue.append(burst)
+        registry = self._obs
+        if registry is not None:
+            self._obs_enqueued.inc()
+            if burst.is_read:
+                self._obs_read_depth.observe(len(self._read_queue))
+            else:
+                self._obs_write_depth.observe(len(self._write_queue))
+            if registry.sink is not None:
+                registry.event(
+                    "dram.enqueue",
+                    channel=self.channel,
+                    bank=burst.bank_id,
+                    row=burst.coordinates.row,
+                    is_read=burst.is_read,
+                    arrival=burst.arrival_time,
+                    read_queue=len(self._read_queue),
+                    write_queue=len(self._write_queue),
+                )
 
     # -- scheduling ------------------------------------------------------------
 
@@ -342,6 +372,20 @@ class MemoryController:
             stats.write_bursts += 1
             stats.write_row_hits += row_hit
             stats.per_bank_writes[bank_id] += 1
+        registry = self._obs
+        if registry is not None:
+            self._obs_issued.inc()
+            if row_hit:
+                self._obs_row_hits.inc()
+            if registry.sink is not None:
+                registry.event(
+                    "dram.issue",
+                    channel=self.channel,
+                    bank=bank_id,
+                    is_read=burst.is_read,
+                    row_hit=bool(row_hit),
+                    finish=self._bus_free_at,
+                )
 
     # -- driving ---------------------------------------------------------------
 
@@ -379,5 +423,8 @@ class MemoryController:
 
     def drain(self) -> None:
         """Service everything that is still queued."""
+        registry = self._obs
+        if registry is not None and registry.sink is not None and self.pending:
+            registry.event("dram.drain", channel=self.channel, pending=self.pending)
         while self.pending:
             self.service_one()

@@ -4,7 +4,8 @@ Examples::
 
     python -m repro.eval list
     python -m repro.eval run fig9 --requests 50000
-    python -m repro.eval all --requests 20000
+    python -m repro.eval quick fig6 --metrics-out run.json
+    python -m repro.eval all --requests 20000 --trace-events events.jsonl
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import argparse
 import sys
 import time
 
+from .. import obs
 from . import experiments
 from .reporting import format_table
 
@@ -176,12 +178,21 @@ def _print_generic(result) -> None:
 
 def run_experiment(name: str, num_requests: int, jobs: int = 1) -> None:
     runner, printer = EXPERIMENTS[name]
+    registry = obs.active()
     start = time.time()
-    if jobs > 1:
-        from .parallel import jobs_for, prewarm
 
-        prewarm(jobs_for(name, num_requests), processes=jobs)
-    result = runner(num_requests)
+    def execute():
+        if jobs > 1:
+            from .parallel import jobs_for, prewarm
+
+            prewarm(jobs_for(name, num_requests), processes=jobs)
+        return runner(num_requests)
+
+    if registry is not None:
+        with registry.phase(name):
+            result = execute()
+    else:
+        result = execute()
     elapsed = time.time() - start
     workers = f", {jobs} jobs" if jobs > 1 else ""
     print(f"\n=== {name} ({num_requests:,} requests/trace, {elapsed:.1f}s{workers}) ===")
@@ -199,24 +210,59 @@ def main(argv=None) -> int:
     run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run.add_argument("--requests", type=int, default=20_000,
                      help="requests per trace (default 20,000)")
-    run.add_argument("--jobs", type=int, default=1,
-                     help="worker processes for the simulation fan-out "
-                          "(default 1 = serial; results are identical)")
+    quick = sub.add_parser(
+        "quick", help="run one experiment at a reduced quick scale"
+    )
+    quick.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    quick.add_argument("--requests", type=int, default=2_000,
+                       help="requests per trace (default 2,000)")
     everything = sub.add_parser("all", help="run every experiment")
     everything.add_argument("--requests", type=int, default=20_000)
-    everything.add_argument("--jobs", type=int, default=1,
-                            help="worker processes per experiment")
+    for command in (run, quick, everything):
+        command.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for the simulation fan-out "
+                 "(default 1 = serial; results are identical)")
+        command.add_argument(
+            "--metrics-out", metavar="PATH", default=None,
+            help="write a run manifest (host, seeds, scale, phase wall "
+                 "times, all metric values) as JSON to PATH")
+        command.add_argument(
+            "--trace-events", metavar="PATH", default=None,
+            help="stream structured events (job starts/finishes, DRAM "
+                 "enqueue/issue/drain, worker heartbeats) as JSONL to PATH")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    if args.command == "run":
-        run_experiment(args.experiment, args.requests, jobs=args.jobs)
-        return 0
-    for name in EXPERIMENTS:
-        run_experiment(name, args.requests, jobs=args.jobs)
+
+    registry = None
+    if args.metrics_out or args.trace_events:
+        sink = obs.JsonlEventSink(args.trace_events) if args.trace_events else None
+        registry = obs.enable(sink)
+
+    try:
+        names = [args.experiment] if args.command in ("run", "quick") else list(EXPERIMENTS)
+        for name in names:
+            run_experiment(name, args.requests, jobs=args.jobs)
+        if registry is not None and args.metrics_out:
+            manifest = obs.build_manifest(
+                registry,
+                command=" ".join(["python -m repro.eval"] + list(argv or sys.argv[1:])),
+                scale={"requests": args.requests, "jobs": args.jobs},
+                seeds={"base": 0, "synthesis": 1},
+                extra={"experiments": names},
+            )
+            obs.write_manifest(args.metrics_out, manifest)
+            print(f"wrote run manifest to {args.metrics_out}")
+        if args.trace_events:
+            print(f"wrote {registry.sink.emitted if registry.sink else 0:,} "
+                  f"events to {args.trace_events}")
+    finally:
+        if registry is not None:
+            obs.disable()
     return 0
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from .. import obs
 from ..baselines.stm import stm_leaf_factory
 from ..core.hierarchy import two_level_ts
 from ..core.profiler import build_profile
@@ -72,11 +73,19 @@ def dram_comparison(
     """
     key = (name, num_requests, seed, interval, include_stm, config)
     cached = _run_cache.get(key)
+    registry = obs.active()
     if cached is not None:
+        if registry is not None:
+            registry.counter("eval.runs.cached").inc()
         return cached
 
     from ..core.synthesis import synthesize
 
+    if registry is not None:
+        registry.counter("eval.runs.computed").inc()
+        registry.event(
+            "job.start", kind="dram", name=name, requests=num_requests, interval=interval
+        )
     trace = baseline_trace(name, num_requests, seed)
     hierarchy = two_level_ts(cycles_per_interval=interval)
 
@@ -100,4 +109,12 @@ def dram_comparison(
         stm=stm_stats,
     )
     _run_cache[key] = run
+    if registry is not None:
+        registry.event(
+            "job.finish",
+            kind="dram",
+            name=name,
+            read_bursts=run.baseline.read_bursts,
+            write_bursts=run.baseline.write_bursts,
+        )
     return run

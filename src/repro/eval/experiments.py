@@ -14,6 +14,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..baselines.hrd import HRDModel
 from ..cache.cache import CacheConfig
 from ..core.hierarchy import two_level_rs, two_level_ts
@@ -144,17 +145,25 @@ def figure_7(num_requests: int = DEFAULT_REQUESTS) -> Dict[str, dict]:
         result[device] = {
             "read_queue": {
                 "baseline": geometric_mean(
-                    [max(r.baseline.avg_read_queue_length, 1e-3) for r in runs]
+                    [max(r.baseline.avg_read_queue_length, 1e-3) for r in runs], floor=1e-3
                 ),
-                "mcc": geometric_mean([max(r.mcc.avg_read_queue_length, 1e-3) for r in runs]),
-                "stm": geometric_mean([max(r.stm.avg_read_queue_length, 1e-3) for r in runs]),
+                "mcc": geometric_mean(
+                    [max(r.mcc.avg_read_queue_length, 1e-3) for r in runs], floor=1e-3
+                ),
+                "stm": geometric_mean(
+                    [max(r.stm.avg_read_queue_length, 1e-3) for r in runs], floor=1e-3
+                ),
             },
             "write_queue": {
                 "baseline": geometric_mean(
-                    [max(r.baseline.avg_write_queue_length, 1e-3) for r in runs]
+                    [max(r.baseline.avg_write_queue_length, 1e-3) for r in runs], floor=1e-3
                 ),
-                "mcc": geometric_mean([max(r.mcc.avg_write_queue_length, 1e-3) for r in runs]),
-                "stm": geometric_mean([max(r.stm.avg_write_queue_length, 1e-3) for r in runs]),
+                "mcc": geometric_mean(
+                    [max(r.mcc.avg_write_queue_length, 1e-3) for r in runs], floor=1e-3
+                ),
+                "stm": geometric_mean(
+                    [max(r.stm.avg_write_queue_length, 1e-3) for r in runs], floor=1e-3
+                ),
             },
         }
     return result
@@ -282,7 +291,9 @@ def figure_13(
                 errors.append(
                     percent_error(run.mcc.avg_access_latency, run.baseline.avg_access_latency)
                 )
-            result[device].append((interval, geometric_mean([max(e, 1e-3) for e in errors])))
+            result[device].append(
+                (interval, geometric_mean([max(e, 1e-3) for e in errors], floor=1e-3))
+            )
     return result
 
 
@@ -304,9 +315,15 @@ def spec_synthetics(
     """Baseline + Mocktails(Dynamic) + Mocktails(4KB) + HRD traces."""
     key = (benchmark, num_requests, seed)
     cached = _SPEC_SYNTH_CACHE.get(key)
+    registry = obs.active()
     if cached is not None:
+        if registry is not None:
+            registry.counter("eval.spec.cached").inc()
         return cached
 
+    if registry is not None:
+        registry.counter("eval.spec.computed").inc()
+        registry.event("job.start", kind="spec", name=benchmark, requests=num_requests)
     trace = make_generator(benchmark, seed=seed).generate(num_requests)
     interval = _spec_interval(num_requests)
     dynamic_profile = build_profile(trace, two_level_rs(interval, "dynamic"), name=benchmark)
@@ -318,6 +335,8 @@ def spec_synthetics(
         "hrd": HRDModel.fit(trace).synthesize(seed=seed + 1),
     }
     _SPEC_SYNTH_CACHE[key] = result
+    if registry is not None:
+        registry.event("job.finish", kind="spec", name=benchmark)
     return result
 
 
@@ -345,8 +364,8 @@ def figure_14(
                 rates[series]["l2"].append(max(run.l2_miss_rate, 1e-6))
         result[label] = {
             series: {
-                "l1_miss_rate": geometric_mean(rates[series]["l1"]) * 100,
-                "l2_miss_rate": geometric_mean(rates[series]["l2"]) * 100,
+                "l1_miss_rate": geometric_mean(rates[series]["l1"], floor=1e-6) * 100,
+                "l2_miss_rate": geometric_mean(rates[series]["l2"], floor=1e-6) * 100,
             }
             for series in SEC5_SERIES
         }

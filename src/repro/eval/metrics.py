@@ -10,7 +10,13 @@ from __future__ import annotations
 import math
 from typing import Dict, Iterable, Sequence
 
-_EPSILON = 1e-9
+#: Default floor applied to geometric-mean inputs. Percent errors of
+#: exactly 0 would otherwise zero out (or, with a tiny epsilon like the
+#: old 1e-9, collapse) the whole geomean: geomean([0, 50]) with a 1e-9
+#: floor is ~0.0002, wildly misrepresenting a series that contains a 50%
+#: error. 0.01 (i.e. one hundredth of a percent for the error figures)
+#: keeps perfect entries from dominating while still rewarding them.
+GEOMEAN_FLOOR = 0.01
 
 
 def percent_error(measured: float, reference: float) -> float:
@@ -24,21 +30,28 @@ def percent_error(measured: float, reference: float) -> float:
     return abs(measured - reference) / abs(reference) * 100.0
 
 
-def geometric_mean(values: Sequence[float]) -> float:
-    """Geometric mean; zero values are floored at a tiny epsilon."""
+def geometric_mean(values: Sequence[float], floor: float = GEOMEAN_FLOOR) -> float:
+    """Geometric mean with zero values floored at ``floor``.
+
+    The floor must be positive (a true zero has no geometric mean);
+    callers whose inputs are already clamped can pass their clamp value
+    to make the flooring explicit and inert.
+    """
     values = list(values)
     if not values:
         raise ValueError("geometric mean of no values")
+    if floor <= 0:
+        raise ValueError(f"floor must be positive, got {floor}")
     if any(value < 0 for value in values):
         raise ValueError("geometric mean requires non-negative values")
-    log_sum = sum(math.log(max(value, _EPSILON)) for value in values)
+    log_sum = sum(math.log(max(value, floor)) for value in values)
     return math.exp(log_sum / len(values))
 
 
-def geomean_percent_error(pairs: Iterable[tuple]) -> float:
+def geomean_percent_error(pairs: Iterable[tuple], floor: float = GEOMEAN_FLOOR) -> float:
     """Geometric mean of percent errors over (measured, reference) pairs."""
     errors = [percent_error(measured, reference) for measured, reference in pairs]
-    return geometric_mean(errors)
+    return geometric_mean(errors, floor=floor)
 
 
 def arithmetic_mean(values: Sequence[float]) -> float:

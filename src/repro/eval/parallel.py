@@ -36,6 +36,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
 from ..workloads.registry import TABLE_II_WORKLOADS
 from ..workloads.spec import FIG15_BENCHMARKS, SPEC_BENCHMARKS
 from . import comparison, experiments
@@ -111,12 +112,22 @@ def default_processes() -> int:
     return min(os.cpu_count() or 1, 8)
 
 
+def _worker_init() -> None:
+    # Workers must not inherit the parent's registry/sink: their metrics
+    # would die with the process and a forked JSONL file handle would
+    # interleave with the parent's stream. The parent emits heartbeat
+    # events as worker results arrive instead.
+    obs.disable()
+
+
 def _make_pool(processes: int) -> ProcessPoolExecutor:
     # fork (where available) keeps workers cheap; spawn works too because
     # jobs and payloads are plain picklable dataclasses.
     methods = multiprocessing.get_all_start_methods()
     context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    return ProcessPoolExecutor(max_workers=processes, mp_context=context)
+    return ProcessPoolExecutor(
+        max_workers=processes, mp_context=context, initializer=_worker_init
+    )
 
 
 def prewarm(jobs: Sequence[Job], processes: Optional[int] = None) -> int:
@@ -127,17 +138,44 @@ def prewarm(jobs: Sequence[Job], processes: Optional[int] = None) -> int:
     either way). Returns the number of jobs actually executed — jobs
     whose results are already cached are skipped.
     """
-    todo = [job for job in dict.fromkeys(jobs) if not _is_cached(job)]
+    jobs = list(dict.fromkeys(jobs))
+    todo = [job for job in jobs if not _is_cached(job)]
+    registry = obs.active()
+    if registry is not None:
+        registry.counter("eval.jobs.cached").inc(len(jobs) - len(todo))
     if not todo:
         return 0
     processes = default_processes() if processes is None else processes
-    if processes <= 1 or len(todo) == 1:
-        for job in todo:
+    serial = processes <= 1 or len(todo) == 1
+    if registry is not None:
+        registry.counter("eval.jobs.executed").inc(len(todo))
+        registry.event(
+            "prewarm.start",
+            total=len(todo),
+            processes=1 if serial else min(processes, len(todo)),
+        )
+    if serial:
+        for index, job in enumerate(todo, start=1):
             _install(*execute_job(job))
+            if registry is not None:
+                registry.event("worker.heartbeat", completed=index, total=len(todo))
+        if registry is not None:
+            registry.event("prewarm.finish", total=len(todo))
         return len(todo)
     with _make_pool(min(processes, len(todo))) as pool:
+        completed = 0
         for job, payload in pool.map(execute_job, todo):
             _install(job, payload)
+            completed += 1
+            if registry is not None:
+                registry.event(
+                    "worker.heartbeat",
+                    completed=completed,
+                    total=len(todo),
+                    job=type(job).__name__,
+                )
+    if registry is not None:
+        registry.event("prewarm.finish", total=len(todo))
     return len(todo)
 
 

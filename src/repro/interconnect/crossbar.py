@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import obs
 from ..core.request import MemoryRequest
 from ..dram.memory_system import MemorySystem
 
@@ -33,13 +34,14 @@ class CrossbarConfig:
 class Crossbar:
     """Forwards requests from one device port into the memory system."""
 
-    __slots__ = ("memory", "config", "_last_forward_time", "total_delay")
+    __slots__ = ("memory", "config", "_last_forward_time", "total_delay", "_obs")
 
     def __init__(self, memory: MemorySystem, config: Optional[CrossbarConfig] = None):
         self.memory = memory
         self.config = config if config is not None else CrossbarConfig()
         self._last_forward_time: Optional[int] = None
         self.total_delay = 0
+        self._obs = obs.active()
 
     def send(self, request: MemoryRequest) -> int:
         """Forward a request; returns the delay beyond pure traversal.
@@ -61,4 +63,11 @@ class Crossbar:
 
         delay = accept_time - (request.timestamp + self.config.latency)
         self.total_delay += delay
+        registry = self._obs
+        if registry is not None:
+            registry.counter("crossbar.forwarded").inc()
+            registry.histogram("crossbar.delay_cycles").observe(delay)
+            if delay > 0:
+                registry.counter("crossbar.stalls").inc()
+                registry.counter("crossbar.stall_cycles").inc(delay)
         return delay

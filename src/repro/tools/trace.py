@@ -17,20 +17,35 @@ from ..core.trace import Trace
 from ..workloads.registry import available_workloads, workload_trace
 
 
+_CSV_SUFFIXES = (".csv", ".csv.gz")
+_BINARY_SUFFIXES = (".mtr", ".mtr.gz")
+
+
+def _unknown_suffix(path: Path) -> ValueError:
+    known = ", ".join(_CSV_SUFFIXES + _BINARY_SUFFIXES)
+    return ValueError(
+        f"{path}: unrecognized trace suffix; expected one of: {known}"
+    )
+
+
 def load_any(path: Path) -> Trace:
     """Load a trace in either on-disk format, keyed by file suffix."""
     name = str(path)
-    if name.endswith(".csv.gz"):
+    if name.endswith(_CSV_SUFFIXES):
         return Trace.load_csv(path)
-    return Trace.load_binary(path)
+    if name.endswith(_BINARY_SUFFIXES):
+        return Trace.load_binary(path)
+    raise _unknown_suffix(path)
 
 
 def save_any(trace: Trace, path: Path) -> int:
+    """Save in the format named by the suffix; returns bytes written."""
     name = str(path)
-    if name.endswith(".csv.gz"):
-        trace.save_csv(path)
-        return path.stat().st_size
-    return trace.save_binary(path)
+    if name.endswith(_CSV_SUFFIXES):
+        return trace.save_csv(path)
+    if name.endswith(_BINARY_SUFFIXES):
+        return trace.save_binary(path)
+    raise _unknown_suffix(path)
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -104,7 +119,9 @@ def build_parser() -> argparse.ArgumentParser:
     characterize.add_argument("trace")
     characterize.set_defaults(func=cmd_characterize)
 
-    convert = sub.add_parser("convert", help="convert between csv.gz and binary")
+    convert = sub.add_parser(
+        "convert", help="convert between .csv/.csv.gz and .mtr/.mtr.gz"
+    )
     convert.add_argument("input")
     convert.add_argument("output")
     convert.set_defaults(func=cmd_convert)

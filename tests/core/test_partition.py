@@ -60,6 +60,19 @@ class TestCycleCountPartitioning:
         with pytest.raises(ValueError):
             partition_by_cycle_count([req(10, 0), req(5, 0)], 100)
 
+    def test_rejects_unsorted_past_origin(self):
+        # Regression: a timestamp that decreases mid-stream but stays
+        # above the first request's timestamp used to be silently
+        # misbinned instead of rejected.
+        requests = [req(0, 0), req(100, 0), req(50, 0)]
+        with pytest.raises(ValueError, match="sorted by timestamp"):
+            partition_by_cycle_count(requests, 10)
+
+    def test_accepts_equal_timestamps(self):
+        requests = [req(5, 0), req(5, 0), req(5, 0)]
+        parts = partition_by_cycle_count(requests, 100)
+        assert [len(p) for p in parts] == [3]
+
     def test_rejects_nonpositive_interval(self):
         with pytest.raises(ValueError):
             partition_by_cycle_count([], 0)

@@ -80,6 +80,24 @@ class TestProfileSize:
         assert profile_size < trace_size * 5  # same order; real wins need volume
 
 
+class TestDeterministicBytes:
+    def test_save_profile_is_byte_deterministic(self, tmp_path, mixed_trace):
+        # Regression: gzip used to stamp the save-time mtime into the
+        # header, so two saves of the same profile differed on disk.
+        # MTIME lives at header bytes 4-8; 0 means "not recorded".
+        profile = build_profile(mixed_trace)
+        first, second = tmp_path / "a.mprof.gz", tmp_path / "b.mprof.gz"
+        save_profile(profile, first)
+        save_profile(profile, second)
+        data = first.read_bytes()
+        assert data[4:8] == b"\x00\x00\x00\x00"
+        assert data == second.read_bytes()
+
+    def test_size_is_exact(self, tmp_path, mixed_trace):
+        profile = build_profile(mixed_trace)
+        assert profile_size_bytes(profile) == save_profile(profile, tmp_path / "p.gz")
+
+
 class TestObfuscation:
     def test_profile_contains_no_raw_timestamps(self, mixed_trace):
         """The profile must not embed the original request sequence."""

@@ -129,3 +129,40 @@ class TestTraceIO:
         path = tmp_path / "w.csv.gz"
         trace.save_csv(path)
         assert Trace.load_csv(path)[0].operation is Operation.WRITE
+
+    def test_plain_csv_roundtrip(self, tmp_path, mixed_trace):
+        path = tmp_path / "t.csv"
+        size = mixed_trace.save_csv(path)
+        assert size == path.stat().st_size
+        assert path.read_bytes().startswith(b"timestamp,")  # uncompressed
+        assert Trace.load_csv(path) == mixed_trace
+
+    def test_plain_binary_roundtrip(self, tmp_path, mixed_trace):
+        path = tmp_path / "t.mtr"
+        size = mixed_trace.save_binary(path)
+        assert size == path.stat().st_size
+        assert path.read_bytes().startswith(b"MTR1")  # uncompressed
+        assert Trace.load_binary(path) == mixed_trace
+
+    def test_save_returns_bytes_written(self, tmp_path, mixed_trace):
+        compressed = mixed_trace.save_csv(tmp_path / "t.csv.gz")
+        plain = mixed_trace.save_csv(tmp_path / "t.csv")
+        assert compressed == (tmp_path / "t.csv.gz").stat().st_size
+        assert compressed < plain
+
+    def test_gzip_output_is_byte_deterministic(self, tmp_path, mixed_trace):
+        # Regression: the gzip header used to embed the save-time mtime
+        # (and, for CSV, the output filename), so saving the same trace
+        # twice produced different bytes. Byte 3 is the FLG field (0 =
+        # no FNAME), bytes 4-8 are MTIME (0 = not recorded).
+        for suffix, save in (
+            ("csv.gz", mixed_trace.save_csv),
+            ("mtr.gz", mixed_trace.save_binary),
+        ):
+            first, second = tmp_path / f"a.{suffix}", tmp_path / f"b.{suffix}"
+            save(first)
+            save(second)
+            data = first.read_bytes()
+            assert data[3] == 0
+            assert data[4:8] == b"\x00\x00\x00\x00"
+            assert data == second.read_bytes()

@@ -38,3 +38,31 @@ class TestEvalCLI:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["run", "fig99"])
+
+    def test_quick_with_metrics_and_events(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+
+        clear_cache()
+        manifest_path = tmp_path / "run.json"
+        events_path = tmp_path / "events.jsonl"
+        assert main([
+            "quick", "fig3", "--requests", "1500",
+            "--metrics-out", str(manifest_path),
+            "--trace-events", str(events_path),
+        ]) == 0
+        assert obs.active() is None  # CLI tears the registry down
+
+        manifest = json.loads(manifest_path.read_text())
+        assert manifest["kind"] == "mocktails-run-manifest"
+        assert manifest["scale"] == {"requests": 1500, "jobs": 1}
+        assert "fig3" in manifest["phases_seconds"]
+        assert manifest["experiments"] == ["fig3"]
+
+        events = [json.loads(line) for line in events_path.read_text().splitlines()]
+        types = {event["type"] for event in events}
+        assert {"phase.start", "phase.end"} <= types
+
+        out = capsys.readouterr().out
+        assert "wrote run manifest" in out

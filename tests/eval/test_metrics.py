@@ -3,6 +3,7 @@
 import pytest
 
 from repro.eval.metrics import (
+    GEOMEAN_FLOOR,
     absolute_error,
     arithmetic_mean,
     geomean_percent_error,
@@ -41,6 +42,23 @@ class TestGeometricMean:
 
     def test_zero_floored(self):
         assert geometric_mean([0.0, 1.0]) > 0.0
+
+    def test_zero_floored_at_documented_floor(self):
+        # Regression: the old 1e-9 floor let a single zero collapse the
+        # mean to ~0 (sqrt(1e-9 * 50) ~= 2e-4), burying every other
+        # value. The documented 0.01 floor keeps zeros from dominating.
+        assert GEOMEAN_FLOOR == pytest.approx(0.01)
+        assert geometric_mean([0.0, 50.0]) == pytest.approx((0.01 * 50.0) ** 0.5)
+        assert geometric_mean([0.0, 50.0]) > 0.5
+
+    def test_explicit_floor_overrides_default(self):
+        assert geometric_mean([0.0, 50.0], floor=1e-6) == pytest.approx(
+            (1e-6 * 50.0) ** 0.5
+        )
+
+    def test_floor_must_be_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0], floor=0.0)
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,97 @@
+"""Unit tests for event sinks and run manifests."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    JsonlEventSink,
+    MemoryEventSink,
+    MetricsRegistry,
+    build_manifest,
+    host_info,
+    write_manifest,
+)
+
+
+class TestJsonlEventSink:
+    def test_one_json_line_per_event(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit({"type": "a", "n": 1})
+            sink.emit({"type": "b", "n": 2})
+        lines = path.read_text().splitlines()
+        assert [json.loads(line)["type"] for line in lines] == ["a", "b"]
+
+    def test_counts_emitted(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "e.jsonl")
+        assert sink.emitted == 0
+        sink.emit({"type": "x"})
+        assert sink.emitted == 1
+        sink.close()
+
+    def test_flushed_per_event(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        sink = JsonlEventSink(path)
+        sink.emit({"type": "x"})
+        # Readable before close: a crashed run keeps its events.
+        assert json.loads(path.read_text())["type"] == "x"
+        sink.close()
+
+    def test_emit_after_close_raises(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "e.jsonl")
+        sink.close()
+        with pytest.raises(ValueError, match="closed"):
+            sink.emit({"type": "x"})
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlEventSink(tmp_path / "e.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_non_json_values_are_stringified(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with JsonlEventSink(path) as sink:
+            sink.emit({"type": "x", "path": path})
+        assert json.loads(path.read_text())["path"] == str(path)
+
+
+class TestMemoryEventSink:
+    def test_of_type_filters(self):
+        sink = MemoryEventSink()
+        sink.emit({"type": "a", "n": 1})
+        sink.emit({"type": "b", "n": 2})
+        sink.emit({"type": "a", "n": 3})
+        assert [e["n"] for e in sink.of_type("a")] == [1, 3]
+
+
+class TestManifest:
+    def test_host_info_fields(self):
+        info = host_info()
+        assert info["cpus"] >= 1
+        assert info["python"]
+
+    def test_build_manifest_contents(self):
+        registry = MetricsRegistry()
+        registry.counter("dram.enqueued").inc(10)
+        registry.add_phase_time("fig6", 1.25)
+        manifest = build_manifest(
+            registry,
+            command="python -m repro.eval quick fig6",
+            scale={"requests": 2000},
+            seeds={"base": 0},
+            extra={"experiments": ["fig6"]},
+        )
+        assert manifest["kind"] == "mocktails-run-manifest"
+        assert manifest["scale"] == {"requests": 2000}
+        assert manifest["seeds"] == {"base": 0}
+        assert manifest["phases_seconds"] == {"fig6": 1.25}
+        assert manifest["metrics"]["counters"]["dram.enqueued"] == 10
+        assert manifest["experiments"] == ["fig6"]
+
+    def test_write_manifest_roundtrips(self, tmp_path):
+        registry = MetricsRegistry()
+        path = write_manifest(tmp_path / "run.json", build_manifest(registry))
+        data = json.loads(path.read_text())
+        assert data["kind"] == "mocktails-run-manifest"
+        assert "host" in data and "metrics" in data
