@@ -5,7 +5,10 @@ the three slowest figure runners (Figs. 6, 13, 14) serially and under
 the parallel prewarm, verifies the parallel results are bit-identical,
 and writes the measurements to ``BENCH_perf.json`` at the repo root so
 the performance trajectory is tracked PR over PR (``scripts/bench.sh``
-diffs consecutive snapshots). A run manifest (``BENCH_manifest.json``,
+diffs consecutive snapshots). Cross-run memoization (:mod:`repro.store`)
+is measured the same way: fig6 is run cold through a temp store and
+again warm, the warm result is asserted bit-identical, and the
+cold-over-warm speedup is recorded alongside the parallel one. A run manifest (``BENCH_manifest.json``,
 via :mod:`repro.obs`) is recorded alongside it with host info and the
 observability counters accumulated during the figure runs.
 
@@ -22,12 +25,13 @@ Scale defaults to the bench scale (``MOCKTAILS_BENCH_REQUESTS`` /
 import json
 import os
 import platform
+import tempfile
 import time
 from pathlib import Path
 
 import pytest
 
-from repro import obs
+from repro import obs, store
 from repro.core.hierarchy import two_level_ts
 from repro.core.profiler import build_profile
 from repro.core.synthesis import synthesize
@@ -118,6 +122,41 @@ def test_perf_snapshot(bench_jobs, capsys):
                     f"{name}: parallel result differs from serial"
                 )
 
+        # -- cross-run memoization: populate the store cold, then time a
+        # warm run that loads every payload instead of simulating ------
+        warm_identical = None
+        warm_speedup = None
+        warm_hits = None
+        with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as cache_dir:
+            try:
+                store.configure(cache_dir)
+                _clear_caches()
+                start = time.perf_counter()
+                prewarm(job_lists["fig6"], processes=1)
+                populate_result = experiments.figure_6(PERF_REQUESTS)
+                timings["fig6_cold_store"] = time.perf_counter() - start
+
+                _clear_caches()  # a "fresh process": only the disk is warm
+                memo = store.configure(cache_dir)
+                start = time.perf_counter()
+                prewarm(job_lists["fig6"], processes=1)
+                warm_result = experiments.figure_6(PERF_REQUESTS)
+                timings["fig6_warm"] = time.perf_counter() - start
+                warm_hits = memo.hits
+            finally:
+                store.deactivate()
+        warm_identical = (
+            warm_result == serial_results["fig6"]
+            and populate_result == serial_results["fig6"]
+        )
+        assert warm_identical, "warm-cache fig6 differs from cold serial"
+        assert warm_hits == len(job_lists["fig6"])
+        warm_speedup = (
+            timings["fig6_serial"] / timings["fig6_warm"]
+            if timings["fig6_warm"]
+            else None
+        )
+
         serial_total = sum(timings[f"{name}_serial"] for name in runners)
         timings["figures_serial_total"] = serial_total
         speedup = None
@@ -127,7 +166,7 @@ def test_perf_snapshot(bench_jobs, capsys):
             speedup = serial_total / parallel_total if parallel_total else None
 
         snapshot = {
-            "schema": 2,
+            "schema": 3,
             "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "host": {"cpus": cpus, "python": platform.python_version()},
             "scale": {
@@ -142,6 +181,11 @@ def test_perf_snapshot(bench_jobs, capsys):
             "degraded": degraded,
             "parallel_identical": parallel_identical,
             "speedup_serial_over_parallel": speedup,
+            # Cross-run memoization (repro.store): a warm fig6 loads
+            # every simulation payload from the content-addressed store.
+            "warm_identical": warm_identical,
+            "warm_cache_hits": warm_hits,
+            "speedup_cold_over_warm": warm_speedup,
             "timings_seconds": {key: round(value, 4) for key, value in timings.items()},
         }
         RESULT_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
@@ -164,5 +208,8 @@ def test_perf_snapshot(bench_jobs, capsys):
         print(f"\n== perf snapshot ({PERF_REQUESTS:,} requests, {mode}) ==")
         for key in sorted(timings):
             print(f"  {key:>24}: {timings[key]:8.3f}s")
+        if warm_speedup is not None:
+            print(f"  warm-cache fig6 speedup: {warm_speedup:.1f}x "
+                  f"({warm_hits} store hits, bit-identical)")
         print(f"  -> {RESULT_PATH}")
         print(f"  -> {MANIFEST_PATH}")

@@ -24,6 +24,18 @@ else
     echo "no previous BENCH_perf.json - baseline recorded"
 fi
 
+# Cold-vs-warm memoization summary (repro.store): the snapshot records
+# a fig6 run served entirely from the content-addressed store.
+python - "$snapshot" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+speedup = data.get("speedup_cold_over_warm")
+if speedup:
+    print(f"warm-cache fig6: {speedup:.1f}x faster than cold serial "
+          f"({data.get('warm_cache_hits')} store hits, "
+          f"identical={data.get('warm_identical')})")
+EOF
+
 if [ -f "$repo/BENCH_manifest.json" ]; then
     echo "run manifest: BENCH_manifest.json"
 fi

@@ -26,6 +26,7 @@ Subpackages:
 
 from .core import (
     AddressRange,
+    CorruptArtifactError,
     FeedbackSynthesizer,
     HierarchyConfig,
     LeafModel,
@@ -54,6 +55,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AddressRange",
+    "CorruptArtifactError",
     "FeedbackSynthesizer",
     "HierarchyConfig",
     "LeafModel",

@@ -19,6 +19,7 @@ from .leaf import (
     make_leaf_factory,
     wrap_address,
 )
+from .errors import CorruptArtifactError
 from .markov import MarkovChain
 from .mcc import McCModel
 from .partition import partition_by_cycle_count, partition_by_request_count
@@ -44,6 +45,7 @@ from .trace import Trace
 __all__ = [
     "AddressModel",
     "AddressRange",
+    "CorruptArtifactError",
     "FeedbackSynthesizer",
     "HierarchyConfig",
     "LeafModel",

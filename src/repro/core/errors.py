@@ -1,0 +1,23 @@
+"""Shared artifact-error types.
+
+Loaders for every on-disk artifact (profiles, traces, cache blobs)
+raise :class:`CorruptArtifactError` when a file is truncated, fails
+integrity verification or decodes to a malformed payload — instead of
+surfacing raw ``zlib.error`` / ``struct.error`` / ``json`` exceptions
+whose messages don't say which file is broken.
+"""
+
+from __future__ import annotations
+
+
+class CorruptArtifactError(ValueError):
+    """An on-disk artifact is truncated, corrupt or malformed.
+
+    Subclasses :class:`ValueError` so pre-existing callers that catch
+    ``ValueError`` around a loader keep working. ``path`` names the
+    offending file.
+    """
+
+    def __init__(self, path, message: str):
+        super().__init__(f"{path}: {message}")
+        self.path = str(path)

@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import gzip
 import json
+import zlib
 from pathlib import Path
 from typing import Callable, Dict, Union
 
+from ..store.atomic import atomic_write_bytes
+from .errors import CorruptArtifactError
 from .leaf import (
     AddressModel,
     LeafModel,
@@ -102,28 +105,36 @@ def save_profile(profile: Profile, path: Union[str, Path]) -> int:
     """Write a gzip-compressed profile; returns the file size in bytes.
 
     ``mtime=0`` keeps the gzip header timestamp-free, so saving the same
-    profile twice always produces byte-identical files.
+    profile twice always produces byte-identical files. The write is
+    atomic (temp file + ``os.replace``): an interrupted save never
+    leaves a truncated profile at ``path``.
     """
     payload = json.dumps(profile_to_dict(profile), separators=(",", ":")).encode("ascii")
-    data = gzip.compress(payload, mtime=0)
-    Path(path).write_bytes(data)
-    return len(data)
+    return atomic_write_bytes(path, gzip.compress(payload, mtime=0))
 
 
 def load_profile(path: Union[str, Path]) -> Profile:
-    """Read a profile file; raises ValueError on any corruption."""
+    """Read a profile file.
+
+    Raises :class:`CorruptArtifactError` (a ``ValueError``) naming the
+    path on truncated gzip streams or malformed payloads.
+    """
     try:
         payload = gzip.decompress(Path(path).read_bytes())
-    except (OSError, EOFError) as error:
-        raise ValueError(f"{path}: not a gzip profile file ({error})") from error
+    except (OSError, EOFError, zlib.error) as error:
+        raise CorruptArtifactError(
+            path, f"not a gzip profile file, or truncated ({error})"
+        ) from error
     try:
         data = json.loads(payload.decode("ascii", errors="strict"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:
-        raise ValueError(f"{path}: corrupt profile payload ({error})") from error
+        raise CorruptArtifactError(path, f"corrupt profile payload ({error})") from error
     try:
         return profile_from_dict(data)
     except (KeyError, TypeError, IndexError) as error:
-        raise ValueError(f"{path}: malformed profile structure ({error})") from error
+        raise CorruptArtifactError(
+            path, f"malformed profile structure ({error})"
+        ) from error
 
 
 def profile_size_bytes(profile: Profile) -> int:

@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import gzip
 import struct
+import zlib
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
+from ..store.atomic import atomic_write_bytes
+from .errors import CorruptArtifactError
 from .request import AddressRange, MemoryRequest, Operation
 
 _BINARY_MAGIC = b"MTR1"
@@ -34,19 +37,29 @@ def _write_payload(path: Union[str, Path], payload: bytes) -> int:
 
     Compression uses ``mtime=0`` (and no embedded filename), so the
     output bytes depend only on the payload — identical traces always
-    serialize identically.
+    serialize identically. The write is atomic (temp file +
+    ``os.replace``), so an interrupted save never leaves a truncated
+    trace at ``path``.
     """
     if str(path).endswith(".gz"):
         payload = gzip.compress(payload, mtime=0)
-    Path(path).write_bytes(payload)
-    return len(payload)
+    return atomic_write_bytes(path, payload)
 
 
 def _read_payload(path: Union[str, Path]) -> bytes:
-    """Read a file, transparently decompressing if it is gzipped."""
+    """Read a file, transparently decompressing if it is gzipped.
+
+    Raises :class:`CorruptArtifactError` on a truncated or corrupt gzip
+    stream.
+    """
     data = Path(path).read_bytes()
     if data[:2] == _GZIP_MAGIC:
-        return gzip.decompress(data)
+        try:
+            return gzip.decompress(data)
+        except (EOFError, zlib.error, OSError) as error:
+            raise CorruptArtifactError(
+                path, f"truncated or corrupt gzip stream ({error})"
+            ) from error
     return data
 
 
@@ -152,24 +165,32 @@ class Trace:
     @classmethod
     def load_csv(cls, path: Union[str, Path]) -> "Trace":
         requests = []
-        text = _read_payload(path).decode("ascii")
+        try:
+            text = _read_payload(path).decode("ascii")
+        except UnicodeDecodeError as error:
+            raise CorruptArtifactError(path, f"not an ASCII CSV trace ({error})") from error
         lines = iter(text.splitlines())
         header = next(lines, "")
         if not header.startswith("timestamp"):
-            raise ValueError(f"{path}: missing CSV header")
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            time_s, addr_s, op_s, size_s = line.split(",")
-            requests.append(
-                MemoryRequest(
-                    timestamp=int(time_s),
-                    address=int(addr_s, 0),
-                    operation=Operation.parse(op_s),
-                    size=int(size_s),
+            raise CorruptArtifactError(path, "missing CSV header")
+        try:
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                time_s, addr_s, op_s, size_s = line.split(",")
+                requests.append(
+                    MemoryRequest(
+                        timestamp=int(time_s),
+                        address=int(addr_s, 0),
+                        operation=Operation.parse(op_s),
+                        size=int(size_s),
+                    )
                 )
-            )
+        except CorruptArtifactError:
+            raise
+        except ValueError as error:
+            raise CorruptArtifactError(path, f"malformed CSV record ({error})") from error
         return cls(requests)
 
     def save_binary(self, path: Union[str, Path]) -> int:
@@ -188,13 +209,18 @@ class Trace:
         payload = _read_payload(path)
         if payload[:4] != _BINARY_MAGIC:
             raise ValueError(f"{path}: not a Mocktails binary trace")
-        (count,) = struct.unpack_from("<Q", payload, 4)
-        requests = []
-        offset = 12
-        for _ in range(count):
-            timestamp, address, op, size = _RECORD.unpack_from(payload, offset)
-            offset += _RECORD.size
-            requests.append(MemoryRequest(timestamp, address, Operation(op), size))
+        try:
+            (count,) = struct.unpack_from("<Q", payload, 4)
+            requests = []
+            offset = 12
+            for _ in range(count):
+                timestamp, address, op, size = _RECORD.unpack_from(payload, offset)
+                offset += _RECORD.size
+                requests.append(MemoryRequest(timestamp, address, Operation(op), size))
+        except (struct.error, ValueError) as error:
+            raise CorruptArtifactError(
+                path, f"truncated or malformed binary trace ({error})"
+            ) from error
         return cls(requests)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

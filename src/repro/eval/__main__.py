@@ -6,15 +6,24 @@ Examples::
     python -m repro.eval run fig9 --requests 50000
     python -m repro.eval quick fig6 --metrics-out run.json
     python -m repro.eval all --requests 20000 --trace-events events.jsonl
+    python -m repro.eval run fig6 --cache-dir /tmp/repro-cache
+    python -m repro.eval cache stats
+
+Cross-run memoization is **on by default** (under ``~/.cache/repro``;
+see :mod:`repro.store`): deterministic simulation payloads computed by
+one invocation are reused by every later one, so a warm ``run fig6`` is
+bit-identical to a cold one but orders of magnitude faster. Opt out
+with ``--no-cache``; manage the cache with the ``cache`` subcommand.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from .. import obs
+from .. import obs, store
 from . import experiments
 from .reporting import format_table
 
@@ -176,13 +185,16 @@ def _print_generic(result) -> None:
     print(format_table(headers, rows))
 
 
-def run_experiment(name: str, num_requests: int, jobs: int = 1) -> None:
+def run_experiment(name: str, num_requests: int, jobs: int = 1):
     runner, printer = EXPERIMENTS[name]
     registry = obs.active()
     start = time.time()
 
     def execute():
-        if jobs > 1:
+        # Prewarm fans out across workers and/or pulls memoized payloads
+        # from the cross-run store; with one job and no store it would
+        # just run the same work the runner runs, so it is skipped.
+        if jobs > 1 or store.active_memo() is not None:
             from .parallel import jobs_for, prewarm
 
             prewarm(jobs_for(name, num_requests), processes=jobs)
@@ -197,6 +209,64 @@ def run_experiment(name: str, num_requests: int, jobs: int = 1) -> None:
     workers = f", {jobs} jobs" if jobs > 1 else ""
     print(f"\n=== {name} ({num_requests:,} requests/trace, {elapsed:.1f}s{workers}) ===")
     (printer or _print_generic)(result)
+    return result
+
+
+def _json_sanitize(value):
+    """Experiment results as JSON-dumpable data (dict keys become strings)."""
+    if isinstance(value, dict):
+        return {str(key): _json_sanitize(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_sanitize(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{int(value)} B"
+        value /= 1024
+    return f"{int(count)} B"  # pragma: no cover - unreachable
+
+
+def run_cache_command(args) -> int:
+    """The ``cache`` subcommand: stats / verify / gc / clear."""
+    memo = store.ExperimentMemo(args.cache_dir or store.default_cache_dir())
+    if args.cache_command == "stats":
+        stats = memo.stats()
+        print(f"cache dir:  {stats['root']}")
+        print(f"entries:    {stats['entries']}")
+        print(f"blobs:      {stats['blobs']}")
+        print(f"size:       {_format_bytes(stats['bytes'])}")
+        return 0
+    if args.cache_command == "verify":
+        report = memo.verify(evict_corrupt=not args.keep_corrupt)
+        print(f"checked {report['checked']} blobs")
+        for digest in report["corrupt"]:
+            action = "kept" if args.keep_corrupt else "evicted (will recompute)"
+            print(f"corrupt blob {digest[:16]}...: {action}")
+        for key in report["dangling"]:
+            action = "kept" if args.keep_corrupt else "dropped"
+            print(f"dangling key {key[:16]}...: {action}")
+        if not report["corrupt"] and not report["dangling"]:
+            print("cache is clean")
+        return 1 if args.keep_corrupt and (report["corrupt"] or report["dangling"]) else 0
+    if args.cache_command == "gc":
+        evicted = memo.gc(args.max_bytes)
+        stats = memo.stats()
+        print(
+            f"evicted {len(evicted)} blobs; "
+            f"{stats['blobs']} remain ({_format_bytes(stats['bytes'])})"
+        )
+        return 0
+    if args.cache_command == "clear":
+        removed = memo.clear()
+        print(f"removed {removed} blobs from {memo.root}")
+        return 0
+    raise AssertionError(f"unknown cache command: {args.cache_command}")  # pragma: no cover
 
 
 def main(argv=None) -> int:
@@ -231,22 +301,78 @@ def main(argv=None) -> int:
             "--trace-events", metavar="PATH", default=None,
             help="stream structured events (job starts/finishes, DRAM "
                  "enqueue/issue/drain, worker heartbeats) as JSONL to PATH")
+        command.add_argument(
+            "--json-out", metavar="PATH", default=None,
+            help="write the experiment results (the same data the tables "
+                 "print) as JSON to PATH")
+        command.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help="cross-run result cache directory (default ~/.cache/repro "
+                 "or $REPRO_CACHE_DIR; see 'cache' subcommand)")
+        command.add_argument(
+            "--no-cache", action="store_true",
+            help="disable the cross-run result cache for this invocation")
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the cross-run result cache"
+    )
+    cache.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default ~/.cache/repro or $REPRO_CACHE_DIR)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    stats = cache_sub.add_parser("stats", help="entry/blob counts and total size")
+    verify = cache_sub.add_parser(
+        "verify", help="re-hash every blob, evicting corrupt entries"
+    )
+    verify.add_argument(
+        "--keep-corrupt", action="store_true",
+        help="report corruption without evicting (exit 1 if any found)")
+    gc = cache_sub.add_parser("gc", help="LRU-evict blobs past a size budget")
+    gc.add_argument(
+        "--max-bytes", type=int, default=2 * 1024**3,
+        help="byte budget to shrink the store to (default 2 GiB)")
+    clear = cache_sub.add_parser("clear", help="remove every cached entry")
+    for cache_command in (stats, verify, gc, clear):
+        # SUPPRESS: a trailing `cache stats --cache-dir X` wins, but when
+        # omitted it does not clobber a prefix `cache --cache-dir X stats`.
+        cache_command.add_argument(
+            "--cache-dir", metavar="DIR", default=argparse.SUPPRESS,
+            help="cache directory (default ~/.cache/repro or $REPRO_CACHE_DIR)")
 
     args = parser.parse_args(argv)
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
+    if args.command == "cache":
+        return run_cache_command(args)
 
     registry = None
     if args.metrics_out or args.trace_events:
         sink = obs.JsonlEventSink(args.trace_events) if args.trace_events else None
         registry = obs.enable(sink)
 
+    memo = None
+    if not args.no_cache:
+        memo = store.configure(args.cache_dir)
+
     try:
         names = [args.experiment] if args.command in ("run", "quick") else list(EXPERIMENTS)
+        results = {}
         for name in names:
-            run_experiment(name, args.requests, jobs=args.jobs)
+            results[name] = run_experiment(name, args.requests, jobs=args.jobs)
+        if memo is not None:
+            print(
+                f"\ncache: {memo.hits} hits, {memo.misses} misses"
+                + (f", {memo.corrupt} corrupt (recomputed)" if memo.corrupt else "")
+                + f" ({memo.root})"
+            )
+        if args.json_out:
+            from ..store.atomic import atomic_write_text
+
+            payload = json.dumps(_json_sanitize(results), indent=2, sort_keys=True)
+            atomic_write_text(args.json_out, payload + "\n")
+            print(f"wrote results to {args.json_out}")
         if registry is not None and args.metrics_out:
             manifest = obs.build_manifest(
                 registry,
@@ -261,6 +387,8 @@ def main(argv=None) -> int:
             print(f"wrote {registry.sink.emitted if registry.sink else 0:,} "
                   f"events to {args.trace_events}")
     finally:
+        if memo is not None:
+            store.deactivate()
         if registry is not None:
             obs.disable()
     return 0

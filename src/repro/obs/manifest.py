@@ -16,6 +16,7 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
+from ..store.atomic import atomic_write_text
 from .registry import MetricsRegistry
 
 MANIFEST_SCHEMA = 1
@@ -57,7 +58,11 @@ def build_manifest(
 
 
 def write_manifest(path: Union[str, Path], manifest: dict) -> Path:
-    """Write a manifest as stable, human-diffable JSON; returns the path."""
+    """Write a manifest as stable, human-diffable JSON; returns the path.
+
+    The write is atomic (temp file + ``os.replace``), so a run killed
+    mid-write never leaves a truncated manifest behind.
+    """
     path = Path(path)
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(manifest, indent=2, sort_keys=True) + "\n")
     return path

@@ -1,0 +1,86 @@
+"""``repro.store`` — persistent content-addressed result store.
+
+Three layers, bottom up:
+
+* :mod:`repro.store.atomic` — the crash-safe write helper every
+  artifact writer in the repo goes through (temp file + ``os.replace``);
+* :mod:`repro.store.cas` — a sha256-keyed blob store with integrity
+  verification on read and a size-capped LRU garbage collector;
+* :mod:`repro.store.memo` — experiment memoization: ``execute_job``
+  payloads keyed on the canonicalized job dataclass, the package
+  version and the default-config fingerprint, locked per key
+  (:mod:`repro.store.locks`) so concurrent runs never double-compute.
+
+The experiment runners consult a process-wide *active* memo, installed
+with :func:`configure` (the CLI does this by default, pointing at
+``~/.cache/repro``; ``--no-cache`` opts out)::
+
+    from repro import store
+
+    store.configure()                 # ~/.cache/repro (or $REPRO_CACHE_DIR)
+    run_experiment("fig6", 20_000)    # warm runs load, not simulate
+    store.deactivate()
+
+A warm run is bit-identical to a cold one — the memo stores the exact
+payload objects the runners would have computed, and the aggregation
+code downstream of the cache is shared.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .atomic import atomic_write_bytes, atomic_write_text
+from .cas import ContentAddressedStore, sha256_hex
+from .locks import FileLock, LockTimeout
+from .memo import MEMO_SCHEMA, ExperimentMemo, cache_key
+
+__all__ = [
+    "ContentAddressedStore",
+    "ExperimentMemo",
+    "FileLock",
+    "LockTimeout",
+    "MEMO_SCHEMA",
+    "active_memo",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "cache_key",
+    "configure",
+    "deactivate",
+    "default_cache_dir",
+    "sha256_hex",
+]
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``$XDG_CACHE_HOME/repro``, else
+    ``~/.cache/repro``."""
+    override = os.environ.get("REPRO_CACHE_DIR")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+_active_memo: Optional[ExperimentMemo] = None
+
+
+def active_memo() -> Optional[ExperimentMemo]:
+    """The process-wide memo, or ``None`` when cross-run caching is off."""
+    return _active_memo
+
+
+def configure(cache_dir: Optional[Union[str, Path]] = None) -> ExperimentMemo:
+    """Install (and return) the process-wide experiment memo."""
+    global _active_memo
+    _active_memo = ExperimentMemo(cache_dir if cache_dir is not None else default_cache_dir())
+    return _active_memo
+
+
+def deactivate() -> None:
+    """Stop consulting the cross-run cache (files stay on disk)."""
+    global _active_memo
+    _active_memo = None

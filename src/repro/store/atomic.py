@@ -1,0 +1,51 @@
+"""Crash-safe file writes: temp file + ``os.replace``.
+
+Every artifact writer in the repo (profiles, traces, manifests, cache
+blobs) funnels through this helper, so an interrupted run — ``kill -9``
+mid-write, a full disk, a crashing serializer — can never leave a
+truncated artifact at the destination path. The destination either
+still holds its previous contents or holds the complete new payload;
+readers never observe an intermediate state.
+
+The temp file is created *in the destination directory* (not ``/tmp``)
+so the final ``os.replace`` is a same-filesystem rename, which POSIX
+guarantees to be atomic.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_bytes(path: Union[str, Path], data: bytes) -> int:
+    """Atomically write ``data`` to ``path``; returns bytes written.
+
+    The payload is written to a uniquely named temp file next to the
+    destination, flushed and fsynced, then renamed over the destination
+    in one atomic step. On any failure the temp file is removed and the
+    destination is left untouched.
+    """
+    path = Path(path)
+    directory = path.parent if str(path.parent) else Path(".")
+    fd, temp_name = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return len(data)
+
+
+def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> int:
+    """Atomically write ``text`` to ``path``; returns bytes written."""
+    return atomic_write_bytes(path, text.encode(encoding))

@@ -1,0 +1,177 @@
+"""Content-addressed blob store.
+
+Blobs are immutable byte strings keyed by the sha256 of their contents
+and laid out git-style under ``root/objects/<aa>/<rest>`` (two-hex-char
+fan-out directories). Three properties matter to the callers:
+
+* **Atomicity** — blobs are written via the shared temp-file +
+  ``os.replace`` helper (:mod:`repro.store.atomic`), so a killed writer
+  never leaves a partial blob under its final name.
+* **Integrity** — every read re-hashes the blob and compares it against
+  its name. A mismatch (bit rot, a truncated copy, a tampered file)
+  raises :class:`~repro.core.errors.CorruptArtifactError`; callers are
+  expected to :meth:`~ContentAddressedStore.evict` and recompute.
+* **Bounded size** — :meth:`~ContentAddressedStore.gc` evicts
+  least-recently-used blobs (reads bump an access timestamp) until the
+  store fits a byte budget.
+
+All mutations and reads bump :mod:`repro.obs` counters
+(``store.cas.*``) when observability is enabled.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Iterator, List, Union
+
+from .. import obs
+from ..core.errors import CorruptArtifactError
+from .atomic import atomic_write_bytes
+
+_OBJECTS_DIR = "objects"
+
+
+def sha256_hex(data: bytes) -> str:
+    """Hex digest used as the blob's address."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class ContentAddressedStore:
+    """Disk-backed sha256-keyed blob store with LRU garbage collection."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._objects = self.root / _OBJECTS_DIR
+        self._objects.mkdir(parents=True, exist_ok=True)
+
+    # -- addressing ---------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        if len(digest) != 64 or any(c not in "0123456789abcdef" for c in digest):
+            raise ValueError(f"not a sha256 hex digest: {digest!r}")
+        return self._objects / digest[:2] / digest[2:]
+
+    # -- blob operations ----------------------------------------------------
+
+    def put(self, data: bytes) -> str:
+        """Store ``data``; returns its digest. Idempotent per content."""
+        digest = sha256_hex(data)
+        path = self._path(digest)
+        if not path.exists():
+            path.parent.mkdir(parents=True, exist_ok=True)
+            atomic_write_bytes(path, data)
+            registry = obs.active()
+            if registry is not None:
+                registry.counter("store.cas.puts").inc()
+                registry.counter("store.cas.bytes_written").inc(len(data))
+        return digest
+
+    def get(self, digest: str) -> bytes:
+        """Read and verify a blob.
+
+        Raises :class:`KeyError` if the blob is absent and
+        :class:`CorruptArtifactError` if its contents no longer hash to
+        its name (the corrupt blob is left in place so the caller can
+        decide to :meth:`evict`). A successful read bumps the blob's
+        access time, which drives LRU eviction in :meth:`gc`.
+        """
+        path = self._path(digest)
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            raise KeyError(digest) from None
+        if sha256_hex(data) != digest:
+            registry = obs.active()
+            if registry is not None:
+                registry.counter("store.cas.corrupt").inc()
+            raise CorruptArtifactError(path, "blob contents do not match digest")
+        os.utime(path, None)
+        registry = obs.active()
+        if registry is not None:
+            registry.counter("store.cas.gets").inc()
+            registry.counter("store.cas.bytes_read").inc(len(data))
+        return data
+
+    def contains(self, digest: str) -> bool:
+        return self._path(digest).exists()
+
+    def evict(self, digest: str) -> bool:
+        """Remove one blob; returns whether it existed."""
+        try:
+            self._path(digest).unlink()
+        except FileNotFoundError:
+            return False
+        registry = obs.active()
+        if registry is not None:
+            registry.counter("store.cas.evictions").inc()
+        return True
+
+    # -- maintenance ---------------------------------------------------------
+
+    def digests(self) -> Iterator[str]:
+        """All stored digests (unordered)."""
+        if not self._objects.is_dir():
+            return
+        for fanout in sorted(self._objects.iterdir()):
+            if not fanout.is_dir() or len(fanout.name) != 2:
+                continue
+            for blob in sorted(fanout.iterdir()):
+                yield fanout.name + blob.name
+
+    def stats(self) -> dict:
+        """Blob count and total bytes on disk."""
+        blobs = 0
+        total = 0
+        for digest in self.digests():
+            path = self._path(digest)
+            try:
+                total += path.stat().st_size
+            except FileNotFoundError:  # pragma: no cover - concurrent gc
+                continue
+            blobs += 1
+        return {"blobs": blobs, "bytes": total}
+
+    def verify(self, evict_corrupt: bool = False) -> List[str]:
+        """Re-hash every blob; returns the digests that fail.
+
+        With ``evict_corrupt`` the failing blobs are removed so the next
+        consumer recomputes them instead of reading garbage.
+        """
+        corrupt = []
+        for digest in list(self.digests()):
+            try:
+                self.get(digest)
+            except CorruptArtifactError:
+                corrupt.append(digest)
+                if evict_corrupt:
+                    self.evict(digest)
+            except KeyError:  # pragma: no cover - concurrent eviction
+                continue
+        return corrupt
+
+    def gc(self, max_bytes: int) -> List[str]:
+        """Evict least-recently-used blobs until total size <= max_bytes.
+
+        Returns the evicted digests, oldest first. Access order comes
+        from the files' access timestamps, which :meth:`get` refreshes.
+        """
+        entries = []
+        total = 0
+        for digest in self.digests():
+            path = self._path(digest)
+            try:
+                stat = path.stat()
+            except FileNotFoundError:  # pragma: no cover - concurrent gc
+                continue
+            entries.append((stat.st_atime, stat.st_mtime, digest, stat.st_size))
+            total += stat.st_size
+        evicted = []
+        for _atime, _mtime, digest, size in sorted(entries):
+            if total <= max_bytes:
+                break
+            if self.evict(digest):
+                total -= size
+                evicted.append(digest)
+        return evicted

@@ -2,9 +2,18 @@
 
 from __future__ import annotations
 
+import os
 import random
+import tempfile
 
 import pytest
+
+# Hermetic cross-run cache: the eval CLI memoizes to ~/.cache/repro by
+# default, which tests must never touch. Point it at a throwaway
+# directory before anything imports repro.store's default.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", tempfile.mkdtemp(prefix="repro-test-cache-")
+)
 
 from repro.core.request import MemoryRequest, Operation
 from repro.core.trace import Trace

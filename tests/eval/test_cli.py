@@ -1,9 +1,18 @@
 """Tests for the ``python -m repro.eval`` command-line interface."""
 
+import json
+
 import pytest
 
+from repro.eval import experiments
 from repro.eval.__main__ import EXPERIMENTS, main
 from repro.eval.comparison import clear_cache
+
+
+def _clear_all_caches():
+    clear_cache()
+    experiments._SPEC_SYNTH_CACHE.clear()
+    experiments._SPEC_SIZE_CACHE.clear()
 
 
 class TestEvalCLI:
@@ -66,3 +75,107 @@ class TestEvalCLI:
 
         out = capsys.readouterr().out
         assert "wrote run manifest" in out
+
+
+class TestResultCache:
+    def test_warm_run_hits_and_json_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+
+        _clear_all_caches()
+        assert main([
+            "run", "fig10", "--requests", "1200",
+            "--cache-dir", cache_dir, "--json-out", str(cold_json),
+        ]) == 0
+        cold_out = capsys.readouterr().out
+        assert "cache: 0 hits, 2 misses" in cold_out
+
+        _clear_all_caches()  # simulate a fresh process
+        assert main([
+            "run", "fig10", "--requests", "1200",
+            "--cache-dir", cache_dir, "--json-out", str(warm_json),
+        ]) == 0
+        warm_out = capsys.readouterr().out
+        assert "cache: 2 hits, 0 misses" in warm_out
+
+        assert cold_json.read_bytes() == warm_json.read_bytes()
+
+    def test_no_cache_flag_disables_store(self, tmp_path, capsys):
+        _clear_all_caches()
+        assert main([
+            "run", "fig10", "--requests", "1200",
+            "--cache-dir", str(tmp_path / "cache"), "--no-cache",
+        ]) == 0
+        assert "cache:" not in capsys.readouterr().out
+        assert not (tmp_path / "cache").exists()
+
+    def test_cache_stats_on_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "--cache-dir", str(tmp_path / "c"), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:    0" in out
+        assert "blobs:      0" in out
+
+    def test_cache_verify_detects_and_evicts_corruption(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        _clear_all_caches()
+        assert main([
+            "run", "fig10", "--requests", "1200", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+
+        blobs = [p for p in (cache_dir / "objects").rglob("*") if p.is_file()]
+        blobs[0].write_bytes(b"deliberately corrupted")
+
+        # --keep-corrupt reports without evicting and exits non-zero.
+        assert main([
+            "cache", "--cache-dir", str(cache_dir), "verify", "--keep-corrupt",
+        ]) == 1
+        assert "corrupt blob" in capsys.readouterr().out
+        assert blobs[0].exists()
+
+        # Default verify evicts so the next run recomputes.
+        assert main(["cache", "--cache-dir", str(cache_dir), "verify"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted (will recompute)" in out
+        assert not blobs[0].exists()
+
+        _clear_all_caches()
+        assert main([
+            "run", "fig10", "--requests", "1200", "--cache-dir", str(cache_dir),
+        ]) == 0
+        assert "1 hits, 1 misses" in capsys.readouterr().out
+
+    def test_cache_gc_and_clear(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        _clear_all_caches()
+        assert main([
+            "run", "fig10", "--requests", "1200", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "cache", "--cache-dir", str(cache_dir), "gc", "--max-bytes", "0",
+        ]) == 0
+        assert "evicted 2 blobs" in capsys.readouterr().out
+
+        _clear_all_caches()
+        assert main([
+            "run", "fig10", "--requests", "1200", "--cache-dir", str(cache_dir),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(cache_dir), "clear"]) == 0
+        assert "removed 2 blobs" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(cache_dir), "stats"]) == 0
+        assert "blobs:      0" in capsys.readouterr().out
+
+    def test_json_out_is_valid_json(self, tmp_path, capsys):
+        _clear_all_caches()
+        out_path = tmp_path / "results.json"
+        assert main([
+            "run", "fig3", "--requests", "1500",
+            "--no-cache", "--json-out", str(out_path),
+        ]) == 0
+        data = json.loads(out_path.read_text())
+        assert set(data) == {"fig3"}
+        assert data["fig3"]  # non-empty bins

@@ -147,3 +147,51 @@ def test_run_experiment_matches_serial_runner():
         "fig17", SPEC_REQUESTS, processes=2, benchmarks=FIG14_SUBSET
     )
     assert combined == serial
+
+
+# ---------------------------------------------------------------------------
+# Cache-merge path: a partial prewarm leaves only the gap to compute
+# ---------------------------------------------------------------------------
+
+
+def test_figure_computes_only_jobs_missing_from_prewarm():
+    from repro import obs
+
+    jobs = jobs_for("fig10", REQUESTS)
+    assert len(jobs) == 2  # fbc-linear1 + fbc-tiled1
+    prewarm(jobs[:1], processes=1)  # warm exactly one of the two trios
+
+    obs.enable()
+    try:
+        experiments.figure_10(REQUESTS)
+        counters = obs.active().snapshot()["counters"]
+    finally:
+        obs.disable()
+
+    # The runner computed only the missing trio and served the
+    # prewarmed one from the merged cache.
+    assert counters["eval.runs.computed"] == 1
+    assert counters["eval.runs.cached"] == 1
+
+
+def test_prewarm_merges_worker_results_into_runner_caches():
+    from repro import obs
+
+    jobs = jobs_for("fig6", REQUESTS)
+    subset = jobs[:3]
+    prewarm(subset, processes=2)  # via real worker processes
+    for job in subset:
+        key = (job.name, job.num_requests, job.seed, job.interval, job.include_stm, None)
+        assert key in comparison._run_cache
+
+    obs.enable()
+    try:
+        executed = prewarm(jobs, processes=1)
+        counters = obs.active().snapshot()["counters"]
+    finally:
+        obs.disable()
+
+    # Completing the sweep only executes the jobs the subset lacked.
+    assert executed == len(jobs) - len(subset)
+    assert counters["eval.jobs.cached"] == len(subset)
+    assert counters["eval.jobs.executed"] == len(jobs) - len(subset)

@@ -1,0 +1,104 @@
+"""Per-key lockfile protocol: exclusivity, staleness, waiting."""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.store.locks import FileLock, LockTimeout
+
+
+def test_acquire_release_cycle(tmp_path):
+    lock = FileLock(tmp_path / "key.lock")
+    assert lock.acquire()
+    assert lock.held
+    assert (tmp_path / "key.lock").exists()
+    lock.release()
+    assert not lock.held
+    assert not (tmp_path / "key.lock").exists()
+
+
+def test_context_manager(tmp_path):
+    lock = FileLock(tmp_path / "key.lock")
+    with lock:
+        assert lock.held
+    assert not lock.held
+
+
+def test_nonblocking_acquire_fails_when_held(tmp_path):
+    holder = FileLock(tmp_path / "key.lock")
+    waiter = FileLock(tmp_path / "key.lock")
+    with holder:
+        assert waiter.acquire(block=False) is False
+    assert waiter.acquire(block=False) is True
+    waiter.release()
+
+
+def test_blocking_acquire_times_out(tmp_path):
+    holder = FileLock(tmp_path / "key.lock")
+    waiter = FileLock(tmp_path / "key.lock", timeout=0.2, poll_interval=0.02)
+    with holder:
+        with pytest.raises(LockTimeout):
+            waiter.acquire()
+
+
+def test_double_acquire_rejected(tmp_path):
+    lock = FileLock(tmp_path / "key.lock")
+    with lock:
+        with pytest.raises(RuntimeError, match="already held"):
+            lock.acquire()
+
+
+def test_lockfile_records_holder_pid(tmp_path):
+    with FileLock(tmp_path / "key.lock") as lock:
+        assert int(lock.path.read_text().strip()) == os.getpid()
+
+
+def test_stale_lock_from_dead_process_is_broken(tmp_path):
+    # A child takes the lock and dies without releasing (hard exit).
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    script = (
+        f"import sys; sys.path.insert(0, {src!r});"
+        "from repro.store.locks import FileLock;"
+        f"FileLock({str(tmp_path / 'key.lock')!r}).acquire();"
+        "import os; os._exit(0)"
+    )
+    subprocess.run([sys.executable, "-c", script], check=True)
+    assert (tmp_path / "key.lock").exists()
+
+    # The dead PID makes the lock stale; a new acquire breaks it fast.
+    lock = FileLock(tmp_path / "key.lock", timeout=5.0)
+    assert lock.acquire(block=False)
+    lock.release()
+
+
+def test_old_lockfile_is_broken_by_age(tmp_path):
+    path = tmp_path / "key.lock"
+    path.write_text(f"{os.getpid()}\n")  # alive PID, but ancient mtime
+    os.utime(path, (time.time() - 10_000, time.time() - 10_000))
+    lock = FileLock(path, stale_after=60.0)
+    assert lock.acquire(block=False)
+    lock.release()
+
+
+def test_wait_released_returns_when_freed(tmp_path):
+    path = tmp_path / "key.lock"
+    waiter = FileLock(path, poll_interval=0.01)
+    assert waiter.wait_released(timeout=0.1)  # nothing held
+    holder = FileLock(path)
+    holder.acquire()
+    assert waiter.wait_released(timeout=0.1) is False  # still held
+    holder.release()
+    assert waiter.wait_released(timeout=0.5)
+
+
+def test_garbage_lockfile_treated_as_stale_when_old(tmp_path):
+    path = tmp_path / "key.lock"
+    path.write_bytes(b"\xff\xfenot a pid")
+    os.utime(path, (time.time() - 10_000, time.time() - 10_000))
+    lock = FileLock(path, stale_after=60.0)
+    assert lock.acquire(block=False)
+    lock.release()

@@ -1,0 +1,226 @@
+"""Experiment memoization: key derivation, durability, corruption recovery."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro import store
+from repro.eval.parallel import DramJob, SizeJob, SpecJob
+from repro.store import memo as memo_module
+from repro.store.memo import ExperimentMemo, cache_key
+
+
+@pytest.fixture
+def memo(tmp_path):
+    return ExperimentMemo(tmp_path / "cache")
+
+
+# ---------------------------------------------------------------------------
+# Key derivation / invalidation rules
+# ---------------------------------------------------------------------------
+
+
+def test_cache_key_is_stable():
+    job = DramJob("hevc1", 2000, seed=0, interval=500_000)
+    assert cache_key(job) == cache_key(DramJob("hevc1", 2000, seed=0, interval=500_000))
+
+
+def test_cache_key_covers_every_job_field():
+    base = DramJob("hevc1", 2000)
+    assert cache_key(base) != cache_key(DramJob("trex1", 2000))
+    assert cache_key(base) != cache_key(DramJob("hevc1", 2001))
+    assert cache_key(base) != cache_key(DramJob("hevc1", 2000, seed=1))
+    assert cache_key(base) != cache_key(DramJob("hevc1", 2000, interval=250_000))
+    assert cache_key(base) != cache_key(DramJob("hevc1", 2000, include_stm=False))
+
+
+def test_cache_key_distinguishes_job_kinds():
+    # Same field values, different dataclass -> different key space.
+    assert cache_key(SpecJob("mcf", 2000)) != cache_key(SizeJob("mcf", 2000))
+
+
+def test_version_bump_invalidates_keys(monkeypatch):
+    job = DramJob("hevc1", 2000)
+    before = cache_key(job)
+    monkeypatch.setattr(repro, "__version__", "999.0.0")
+    monkeypatch.setattr(memo_module, "_fingerprint_cache", None)
+    after = cache_key(job)
+    monkeypatch.undo()
+    memo_module._fingerprint_cache = None
+    assert before != after
+    assert cache_key(job) == before  # restored version -> restored keys
+
+
+def test_non_dataclass_jobs_rejected():
+    with pytest.raises(TypeError, match="dataclass"):
+        cache_key({"name": "hevc1"})
+
+
+# ---------------------------------------------------------------------------
+# Fetch/store round trips
+# ---------------------------------------------------------------------------
+
+
+def test_fetch_miss_then_hit(memo):
+    job = SizeJob("mcf", 1000)
+    assert memo.fetch(job) is None
+    memo.store(job, {"trace": 123, "dynamic": 45})
+    assert memo.fetch(job) == {"trace": 123, "dynamic": 45}
+    assert memo.hits == 1 and memo.misses == 1
+
+
+def test_survives_across_instances(tmp_path):
+    job = SizeJob("mcf", 1000)
+    ExperimentMemo(tmp_path / "cache").store(job, {"trace": 1})
+    fresh = ExperimentMemo(tmp_path / "cache")
+    assert fresh.fetch(job) == {"trace": 1}
+
+
+def test_store_overwrite_updates_payload(memo):
+    job = SizeJob("mcf", 1000)
+    memo.store(job, {"v": 1})
+    memo.store(job, {"v": 2})
+    assert memo.fetch(job) == {"v": 2}
+
+
+def test_distinct_jobs_do_not_collide(memo):
+    memo.store(SizeJob("mcf", 1000), "a")
+    memo.store(SizeJob("mcf", 2000), "b")
+    assert memo.fetch(SizeJob("mcf", 1000)) == "a"
+    assert memo.fetch(SizeJob("mcf", 2000)) == "b"
+
+
+# ---------------------------------------------------------------------------
+# Corruption: detected, evicted, recomputed — never returned
+# ---------------------------------------------------------------------------
+
+
+def _blob_paths(memo):
+    return [
+        path
+        for path in (memo.root / "objects").rglob("*")
+        if path.is_file()
+    ]
+
+
+def test_corrupt_blob_is_a_miss_and_is_evicted(memo):
+    job = SizeJob("mcf", 1000)
+    memo.store(job, {"trace": 99})
+    (blob,) = _blob_paths(memo)
+    blob.write_bytes(b"\x00garbage\x00")
+
+    assert memo.fetch(job) is None  # never returns garbage
+    assert memo.corrupt == 1
+    assert _blob_paths(memo) == []  # evicted
+    assert memo.keys() == []  # key dropped too
+
+    # The natural recovery: recompute and store again.
+    memo.store(job, {"trace": 99})
+    assert memo.fetch(job) == {"trace": 99}
+
+
+def test_valid_hash_but_bad_pickle_is_a_miss(memo):
+    job = SizeJob("mcf", 1000)
+    key = cache_key(job)
+    digest = memo.cas.put(b"not a pickle at all")
+    store.atomic_write_text(memo.root / "keys" / key, digest + "\n")
+
+    assert memo.fetch(job) is None
+    assert memo.corrupt == 1
+    assert not memo.cas.contains(digest)
+
+
+def test_dangling_key_is_a_miss(memo):
+    job = SizeJob("mcf", 1000)
+    memo.store(job, "payload")
+    for blob in _blob_paths(memo):
+        blob.unlink()
+    assert memo.fetch(job) is None
+    assert memo.keys() == []
+
+
+def test_verify_prunes_corruption_and_dangling_keys(memo):
+    keep = SizeJob("mcf", 1000)
+    corrupt = SizeJob("mcf", 2000)
+    memo.store(keep, "keep me")
+    memo.store(corrupt, "corrupt me")
+    target = memo.cas.put(pickle.dumps("corrupt me", protocol=4))
+    path = memo.root / "objects" / target[:2] / target[2:]
+    path.write_bytes(b"scrambled")
+
+    report = memo.verify(evict_corrupt=True)
+    assert report["checked"] == 2
+    assert report["corrupt"] == [target]
+    assert len(report["dangling"]) == 1
+    assert memo.fetch(keep) == "keep me"
+    assert memo.fetch(corrupt) is None
+
+
+# ---------------------------------------------------------------------------
+# Garbage collection
+# ---------------------------------------------------------------------------
+
+
+def test_gc_prunes_key_entries_of_evicted_blobs(memo):
+    import os
+
+    jobs = [SizeJob("mcf", n) for n in (1000, 2000, 3000)]
+    for index, job in enumerate(jobs):
+        memo.store(job, "x" * 200)
+    for index, path in enumerate(sorted(_blob_paths(memo))):
+        os.utime(path, (1000.0 + index, 1000.0 + index))
+
+    memo.gc(max_bytes=0)
+    assert memo.keys() == []
+    assert all(memo.fetch(job) is None for job in jobs)
+
+
+def test_clear_removes_everything(memo):
+    memo.store(SizeJob("mcf", 1000), "a")
+    memo.store(SizeJob("mcf", 2000), "b")
+    assert memo.clear() >= 1
+    assert memo.stats()["entries"] == 0
+    assert memo.stats()["blobs"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Active-memo plumbing
+# ---------------------------------------------------------------------------
+
+
+def test_configure_and_deactivate(tmp_path):
+    assert store.active_memo() is None or store.deactivate() is None
+    memo = store.configure(tmp_path / "cache")
+    try:
+        assert store.active_memo() is memo
+        assert memo.root == tmp_path / "cache"
+    finally:
+        store.deactivate()
+    assert store.active_memo() is None
+
+
+def test_default_cache_dir_honours_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+    assert store.default_cache_dir() == tmp_path / "custom"
+    monkeypatch.delenv("REPRO_CACHE_DIR")
+    monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+    assert store.default_cache_dir() == tmp_path / "xdg" / "repro"
+
+
+def test_obs_counters_mirror_memo_traffic(memo):
+    from repro import obs
+
+    obs.enable()
+    try:
+        job = SizeJob("mcf", 1000)
+        memo.fetch(job)  # miss
+        memo.store(job, "payload")
+        memo.fetch(job)  # hit
+        counters = obs.active().snapshot()["counters"]
+    finally:
+        obs.disable()
+
+    assert counters["store.memo.misses"] == 1
+    assert counters["store.memo.hits"] == 1
+    assert counters["store.memo.stores"] == 1
