@@ -7,14 +7,31 @@ import json
 import sys
 
 
+def _load_bench(path):
+    """Load one BENCH json; exits with a clear message when unusable."""
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as error:
+        print(f"error: cannot read {path}: {error.strerror or error}", file=sys.stderr)
+        raise SystemExit(2)
+    except json.JSONDecodeError as error:
+        print(f"error: {path} is not valid JSON (line {error.lineno}: {error.msg}); "
+              "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
+        raise SystemExit(2)
+    if not isinstance(data, dict) or not isinstance(data.get("timings_seconds"), dict):
+        print(f"error: {path} is not a BENCH snapshot "
+              "(expected an object with a 'timings_seconds' mapping)", file=sys.stderr)
+        raise SystemExit(2)
+    return data
+
+
 def main(argv):
     if len(argv) != 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    with open(argv[1]) as handle:
-        old = json.load(handle)
-    with open(argv[2]) as handle:
-        new = json.load(handle)
+    old = _load_bench(argv[1])
+    new = _load_bench(argv[2])
 
     if old.get("scale") != new.get("scale"):
         print(f"note: scales differ ({old.get('scale')} vs {new.get('scale')}); "
@@ -31,6 +48,9 @@ def main(argv):
             rows.append((after / before - 1.0, key, before, after, after / before - 1.0))
     rows.sort(reverse=True)
 
+    if not rows:
+        print("no timings recorded in either snapshot; nothing to diff")
+        return 0
     width = max(len(key) for _, key, *_ in rows)
     print(f"{'timing':>{width}}  {'before':>8}  {'after':>8}  {'delta':>8}")
     for _, key, before, after, delta in rows:

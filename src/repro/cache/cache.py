@@ -83,6 +83,18 @@ class _Line:
 class Cache:
     """One level of a write-back, write-allocate cache."""
 
+    __slots__ = (
+        "config",
+        "stats",
+        "_num_sets",
+        "_lines",
+        "_policy",
+        "_obs",
+        "_obs_hits",
+        "_obs_misses",
+        "_obs_write_backs",
+    )
+
     def __init__(
         self,
         config: CacheConfig,

@@ -85,6 +85,8 @@ class Burst:
 class AddressMap:
     """Decodes byte addresses into DRAM coordinates for a configuration."""
 
+    __slots__ = ("config",)
+
     def __init__(self, config: MemoryConfig):
         self.config = config
 

@@ -188,7 +188,7 @@ def _print_generic(result) -> None:
 def run_experiment(name: str, num_requests: int, jobs: int = 1):
     runner, printer = EXPERIMENTS[name]
     registry = obs.active()
-    start = time.time()
+    start = time.perf_counter()
 
     def execute():
         # Prewarm fans out across workers and/or pulls memoized payloads
@@ -205,7 +205,7 @@ def run_experiment(name: str, num_requests: int, jobs: int = 1):
             result = execute()
     else:
         result = execute()
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     workers = f", {jobs} jobs" if jobs > 1 else ""
     print(f"\n=== {name} ({num_requests:,} requests/trace, {elapsed:.1f}s{workers}) ===")
     (printer or _print_generic)(result)
@@ -312,6 +312,11 @@ def main(argv=None) -> int:
         command.add_argument(
             "--no-cache", action="store_true",
             help="disable the cross-run result cache for this invocation")
+        command.add_argument(
+            "--sanitize", action="store_true",
+            help="validate every simulated request against the trace "
+                 "invariants (monotonic timestamps, legal addresses and "
+                 "operations); fails fast on the first violation")
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain the cross-run result cache"
@@ -356,6 +361,11 @@ def main(argv=None) -> int:
     if not args.no_cache:
         memo = store.configure(args.cache_dir)
 
+    if args.sanitize:
+        from ..lint import sanitize as lint_sanitize
+
+        lint_sanitize.enable()
+
     try:
         names = [args.experiment] if args.command in ("run", "quick") else list(EXPERIMENTS)
         results = {}
@@ -387,6 +397,10 @@ def main(argv=None) -> int:
             print(f"wrote {registry.sink.emitted if registry.sink else 0:,} "
                   f"events to {args.trace_events}")
     finally:
+        if args.sanitize:
+            from ..lint import sanitize as lint_sanitize
+
+            lint_sanitize.disable()
         if memo is not None:
             store.deactivate()
         if registry is not None:

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from . import experiments
+from ..store.atomic import atomic_write_text
 from .metrics import percent_error
 
 
@@ -128,7 +129,7 @@ def build_report(
     """Run the headline experiments and render a markdown report."""
     if spec_benchmarks is None:
         spec_benchmarks = ["gobmk", "hmmer", "libquantum", "milc"]
-    started = time.time()
+    started = time.perf_counter()
     sections = [
         f"# Mocktails reproduction report\n\n"
         f"Scale: {num_requests:,} requests per trace.",
@@ -139,7 +140,7 @@ def build_report(
         _section_fig14(num_requests, spec_benchmarks),
         _section_fig17(num_requests, spec_benchmarks),
     ]
-    sections.append(f"_Generated in {time.time() - started:.1f}s._")
+    sections.append(f"_Generated in {time.perf_counter() - started:.1f}s._")
     return "\n\n".join(sections) + "\n"
 
 
@@ -150,5 +151,5 @@ def write_report(
 ) -> Path:
     """Write :func:`build_report` output to ``path``; returns the path."""
     path = Path(path)
-    path.write_text(build_report(num_requests, spec_benchmarks))
+    atomic_write_text(path, build_report(num_requests, spec_benchmarks))
     return path

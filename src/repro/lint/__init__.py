@@ -1,0 +1,43 @@
+"""``repro.lint`` — determinism & invariant static analysis + sanitizers.
+
+The reproduction's guarantees (figure stats bit-identical under
+``--jobs N``, warm cache byte-identical to cold, crc32-stable seeding)
+rest on conventions no test exercises directly: randomness flows only
+through seeded ``random.Random`` objects, simulation code never reads
+the wall clock, every artifact write is atomic, nothing iterates a set
+into serialized output. This package turns those conventions into
+machine-checked rules:
+
+* :func:`lint_paths` / :func:`lint_source` — AST linter (also
+  ``python -m repro.lint src/``), with per-line
+  ``# lint: ignore[rule-id]`` suppressions and unused-suppression
+  detection;
+* :mod:`repro.lint.sanitize` — runtime
+  :class:`~repro.lint.sanitize.TraceInvariantChecker` the sim drivers
+  consult behind a flag, plus the ``--check-determinism`` double-run
+  harness.
+"""
+
+from .engine import (
+    SYNTAX_ERROR,
+    UNUSED_SUPPRESSION,
+    Finding,
+    LintContext,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+
+__all__ = [
+    "SYNTAX_ERROR",
+    "UNUSED_SUPPRESSION",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

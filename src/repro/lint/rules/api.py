@@ -1,0 +1,66 @@
+"""API hygiene rules: traps that corrupt results quietly.
+
+These are not style nits — a mutable default argument is shared across
+every call and makes results depend on call history (the same class of
+cross-run state the determinism rules hunt), and ``import *`` makes it
+impossible to audit where a name (e.g. a shadowed ``open`` or
+``random``) actually comes from.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..engine import LintContext, Rule, register
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray")
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default arguments persist state across calls."""
+
+    rule_id = "api-mutable-default"
+    description = "mutable default argument"
+
+    def check(self, context: LintContext) -> None:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default for default in node.args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    context.report(
+                        default,
+                        self.rule_id,
+                        f"mutable default in {node.name}(); default to None "
+                        "and construct inside the body",
+                    )
+
+
+@register
+class StarImportRule(Rule):
+    """``from x import *`` hides the provenance of every name it binds."""
+
+    rule_id = "api-star-import"
+    description = "wildcard import"
+
+    def check(self, context: LintContext) -> None:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom) and any(
+                alias.name == "*" for alias in node.names
+            ):
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"'from {node.module} import *' hides name provenance; "
+                    "import names explicitly",
+                )

@@ -1,0 +1,291 @@
+"""Determinism rules: the invariants behind bit-identical figure stats.
+
+Every headline claim of this reproduction — serial == parallel, warm
+cache == cold, crc32-stable workload seeding — assumes simulation paths
+draw randomness only from explicitly seeded generators, never read the
+ambient clock, and never let hash-order leak into outputs. These rules
+make those conventions machine-checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from ..engine import LintContext, Rule, register
+
+#: ``random`` module attributes that construct an explicitly seeded
+#: generator (the sanctioned pattern) rather than draw from global state.
+_ALLOWED_RANDOM_ATTRS = {"Random"}
+
+#: ``numpy.random`` attributes that construct seedable generator objects.
+_ALLOWED_NP_RANDOM_ATTRS = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "PCG64",
+    "Philox",
+    "MT19937",
+    "BitGenerator",
+}
+
+#: Wall-clock accessors banned outside ``repro.obs`` (which owns the
+#: sanctioned choke point, :func:`repro.obs.clock.wall_time`).
+_WALL_CLOCK_TIME_ATTRS = {"time", "time_ns"}
+_WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+def _import_aliases(tree: ast.AST, module: str) -> Set[str]:
+    """Names that ``import <module>`` / ``import <module> as x`` bind."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+                elif alias.name.startswith(module + "."):
+                    # ``import numpy.random`` binds the top-level name.
+                    aliases.add((alias.asname or alias.name).split(".")[0])
+    return aliases
+
+
+def _from_imports(tree: ast.AST, module: str):
+    """Yield ``(bound_name, original_name, node)`` for ``from <module> import``."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == module:
+            for alias in node.names:
+                yield alias.asname or alias.name, alias.name, node
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Global-state RNG draws break seeded reproducibility.
+
+    ``random.random()``/``random.shuffle()`` (and ``np.random.*``) pull
+    from an interpreter-wide generator that any import or thread can
+    perturb; every stochastic component here must thread an explicit
+    ``random.Random(seed)`` (or ``np.random.default_rng(seed)``).
+    """
+
+    rule_id = "det-unseeded-random"
+    description = "module-level RNG call; use an explicit random.Random(seed)"
+
+    def check(self, context: LintContext) -> None:
+        tree = context.tree
+        random_aliases = _import_aliases(tree, "random")
+        numpy_aliases = _import_aliases(tree, "numpy")
+
+        for _, original, node in _from_imports(tree, "random"):
+            if original not in _ALLOWED_RANDOM_ATTRS:
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"'from random import {original}' draws from the global RNG; "
+                    "construct random.Random(seed) instead",
+                )
+        for _, original, node in _from_imports(tree, "numpy.random"):
+            if original not in _ALLOWED_NP_RANDOM_ATTRS:
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"'from numpy.random import {original}' uses numpy's global "
+                    "RNG; use numpy.random.default_rng(seed)",
+                )
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if (
+                isinstance(value, ast.Name)
+                and value.id in random_aliases
+                and node.attr not in _ALLOWED_RANDOM_ATTRS
+            ):
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"random.{node.attr} uses the global RNG; "
+                    "thread an explicit random.Random(seed)",
+                )
+            elif (
+                isinstance(value, ast.Attribute)
+                and value.attr == "random"
+                and isinstance(value.value, ast.Name)
+                and value.value.id in numpy_aliases
+                and node.attr not in _ALLOWED_NP_RANDOM_ATTRS
+            ):
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"numpy.random.{node.attr} uses numpy's global RNG; "
+                    "use numpy.random.default_rng(seed)",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """Ambient wall clock reads are banned outside ``repro.obs``.
+
+    ``time.time()`` / ``datetime.now()`` make output depend on when the
+    run happened. Simulation and storage code must take time as data or
+    call the one sanctioned accessor, :func:`repro.obs.clock.wall_time`
+    (elapsed-time measurement should use ``time.perf_counter``, which
+    this rule deliberately allows).
+    """
+
+    rule_id = "det-wall-clock"
+    description = "wall-clock read outside repro.obs"
+
+    def check(self, context: LintContext) -> None:
+        if context.in_package("obs"):
+            return
+        tree = context.tree
+        time_aliases = _import_aliases(tree, "time")
+        datetime_module_aliases = _import_aliases(tree, "datetime")
+        datetime_class_names = {
+            bound
+            for bound, original, _ in _from_imports(tree, "datetime")
+            if original in ("datetime", "date")
+        }
+
+        for _, original, node in _from_imports(tree, "time"):
+            if original in _WALL_CLOCK_TIME_ATTRS:
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"'from time import {original}' imports the wall clock; "
+                    "use repro.obs.clock.wall_time() or time.perf_counter()",
+                )
+
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            receiver = func.value
+            if (
+                isinstance(receiver, ast.Name)
+                and receiver.id in time_aliases
+                and func.attr in _WALL_CLOCK_TIME_ATTRS
+            ):
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"time.{func.attr}() reads the wall clock; use "
+                    "repro.obs.clock.wall_time() (or time.perf_counter "
+                    "for elapsed time)",
+                )
+            elif func.attr in _WALL_CLOCK_DATETIME_ATTRS and (
+                (isinstance(receiver, ast.Name) and receiver.id in datetime_class_names)
+                or (
+                    isinstance(receiver, ast.Attribute)
+                    and receiver.attr in ("datetime", "date")
+                    and isinstance(receiver.value, ast.Name)
+                    and receiver.value.id in datetime_module_aliases
+                )
+            ):
+                context.report(
+                    node,
+                    self.rule_id,
+                    f"datetime {func.attr}() reads the wall clock; "
+                    "use repro.obs.clock.wall_time()",
+                )
+
+
+def _is_float_operand(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    ):
+        return True
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_operand(node.operand)
+    return False
+
+
+@register
+class FloatCompareRule(Rule):
+    """Exact ``==``/``!=`` against floats is representation-dependent.
+
+    Metric values accumulate rounding; exact comparison against a float
+    literal silently flips with evaluation order. Compare integers, use
+    ``math.isclose``, or compare against an explicit tolerance.
+    """
+
+    rule_id = "det-float-compare"
+    description = "exact ==/!= comparison against a float"
+
+    def check(self, context: LintContext) -> None:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_float_operand(left) or _is_float_operand(right):
+                    context.report(
+                        node,
+                        self.rule_id,
+                        "exact ==/!= against a float; use math.isclose or "
+                        "an explicit tolerance",
+                    )
+                    break
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    """Syntactically recognizable set-valued expressions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_set_expression(func.value)
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+@register
+class SetIterationRule(Rule):
+    """Iterating a set feeds hash order into downstream output.
+
+    Set iteration order depends on ``PYTHONHASHSEED`` for strings, so a
+    loop or ``list(set(...))`` dedupe over a set can reorder serialized
+    output between runs. Wrap the set in ``sorted(...)`` before
+    iterating.
+    """
+
+    rule_id = "det-set-iteration"
+    description = "iteration over a set without sorted()"
+
+    _MESSAGE = (
+        "iterating a set is hash-order dependent; wrap it in sorted(...) "
+        "before iterating"
+    )
+
+    def check(self, context: LintContext) -> None:
+        for node in ast.walk(context.tree):
+            iters = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(comp.iter for comp in node.generators)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                if node.func.id in ("list", "tuple", "enumerate") and node.args:
+                    iters.append(node.args[0])
+            for candidate in iters:
+                if _is_set_expression(candidate):
+                    context.report(candidate, self.rule_id, self._MESSAGE)

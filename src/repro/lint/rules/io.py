@@ -1,0 +1,88 @@
+"""I/O rules: every artifact write must be crash-safe.
+
+The result store's warm==cold guarantee assumes no reader can ever
+observe a truncated artifact, which holds only if every write in the
+repo funnels through :mod:`repro.store.atomic` (temp file + fsync +
+same-directory ``os.replace``). A bare ``open(path, "w")`` reintroduces
+the torn-write window that helper exists to close.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Optional
+
+from ..engine import LintContext, Rule, register
+
+#: A plausible ``open`` mode string: only mode characters, short.
+_MODE_RE = re.compile(r"^[rwaxbt+U]{1,4}$")
+
+
+def _write_mode(call: ast.Call, mode_arg_index: int) -> Optional[str]:
+    """The literal write mode of an ``open``-style call, if statically visible."""
+    candidates = []
+    if len(call.args) > mode_arg_index:
+        candidates.append(call.args[mode_arg_index])
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            candidates.append(keyword.value)
+    for candidate in candidates:
+        if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+            mode = candidate.value
+            if _MODE_RE.match(mode) and any(ch in mode for ch in "wax"):
+                return mode
+    return None
+
+
+@register
+class AtomicWriteRule(Rule):
+    """File writes must go through ``repro.store.atomic``.
+
+    Flags ``open(..., "w")``, ``Path.open("w")`` (any mode containing
+    ``w``/``a``/``x``) and ``Path.write_text``/``write_bytes``. The
+    implementation module itself is exempt. Streaming sinks that flush
+    line-by-line on purpose (e.g. the JSONL event sink) document the
+    exception with ``# lint: ignore[io-atomic-write]``.
+    """
+
+    rule_id = "io-atomic-write"
+    description = "non-atomic file write; use repro.store.atomic"
+
+    def check(self, context: LintContext) -> None:
+        if context.is_module("store", "atomic.py"):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = _write_mode(node, 1)
+                if mode is not None:
+                    context.report(
+                        node,
+                        self.rule_id,
+                        f"open(..., {mode!r}) is not crash-safe; use "
+                        "repro.store.atomic.atomic_write_text/bytes",
+                    )
+            elif isinstance(func, ast.Attribute) and func.attr == "open":
+                # Path.open("w") puts the mode first; gzip.open(path, "wt")
+                # puts it second — check both slots.
+                mode = _write_mode(node, 0) or _write_mode(node, 1)
+                if mode is not None:
+                    context.report(
+                        node,
+                        self.rule_id,
+                        f".open(..., {mode!r}) is not crash-safe; use "
+                        "repro.store.atomic.atomic_write_text/bytes",
+                    )
+            elif isinstance(func, ast.Attribute) and func.attr in (
+                "write_text",
+                "write_bytes",
+            ):
+                context.report(
+                    node,
+                    self.rule_id,
+                    f".{func.attr}(...) is not crash-safe; use "
+                    "repro.store.atomic.atomic_write_text/bytes",
+                )

@@ -27,6 +27,7 @@ Usage::
     obs.disable()
 """
 
+from .clock import wall_time
 from .events import EventSink, JsonlEventSink, MemoryEventSink
 from .manifest import build_manifest, host_info, write_manifest
 from .registry import (
@@ -52,5 +53,6 @@ __all__ = [
     "disable",
     "enable",
     "host_info",
+    "wall_time",
     "write_manifest",
 ]

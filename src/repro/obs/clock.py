@@ -1,0 +1,19 @@
+"""The one sanctioned wall-clock accessor.
+
+``repro.lint`` bans ``time.time()`` / ``datetime.now()`` outside
+``repro.obs`` so that simulation and storage code cannot make results
+depend on when a run happened. Code that legitimately needs the wall
+clock (event timestamps, stale-lock aging) calls :func:`wall_time`
+instead — one choke point, trivially monkeypatchable in tests. Elapsed
+time measurement should use ``time.perf_counter`` directly, which the
+linter allows everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_time() -> float:
+    """Seconds since the epoch, as ``time.time()``."""
+    return time.time()

@@ -40,7 +40,9 @@ class JsonlEventSink(EventSink):
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
-        self._handle: Optional[IO[str]] = self.path.open("w", encoding="utf-8")
+        # Streaming sink: atomicity is meaningless for a tail-able log
+        # that must survive a crash mid-run.
+        self._handle: Optional[IO[str]] = self.path.open("w", encoding="utf-8")  # lint: ignore[io-atomic-write]
         self.emitted = 0
 
     def emit(self, event: dict) -> None:

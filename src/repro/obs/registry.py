@@ -111,6 +111,9 @@ class _PhaseScope:
 class MetricsRegistry:
     """Named counters/gauges/histograms plus per-phase wall-clock timers."""
 
+    __slots__ = ("sink", "_counters", "_gauges", "_histograms", "_phases",
+                 "_started_at")
+
     def __init__(self, sink: Optional[EventSink] = None) -> None:
         self.sink = sink
         self._counters: Dict[str, Counter] = {}

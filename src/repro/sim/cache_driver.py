@@ -12,6 +12,7 @@ from typing import Optional
 from ..cache.cache import CacheConfig, CacheStats
 from ..cache.hierarchy import CacheHierarchy, paper_l2_config
 from ..core.trace import Trace
+from ..lint import sanitize as _sanitize
 
 
 @dataclass
@@ -34,11 +35,24 @@ def run_cache_trace(
     trace: Trace,
     l1_config: Optional[CacheConfig] = None,
     l2_config: Optional[CacheConfig] = None,
+    sanitize: Optional[bool] = None,
 ) -> CacheRunResult:
-    """Replay a trace through an L1/L2 hierarchy and return statistics."""
+    """Replay a trace through an L1/L2 hierarchy and return statistics.
+
+    ``sanitize=True`` (or process-wide
+    :func:`repro.lint.sanitize.enable`) validates addresses, sizes and
+    operations; timestamps are *not* required to be monotonic here
+    because atomic-mode replay ignores them by construction.
+    """
     hierarchy = CacheHierarchy(
         l1_config if l1_config is not None else CacheConfig(32 * 1024, 4),
         l2_config if l2_config is not None else paper_l2_config(),
     )
-    hierarchy.run(trace)
+    requests = trace
+    if sanitize is True or (sanitize is None and _sanitize.active()):
+        checker = _sanitize.TraceInvariantChecker(
+            label="run_cache_trace", require_monotonic=False
+        )
+        requests = checker.watch(trace)
+    hierarchy.run(requests)
     return CacheRunResult(l1=hierarchy.l1_stats, l2=hierarchy.l2_stats)

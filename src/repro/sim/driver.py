@@ -24,21 +24,47 @@ from ..dram.config import MemoryConfig
 from ..dram.memory_system import MemorySystem
 from ..dram.stats import MemorySystemStats
 from ..interconnect.crossbar import Crossbar, CrossbarConfig
+from ..lint import sanitize as _sanitize
+
+
+def _checker(sanitize: Optional[bool], label: str):
+    """Resolve the per-call flag against the process-wide sanitize mode.
+
+    ``None`` follows :func:`repro.lint.sanitize.active`; ``True`` forces
+    a checker on; ``False`` forces it off. The checker only observes the
+    stream, so results are bit-identical with or without it.
+    """
+    if sanitize is False:
+        return None
+    if sanitize is None and not _sanitize.active():
+        return None
+    checker = _sanitize.make_checker(label)
+    return checker if checker is not None else _sanitize.TraceInvariantChecker(label=label)
 
 
 def simulate_trace(
     trace: Iterable[MemoryRequest],
     config: Optional[MemoryConfig] = None,
     crossbar_config: Optional[CrossbarConfig] = None,
+    sanitize: Optional[bool] = None,
 ) -> MemorySystemStats:
     """Replay a time-ordered request stream through crossbar + memory.
 
     Accepts a :class:`~repro.core.trace.Trace` or any iterable of
     time-ordered requests — including a lazy generator, so synthetic
     streams can be replayed without materializing the full trace.
+
+    ``sanitize=True`` (or process-wide
+    :func:`repro.lint.sanitize.enable`) validates every request against
+    the trace invariants — monotonic timestamps, legal addresses and
+    operations — raising
+    :class:`~repro.lint.sanitize.InvariantViolation` on the first break.
     """
     memory = MemorySystem(config)
     crossbar = Crossbar(memory, crossbar_config)
+    checker = _checker(sanitize, "simulate_trace")
+    if checker is not None:
+        trace = checker.watch(trace)
     for request in trace:
         crossbar.send(request)
     memory.drain()
@@ -51,15 +77,19 @@ def simulate_profile(
     crossbar_config: Optional[CrossbarConfig] = None,
     seed: Union[int, random.Random, None] = 0,
     strict: bool = True,
+    sanitize: Optional[bool] = None,
 ) -> MemorySystemStats:
     """Coupled synthesis (Option B): backpressure feeds back into timing."""
     memory = MemorySystem(config)
     crossbar = Crossbar(memory, crossbar_config)
     synthesizer = FeedbackSynthesizer(profile, seed=seed, strict=strict)
+    checker = _checker(sanitize, "simulate_profile")
     while True:
         request = synthesizer.next_request()
         if request is None:
             break
+        if checker is not None:
+            checker.check(request)
         delay = crossbar.send(request)
         if delay > 0:
             synthesizer.report_backpressure(delay)
@@ -73,6 +103,7 @@ def simulate_synthetic(
     crossbar_config: Optional[CrossbarConfig] = None,
     seed: Union[int, random.Random, None] = 0,
     strict: bool = True,
+    sanitize: Optional[bool] = None,
 ) -> MemorySystemStats:
     """Option A: synthesize and replay, streaming request by request.
 
@@ -82,5 +113,8 @@ def simulate_synthetic(
     stream in memory first.
     """
     return simulate_trace(
-        synthesize_stream(profile, seed=seed, strict=strict), config, crossbar_config
+        synthesize_stream(profile, seed=seed, strict=strict),
+        config,
+        crossbar_config,
+        sanitize=sanitize,
     )

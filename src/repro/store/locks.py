@@ -22,6 +22,8 @@ import time
 from pathlib import Path
 from typing import Optional, Union
 
+from ..obs.clock import wall_time
+
 
 class LockTimeout(TimeoutError):
     """Waited longer than ``timeout`` seconds for a lock."""
@@ -84,7 +86,7 @@ class FileLock:
 
     def _is_stale(self) -> bool:
         try:
-            age = time.time() - self.path.stat().st_mtime
+            age = wall_time() - self.path.stat().st_mtime
         except FileNotFoundError:
             return False
         if age > self.stale_after:

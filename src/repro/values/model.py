@@ -150,16 +150,21 @@ class ValueProfile:
         )
 
     def save(self, path) -> int:
-        """Write a gzip-compressed value profile; returns bytes written."""
+        """Write a gzip-compressed value profile; returns bytes written.
+
+        Byte-deterministic (``mtime=0``) and atomic, like every other
+        artifact writer in the repo.
+        """
         import gzip
         import json
-        from pathlib import Path
+
+        from ..store.atomic import atomic_write_bytes
 
         payload = gzip.compress(
-            json.dumps(self.to_dict(), separators=(",", ":")).encode("ascii")
+            json.dumps(self.to_dict(), separators=(",", ":")).encode("ascii"),
+            mtime=0,
         )
-        Path(path).write_bytes(payload)
-        return len(payload)
+        return atomic_write_bytes(path, payload)
 
     @classmethod
     def load(cls, path) -> "ValueProfile":

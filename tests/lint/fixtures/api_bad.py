@@ -1,0 +1,12 @@
+# lint-path: repro/eval/fake.py
+from os.path import *  # EXPECT: api-star-import
+
+
+def record(value, seen=[]):  # EXPECT: api-mutable-default
+    seen.append(value)
+    return seen
+
+
+def tally(value, *, counts={}):  # EXPECT: api-mutable-default
+    counts[value] = counts.get(value, 0) + 1
+    return counts

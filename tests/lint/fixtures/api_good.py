@@ -1,0 +1,9 @@
+# lint-path: repro/eval/fake.py
+from os.path import join
+
+
+def record(value, seen=None):
+    if seen is None:
+        seen = []
+    seen.append(value)
+    return seen, join("a", "b")

@@ -1,0 +1,8 @@
+# Demo input for the CLI golden test (tests/lint/test_cli.py).
+# Not a *_bad.py/_good.py fixture: linted via its real path, so the
+# module-scoped rules (perf-slots) do not apply here.
+import time
+
+stamp = time.time()
+half = 0.5
+broken = half == 0.5

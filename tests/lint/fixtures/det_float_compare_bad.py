@@ -1,0 +1,7 @@
+# lint-path: repro/eval/fake.py
+def classify(miss_rate, error):
+    exact = miss_rate == 0.5  # EXPECT: det-float-compare
+    other = 1.0 != error  # EXPECT: det-float-compare
+    coerced = error == float(miss_rate)  # EXPECT: det-float-compare
+    negative = miss_rate == -0.25  # EXPECT: det-float-compare
+    return exact, other, coerced, negative

@@ -1,0 +1,9 @@
+# lint-path: repro/eval/fake.py
+import math
+
+
+def classify(miss_rate, count):
+    close = math.isclose(miss_rate, 0.5, rel_tol=1e-9)
+    integer = count == 0
+    ordered = miss_rate > 0.5
+    return close, integer, ordered

@@ -1,0 +1,11 @@
+# lint-path: repro/core/fake.py
+def serialize(items, extra):
+    for item in set(items):  # EXPECT: det-set-iteration
+        print(item)
+    for letter in {"a", "b"}:  # EXPECT: det-set-iteration
+        print(letter)
+    comp = [x for x in frozenset(items)]  # EXPECT: det-set-iteration
+    dedup = list(set(items))  # EXPECT: det-set-iteration
+    merged = [x for x in set(items) | set(extra)]  # EXPECT: det-set-iteration
+    union = tuple(set(items).union(extra))  # EXPECT: det-set-iteration
+    return comp, dedup, merged, union

@@ -1,0 +1,9 @@
+# lint-path: repro/core/fake.py
+def serialize(items, extra):
+    for item in sorted(set(items)):
+        print(item)
+    dedup = sorted(set(items) | set(extra))
+    unique = set(items)  # building a set is fine; iterating it is not
+    membership = "a" in unique
+    count = len(set(extra))
+    return dedup, membership, count

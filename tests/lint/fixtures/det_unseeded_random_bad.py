@@ -1,0 +1,15 @@
+# lint-path: repro/workloads/fake.py
+import random
+
+import numpy as np
+from random import randint  # EXPECT: det-unseeded-random
+from numpy.random import rand  # EXPECT: det-unseeded-random
+
+
+def draw():
+    value = random.random()  # EXPECT: det-unseeded-random
+    random.seed(1)  # EXPECT: det-unseeded-random
+    random.shuffle([1, 2])  # EXPECT: det-unseeded-random
+    noise = np.random.rand(4)  # EXPECT: det-unseeded-random
+    np.random.seed(0)  # EXPECT: det-unseeded-random
+    return value, noise, randint, rand

@@ -1,0 +1,11 @@
+# lint-path: repro/workloads/fake.py
+import random
+from random import Random
+
+import numpy as np
+
+
+def draw(seed: int, rng: random.Random):
+    local = Random(seed)
+    generator = np.random.default_rng(seed)
+    return local.random(), rng.randint(0, 7), generator

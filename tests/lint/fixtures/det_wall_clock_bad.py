@@ -1,0 +1,13 @@
+# lint-path: repro/eval/fake.py
+import datetime
+import time
+from datetime import datetime as dt
+from time import time as now  # EXPECT: det-wall-clock
+
+
+def stamp():
+    a = time.time()  # EXPECT: det-wall-clock
+    b = time.time_ns()  # EXPECT: det-wall-clock
+    c = datetime.datetime.now()  # EXPECT: det-wall-clock
+    d = dt.utcnow()  # EXPECT: det-wall-clock
+    return a, b, c, d, now

@@ -1,0 +1,10 @@
+# lint-path: repro/eval/fake.py
+import time
+
+from repro.obs.clock import wall_time
+
+
+def elapsed():
+    start = time.perf_counter()
+    deadline = time.monotonic() + 5.0
+    return time.perf_counter() - start, deadline, wall_time()

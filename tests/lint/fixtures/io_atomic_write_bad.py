@@ -1,0 +1,14 @@
+# lint-path: repro/tools/fake.py
+import gzip
+from pathlib import Path
+
+
+def save(path, payload):
+    with open(path, "w") as handle:  # EXPECT: io-atomic-write
+        handle.write(payload)
+    with open(path, mode="ab") as handle:  # EXPECT: io-atomic-write
+        handle.write(b"x")
+    Path(path).write_text(payload)  # EXPECT: io-atomic-write
+    Path(path).write_bytes(b"x")  # EXPECT: io-atomic-write
+    Path(path).open("x").close()  # EXPECT: io-atomic-write
+    gzip.open(path, "wt").close()  # EXPECT: io-atomic-write

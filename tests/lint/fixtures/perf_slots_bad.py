@@ -1,0 +1,13 @@
+# lint-path: repro/dram/controller.py
+from dataclasses import dataclass
+
+
+class BankTracker:  # EXPECT: perf-slots
+    def __init__(self):
+        self.open_row = None
+
+
+@dataclass
+class BurstRecord:  # EXPECT: perf-slots
+    address: int
+    size: int

@@ -1,0 +1,36 @@
+# lint-path: repro/dram/controller.py
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class BankTracker:
+    __slots__ = ("open_row",)
+
+    def __init__(self):
+        self.open_row = None
+
+
+@dataclass
+class SlottedRecord:
+    __slots__ = ("address", "size")
+
+    address: int
+    size: int
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    t_rcd: int = 18
+
+
+@dataclass
+class Tally:  # defaults make it unslottable under the 3.9 floor
+    hits: int = 0
+
+
+class SchedulerError(RuntimeError):
+    pass
+
+
+class Kind(IntEnum):
+    A = 0

@@ -1,0 +1,161 @@
+"""Runtime sanitizer tests: invariant checker, global mode, determinism."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.request import MemoryRequest, Operation
+from repro.core.trace import Trace
+from repro.lint.sanitize import (
+    InvariantViolation,
+    TraceInvariantChecker,
+    active,
+    canonical_json,
+    check_determinism,
+    disable,
+    enable,
+    first_divergence,
+    make_checker,
+)
+from repro.sim.cache_driver import run_cache_trace
+from repro.sim.driver import simulate_trace
+
+
+def request(timestamp=0, address=0, operation=Operation.READ, size=64):
+    return MemoryRequest(timestamp=timestamp, address=address,
+                         operation=operation, size=size)
+
+
+def raw(timestamp=0, address=0, operation=Operation.READ, size=64):
+    """A stub that skips MemoryRequest's own __post_init__ validation."""
+    return SimpleNamespace(timestamp=timestamp, address=address,
+                           operation=operation, size=size,
+                           end_address=address + size)
+
+
+@pytest.fixture(autouse=True)
+def _sanitize_mode_off():
+    disable()
+    yield
+    disable()
+
+
+def test_checker_passes_valid_stream_and_counts():
+    checker = TraceInvariantChecker()
+    stream = [request(timestamp=t, address=64 * t) for t in range(5)]
+    assert list(checker.watch(stream)) == stream
+    assert checker.checked == 5
+
+
+def test_checker_rejects_backwards_timestamp():
+    checker = TraceInvariantChecker(label="unit")
+    checker.check(request(timestamp=10))
+    with pytest.raises(InvariantViolation, match=r"unit\[1\].*goes backwards"):
+        checker.check(request(timestamp=9))
+
+
+def test_checker_allows_equal_timestamps():
+    checker = TraceInvariantChecker()
+    checker.check(request(timestamp=10))
+    checker.check(request(timestamp=10, address=64))
+    assert checker.checked == 2
+
+
+def test_checker_rejects_negative_fields():
+    with pytest.raises(InvariantViolation, match="negative timestamp"):
+        TraceInvariantChecker().check(raw(timestamp=-1))
+    with pytest.raises(InvariantViolation, match="negative address"):
+        TraceInvariantChecker().check(raw(address=-8))
+    with pytest.raises(InvariantViolation, match="non-positive size"):
+        TraceInvariantChecker().check(raw(size=0))
+
+
+def test_checker_rejects_misaligned_address():
+    checker = TraceInvariantChecker(alignment=64)
+    checker.check(request(address=128))
+    with pytest.raises(InvariantViolation, match="not 64-byte aligned"):
+        checker.check(request(timestamp=1, address=100))
+
+
+def test_checker_rejects_out_of_range_request():
+    checker = TraceInvariantChecker(max_address=1 << 12)
+    checker.check(request(address=(1 << 12) - 64))
+    with pytest.raises(InvariantViolation, match="exceeds address space"):
+        checker.check(request(timestamp=1, address=(1 << 12) - 32))
+
+
+def test_checker_rejects_illegal_operation():
+    with pytest.raises(InvariantViolation, match="illegal operation"):
+        TraceInvariantChecker().check(raw(operation=7))
+
+
+def test_checker_can_ignore_timestamps():
+    checker = TraceInvariantChecker(require_monotonic=False)
+    checker.check(request(timestamp=10))
+    checker.check(request(timestamp=3))
+    assert checker.checked == 2
+
+
+def test_enable_disable_round_trip():
+    assert not active()
+    assert make_checker("x") is None
+    enable(alignment=64)
+    assert active()
+    checker = make_checker("x")
+    assert checker is not None and checker.alignment == 64
+    disable()
+    assert not active()
+
+
+def test_simulate_trace_sanitize_flags_bad_stream():
+    bad = [request(timestamp=10), request(timestamp=5, address=64)]
+    with pytest.raises(InvariantViolation, match="goes backwards"):
+        simulate_trace(bad, sanitize=True)
+
+
+def test_simulate_trace_respects_global_mode():
+    bad = [request(timestamp=10), request(timestamp=5, address=64)]
+    simulate_trace(list(bad))  # off by default: replays fine
+    enable()
+    with pytest.raises(InvariantViolation):
+        simulate_trace(list(bad))
+    # per-call override beats the global switch
+    simulate_trace(list(bad), sanitize=False)
+
+
+def test_sanitize_does_not_change_results():
+    stream = [request(timestamp=4 * i, address=64 * (i % 32),
+                      operation=Operation.WRITE if i % 3 else Operation.READ)
+              for i in range(200)]
+    plain = simulate_trace(list(stream))
+    checked = simulate_trace(list(stream), sanitize=True)
+    assert canonical_json(plain) == canonical_json(checked)
+
+
+def test_run_cache_trace_tolerates_non_monotonic_replay():
+    # atomic-mode cache replay ignores timestamps by construction, so the
+    # cache driver's checker must not require monotonicity.
+    stream = [request(timestamp=10, address=0),
+              request(timestamp=3, address=64)]
+    result = run_cache_trace(Trace(stream), sanitize=True)
+    assert result is not None
+
+
+def test_check_determinism_is_identical_at_small_scale():
+    identical, first, second = check_determinism("fig3", num_requests=200)
+    assert identical
+    assert first == second
+    assert first_divergence(first, second) == "payloads identical"
+
+
+def test_check_determinism_rejects_unknown_experiment():
+    with pytest.raises(ValueError, match="unknown experiment"):
+        check_determinism("not-a-figure")
+
+
+def test_first_divergence_locates_the_diff():
+    report = first_divergence('{\n  "a": 1\n}', '{\n  "a": 2\n}')
+    assert report.startswith("line 2:")
+    assert first_divergence("a\nb", "a\nb\nc").startswith("payload lengths")

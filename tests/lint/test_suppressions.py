@@ -1,0 +1,86 @@
+"""Suppression comments: targeted, blanket, and unused detection."""
+
+from __future__ import annotations
+
+from repro.lint import UNUSED_SUPPRESSION, lint_source
+
+PATH = "src/repro/core/fake.py"
+
+
+def test_targeted_suppression_silences_the_rule():
+    source = (
+        "import time\n"
+        "stamp = time.time()  # lint: ignore[det-wall-clock]\n"
+    )
+    assert lint_source(source, path=PATH) == []
+
+
+def test_suppression_for_wrong_rule_keeps_finding_and_flags_itself():
+    source = (
+        "import time\n"
+        "stamp = time.time()  # lint: ignore[io-atomic-write]\n"
+    )
+    findings = lint_source(source, path=PATH)
+    assert sorted(f.rule_id for f in findings) == [
+        "det-wall-clock", UNUSED_SUPPRESSION,
+    ]
+
+
+def test_blanket_suppression_silences_everything_on_the_line():
+    source = (
+        "import time\n"
+        "pair = (time.time(), open('x', 'w'))  # lint: ignore\n"
+    )
+    assert lint_source(source, path=PATH) == []
+
+
+def test_multi_id_suppression():
+    source = (
+        "import time\n"
+        "pair = (time.time(), open('x', 'w'))"
+        "  # lint: ignore[det-wall-clock, io-atomic-write]\n"
+    )
+    assert lint_source(source, path=PATH) == []
+
+
+def test_unused_suppression_is_reported_with_line():
+    source = "value = 1  # lint: ignore[det-wall-clock]\n"
+    findings = lint_source(source, path=PATH)
+    assert len(findings) == 1
+    assert findings[0].rule_id == UNUSED_SUPPRESSION
+    assert findings[0].line == 1
+    assert "det-wall-clock" in findings[0].message
+
+
+def test_unused_blanket_suppression_is_reported():
+    source = "value = 1  # lint: ignore\n"
+    findings = lint_source(source, path=PATH)
+    assert [f.rule_id for f in findings] == [UNUSED_SUPPRESSION]
+
+
+def test_suppression_only_applies_to_its_own_line():
+    source = (
+        "import time\n"
+        "ok = 1  # lint: ignore[det-wall-clock]\n"
+        "stamp = time.time()\n"
+    )
+    findings = lint_source(source, path=PATH)
+    assert sorted((f.line, f.rule_id) for f in findings) == [
+        (2, UNUSED_SUPPRESSION),
+        (3, "det-wall-clock"),
+    ]
+
+
+def test_suppression_inside_string_literal_is_not_parsed():
+    source = 'text = "# lint: ignore[det-wall-clock]"\n'
+    assert lint_source(source, path=PATH) == []
+
+
+def test_select_skips_unused_suppression_checks():
+    source = "value = 1  # lint: ignore[det-wall-clock]\n"
+    assert lint_source(source, path=PATH, select=["det-wall-clock"]) == []
+
+
+def test_ignore_can_disable_unused_suppression_rule():
+    source = "value = 1  # lint: ignore[det-wall-clock]\n"
+    assert lint_source(source, path=PATH, ignore=[UNUSED_SUPPRESSION]) == []
