@@ -36,6 +36,19 @@ if speedup:
           f"identical={data.get('warm_identical')})")
 EOF
 
+# Columnar backend summary: vectorized profile build and batched cache
+# sweep vs their scalar twins (bit-identical by construction).
+python - "$snapshot" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+build = data.get("speedup_profile_build")
+sweep = data.get("speedup_cache_sweep")
+if build and sweep:
+    print(f"columnar backend: profile build {build:.1f}x, "
+          f"cache sweep {sweep:.1f}x over scalar "
+          f"(identical={data.get('columnar_identical')})")
+EOF
+
 if [ -f "$repo/BENCH_manifest.json" ]; then
     echo "run manifest: BENCH_manifest.json"
 fi

@@ -23,7 +23,36 @@ def _load_bench(path):
         print(f"error: {path} is not a BENCH snapshot "
               "(expected an object with a 'timings_seconds' mapping)", file=sys.stderr)
         raise SystemExit(2)
+    _check_schema4_fields(path, data)
     return data
+
+
+#: Snapshot fields introduced with the columnar backend (schema 4): the
+#: scalar/columnar micro-bench timings and their speedup summaries. A
+#: schema-4 snapshot missing any of them is a broken bench run, not a
+#: diffable measurement.
+_SCHEMA4_TIMINGS = (
+    "profile_build_scalar",
+    "profile_build_columnar",
+    "cache_sweep_scalar",
+    "cache_sweep_columnar",
+)
+_SCHEMA4_FIELDS = ("speedup_profile_build", "speedup_cache_sweep")
+
+
+def _check_schema4_fields(path, data):
+    """Fail loudly when a schema>=4 snapshot lacks the columnar entries."""
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema < 4:
+        return  # pre-columnar snapshot: nothing to require
+    timings = data["timings_seconds"]
+    missing = [key for key in _SCHEMA4_TIMINGS if key not in timings]
+    missing += [f"top-level '{key}'" for key in _SCHEMA4_FIELDS if key not in data]
+    if missing:
+        print(f"error: {path} (schema {schema}) is missing required columnar "
+              f"bench entries: {', '.join(missing)}; "
+              "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
+        raise SystemExit(2)
 
 
 def main(argv):

@@ -26,6 +26,7 @@ Subpackages:
 
 from .core import (
     AddressRange,
+    ColumnarTrace,
     CorruptArtifactError,
     FeedbackSynthesizer,
     HierarchyConfig,
@@ -38,12 +39,14 @@ from .core import (
     SpatialLayer,
     TemporalLayer,
     Trace,
+    active_backend,
     build_leaves,
     build_profile,
     load_profile,
     partition_dynamic,
     partition_fixed,
     save_profile,
+    set_backend,
     synthesize,
     synthesize_stream,
     two_level_rs,
@@ -51,10 +54,11 @@ from .core import (
 )
 from .workloads import available_workloads, workload_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AddressRange",
+    "ColumnarTrace",
     "CorruptArtifactError",
     "FeedbackSynthesizer",
     "HierarchyConfig",
@@ -67,6 +71,7 @@ __all__ = [
     "SpatialLayer",
     "TemporalLayer",
     "Trace",
+    "active_backend",
     "available_workloads",
     "build_leaves",
     "build_profile",
@@ -74,6 +79,7 @@ __all__ = [
     "partition_dynamic",
     "partition_fixed",
     "save_profile",
+    "set_backend",
     "synthesize",
     "synthesize_stream",
     "two_level_rs",

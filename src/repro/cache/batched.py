@@ -1,0 +1,279 @@
+"""Batched two-level cache simulation over columnar traces.
+
+The scalar :class:`~repro.cache.hierarchy.CacheHierarchy` walks one
+request object at a time through per-way line scans and a separate
+replacement-policy object. This module replays the same atomic-mode
+semantics in chunks: requests stream in as column blocks, the block
+expansion and set/tag decomposition are precomputed as whole-column
+passes (vectorized under numpy), and each cache level is a list of
+per-set ordered dicts mapping ``tag -> dirty``.
+
+The dict representation is an exact LRU: insertion order is recency
+order because a hit pops and reinserts its tag and a fill appends, so
+``next(iter(set_dict))`` is always the least-recently-used way. Victim
+selection among *invalid* ways differs from the scalar way-index scan
+only in which physical way is filled — unobservable in statistics, which
+is the contract: a batched run produces :class:`CacheStats` equal to the
+scalar run's, field for field, including footprints.
+
+Only LRU replacement is supported (the paper's Sec. V policy);
+:func:`repro.sim.cache_driver.run_cache_trace` falls back to the scalar
+hierarchy for FIFO/random sweeps and sanitized runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from .. import obs
+from ..core.columnar import ColumnarTrace, numpy_or_none
+from ..core.trace import Trace
+from .cache import CacheConfig, CacheStats
+from .hierarchy import paper_l1_config, paper_l2_config
+
+_INT64_MAX = 2**63 - 1
+
+#: Requests per streamed column block (bounds peak precompute memory).
+DEFAULT_CHUNK_REQUESTS = 8192
+
+
+class BatchedCacheHierarchy:
+    """L1 + L2 dict-LRU caches replayed in column chunks."""
+
+    __slots__ = (
+        "l1_config",
+        "l2_config",
+        "l1_stats",
+        "l2_stats",
+        "_l1_sets",
+        "_l2_sets",
+        "_l1_misses",
+        "_l1_write_misses",
+        "_l1_replacements",
+        "_l1_write_backs",
+        "_l2_accesses",
+        "_l2_write_accesses",
+        "_l2_misses",
+        "_l2_write_misses",
+        "_l2_replacements",
+        "_l2_write_backs",
+    )
+
+    def __init__(
+        self,
+        l1_config: Optional[CacheConfig] = None,
+        l2_config: Optional[CacheConfig] = None,
+    ):
+        self.l1_config = l1_config if l1_config is not None else paper_l1_config()
+        self.l2_config = l2_config if l2_config is not None else paper_l2_config()
+        if self.l1_config.block_size != self.l2_config.block_size:
+            raise ValueError("L1 and L2 must share a block size")
+        for config in (self.l1_config, self.l2_config):
+            if config.replacement != "lru":
+                raise ValueError(
+                    "batched cache simulation supports only LRU replacement, "
+                    f"got {config.replacement!r}"
+                )
+        self.l1_stats = CacheStats()
+        self.l2_stats = CacheStats()
+        self._l1_sets: List[Dict[int, bool]] = [
+            dict() for _ in range(self.l1_config.num_sets)
+        ]
+        self._l2_sets: List[Dict[int, bool]] = [
+            dict() for _ in range(self.l2_config.num_sets)
+        ]
+        self._l1_misses = 0
+        self._l1_write_misses = 0
+        self._l1_replacements = 0
+        self._l1_write_backs = 0
+        self._l2_accesses = 0
+        self._l2_write_accesses = 0
+        self._l2_misses = 0
+        self._l2_write_misses = 0
+        self._l2_replacements = 0
+        self._l2_write_backs = 0
+
+    def run(
+        self,
+        trace: Union[Trace, ColumnarTrace],
+        chunk_requests: int = DEFAULT_CHUNK_REQUESTS,
+    ) -> None:
+        """Replay a whole trace (order only, atomic mode)."""
+        columns = (
+            trace if isinstance(trace, ColumnarTrace) else ColumnarTrace.from_trace(trace)
+        )
+        before = tuple(
+            (stats.hits, stats.misses, stats.write_backs)
+            for stats in (self.l1_stats, self.l2_stats)
+        )
+        for block in columns.iter_blocks(chunk_requests):
+            blocks, writes = _expand_blocks(block, self.l1_config.block_size)
+            self._replay_chunk(blocks, writes)
+        self._publish(before)
+
+    # -- chunk replay ---------------------------------------------------------
+
+    def _replay_chunk(self, blocks: List[int], writes: List[bool]) -> None:
+        l1 = self.l1_stats
+        l1.accesses += len(blocks)
+        write_count = sum(writes)
+        l1.write_accesses += write_count
+        l1.read_accesses += len(blocks) - write_count
+        l1.footprint_blocks.update(blocks)
+
+        l1_sets = self._l1_sets
+        l1_num_sets = self.l1_config.num_sets
+        l1_assoc = self.l1_config.associativity
+        l2_access = self._l2_access
+        misses = 0
+        write_misses = 0
+        replacements = 0
+        write_backs = 0
+        missing = _MISSING
+
+        for block, is_write in zip(blocks, writes):
+            set_index = block % l1_num_sets
+            tag = block // l1_num_sets
+            ways = l1_sets[set_index]
+            dirty = ways.pop(tag, missing)
+            if dirty is not missing:
+                # Hit: reinsert to move the tag to most-recent.
+                ways[tag] = dirty or is_write
+                continue
+            misses += 1
+            if is_write:
+                write_misses += 1
+            if len(ways) == l1_assoc:
+                victim_tag = next(iter(ways))
+                victim_dirty = ways.pop(victim_tag)
+                replacements += 1
+                if victim_dirty:
+                    write_backs += 1
+                    # Dirty L1 victim is written back into the L2.
+                    l2_access(victim_tag * l1_num_sets + set_index, True)
+            ways[tag] = is_write
+            # The fill itself reads the block from L2.
+            l2_access(block, False)
+
+        self._l1_misses += misses
+        self._l1_write_misses += write_misses
+        self._l1_replacements += replacements
+        self._l1_write_backs += write_backs
+
+    def _l2_access(self, block: int, is_write: bool) -> None:
+        self._l2_accesses += 1
+        if is_write:
+            self._l2_write_accesses += 1
+        self.l2_stats.footprint_blocks.add(block)
+        num_sets = self.l2_config.num_sets
+        set_index = block % num_sets
+        tag = block // num_sets
+        ways = self._l2_sets[set_index]
+        dirty = ways.pop(tag, _MISSING)
+        if dirty is not _MISSING:
+            ways[tag] = dirty or is_write
+            return
+        self._l2_misses += 1
+        if is_write:
+            self._l2_write_misses += 1
+        if len(ways) == self.l2_config.associativity:
+            victim_dirty = ways.pop(next(iter(ways)))
+            self._l2_replacements += 1
+            if victim_dirty:
+                self._l2_write_backs += 1
+        ways[tag] = is_write
+
+    # -- stats publication ----------------------------------------------------
+
+    def _publish(self, before) -> None:
+        """Fold accumulated tallies into the CacheStats and obs counters.
+
+        Assignment (not accumulation) into the stats objects keeps
+        repeated :meth:`run` calls correct. ``before`` holds each level's
+        (hits, misses, write_backs) at run start; obs counters receive
+        the per-run deltas, so batch totals equal the scalar path's
+        per-access increments.
+        """
+        l1, l2 = self.l1_stats, self.l2_stats
+
+        l1.misses = self._l1_misses
+        l1.write_misses = self._l1_write_misses
+        l1.read_misses = self._l1_misses - self._l1_write_misses
+        l1.replacements = self._l1_replacements
+        l1.write_backs = self._l1_write_backs
+
+        l2.accesses = self._l2_accesses
+        l2.write_accesses = self._l2_write_accesses
+        l2.read_accesses = self._l2_accesses - self._l2_write_accesses
+        l2.misses = self._l2_misses
+        l2.write_misses = self._l2_write_misses
+        l2.read_misses = self._l2_misses - self._l2_write_misses
+        l2.replacements = self._l2_replacements
+        l2.write_backs = self._l2_write_backs
+
+        registry = obs.active()
+        if registry is None:
+            return
+        for label, stats, (old_hits, old_misses, old_write_backs) in (
+            ("l1", l1, before[0]),
+            ("l2", l2, before[1]),
+        ):
+            # Touch every counter even on a zero delta: the scalar cache
+            # registers all three at construction, and run manifests must
+            # not differ by backend.
+            registry.counter(f"cache.{label}.hits").inc(stats.hits - old_hits)
+            registry.counter(f"cache.{label}.misses").inc(stats.misses - old_misses)
+            registry.counter(f"cache.{label}.write_backs").inc(
+                stats.write_backs - old_write_backs
+            )
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def _expand_blocks(columns: ColumnarTrace, block_size: int):
+    """Per-block access streams for one column chunk.
+
+    Returns ``(blocks, writes)`` as plain Python lists: every block each
+    request touches, in request order (requests may straddle blocks),
+    with the request's write flag repeated per block.
+    """
+    np = numpy_or_none()
+    if np is not None and len(columns):
+        addresses = columns.addresses
+        sizes = columns.sizes
+        if int(addresses.max()) + int(sizes.max()) <= _INT64_MAX:
+            addr64 = addresses.astype(np.int64)
+            size64 = sizes.astype(np.int64)
+            firsts = addr64 // block_size
+            lasts = (addr64 + size64 - 1) // block_size
+            counts = lasts - firsts + 1
+            is_write = columns.ops.astype(bool)
+            if int(counts.max()) == 1:
+                return firsts.tolist(), is_write.tolist()
+            total = int(counts.sum())
+            bases = np.repeat(firsts, counts)
+            ends_before = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(counts)[:-1])
+            )
+            within = np.arange(total, dtype=np.int64) - np.repeat(ends_before, counts)
+            blocks = bases + within
+            writes = np.repeat(is_write, counts)
+            return blocks.tolist(), writes.tolist()
+
+    blocks: List[int] = []
+    writes: List[bool] = []
+    append_block = blocks.append
+    append_write = writes.append
+    for address, op, size in zip(columns.addresses, columns.ops, columns.sizes):
+        first = int(address) // block_size
+        last = (int(address) + int(size) - 1) // block_size
+        is_write = bool(op)
+        for block in range(first, last + 1):
+            append_block(block)
+            append_write(is_write)
+    return blocks, writes

@@ -19,6 +19,14 @@ from .leaf import (
     make_leaf_factory,
     wrap_address,
 )
+from .columnar import (
+    BACKENDS,
+    ColumnarTrace,
+    active_backend,
+    resolve_backend,
+    selected_backend,
+    set_backend,
+)
 from .errors import CorruptArtifactError
 from .markov import MarkovChain
 from .mcc import McCModel
@@ -45,6 +53,8 @@ from .trace import Trace
 __all__ = [
     "AddressModel",
     "AddressRange",
+    "BACKENDS",
+    "ColumnarTrace",
     "CorruptArtifactError",
     "FeedbackSynthesizer",
     "HierarchyConfig",
@@ -62,6 +72,7 @@ __all__ = [
     "SpatialPartition",
     "TemporalLayer",
     "Trace",
+    "active_backend",
     "build_leaves",
     "build_profile",
     "load_profile",
@@ -74,7 +85,10 @@ __all__ = [
     "profile_size_bytes",
     "register_address_model",
     "register_operation_model",
+    "resolve_backend",
     "save_profile",
+    "selected_backend",
+    "set_backend",
     "synthesize",
     "synthesize_stream",
     "synthesize_transition_based",

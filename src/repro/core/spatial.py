@@ -15,7 +15,7 @@ Two schemes (paper Sec. III-A):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 from .request import AddressRange, MemoryRequest
 
@@ -142,6 +142,142 @@ def _group_lonely(lonely: List[SpatialPartition]) -> List[SpatialPartition]:
         )
         grouped.append(SpatialPartition(region, requests))
     return grouped
+
+
+# -- columnar (vectorized) variants -------------------------------------------
+#
+# The functions below replicate partition_fixed / partition_dynamic as
+# whole-column passes over int64 numpy arrays. They operate on *index
+# arrays* rather than request objects: each partition comes back as
+# ``(region, indices)`` where ``indices`` select the partition's requests
+# (in time order) from the caller's columns. Bit-identity with the scalar
+# functions — same regions, same per-partition request order, same
+# partition order including sort-tie behaviour — is load-bearing: the
+# columnar profiler builds byte-identical profiles through these.
+
+
+def merge_ranges_columnar(np, starts, ends) -> Tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized Alg. 1 over int64 start/end columns.
+
+    Returns ``(region_starts, region_ends)``; regions are disjoint,
+    non-adjacent and sorted by start, exactly as :func:`_merge_ranges`
+    produces them.
+    """
+    order = np.lexsort((ends, starts))
+    sorted_starts = starts[order]
+    sorted_ends = ends[order]
+    # Running max of ends = the current merge group's end. A new group
+    # opens where a range starts strictly past it (adjacency merges,
+    # matching AddressRange.intersects).
+    running_end = np.maximum.accumulate(sorted_ends)
+    breaks = np.flatnonzero(sorted_starts[1:] > running_end[:-1]) + 1
+    first = np.concatenate((np.zeros(1, dtype=np.int64), breaks))
+    last = np.concatenate((breaks - 1, np.asarray([len(sorted_starts) - 1], dtype=np.int64)))
+    return sorted_starts[first], running_end[last]
+
+
+def partition_fixed_columnar(
+    np, addresses, block_size: int
+) -> List[Tuple[AddressRange, "np.ndarray"]]:
+    """Vectorized :func:`partition_fixed` over an int64 address column."""
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    if not len(addresses):
+        return []
+    blocks = addresses // block_size
+    order = np.argsort(blocks, kind="stable")
+    unique_blocks, counts = np.unique(blocks, return_counts=True)
+    offsets = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)))
+    return [
+        (
+            AddressRange(int(block) * block_size, (int(block) + 1) * block_size),
+            order[offsets[i] : offsets[i + 1]],
+        )
+        for i, block in enumerate(unique_blocks)
+    ]
+
+
+def _merge_lonely_run_columnar(np, run, timestamps):
+    """Merge one run of lonely (region, indices) partitions into one."""
+    region = run[0][0]
+    for partition_region, _ in run[1:]:
+        region = region.expand(partition_region)
+    indices = np.concatenate([indices for _, indices in run])
+    # Stable sort by timestamp over the region-start concatenation order
+    # mirrors the scalar sorted(..., key=timestamp).
+    indices = indices[np.argsort(timestamps[indices], kind="stable")]
+    return (region, indices)
+
+
+def _group_lonely_columnar(np, lonely, timestamps):
+    """Columnar :func:`_group_lonely`: same runs, same catch-all rules."""
+    lonely = sorted(lonely, key=lambda p: p[0].start)
+    grouped = []
+    leftovers = []
+
+    index = 0
+    while index < len(lonely):
+        run_end = index + 1
+        if run_end < len(lonely):
+            stride = lonely[run_end][0].start - lonely[index][0].start
+            while (
+                run_end < len(lonely)
+                and lonely[run_end][0].start - lonely[run_end - 1][0].start == stride
+            ):
+                run_end += 1
+        run = lonely[index:run_end]
+        if len(run) >= 3:
+            grouped.append(_merge_lonely_run_columnar(np, run, timestamps))
+        else:
+            leftovers.extend(run)
+        index = run_end
+
+    if len(leftovers) == 1:
+        grouped.extend(leftovers)
+    elif leftovers:
+        grouped.append(_merge_lonely_run_columnar(np, leftovers, timestamps))
+    return grouped
+
+
+def partition_dynamic_columnar(
+    np, addresses, sizes, timestamps, merge_lonely: bool = True
+) -> List[Tuple[AddressRange, "np.ndarray"]]:
+    """Vectorized :func:`partition_dynamic` over int64 columns.
+
+    ``addresses``/``sizes``/``timestamps`` are parallel int64 columns in
+    time order. Partitions come back ordered by region start with each
+    partition's indices in time order — bit-identical structure to the
+    scalar path.
+    """
+    if not len(addresses):
+        return []
+    ends = addresses + sizes
+    region_starts, region_ends = merge_ranges_columnar(np, addresses, ends)
+    # Region starts are strictly increasing, so bisect_right - 1 is a
+    # searchsorted over them.
+    assign = np.searchsorted(region_starts, addresses, side="right") - 1
+    order = np.argsort(assign, kind="stable")
+    counts = np.bincount(assign, minlength=len(region_starts))
+    offsets = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(counts)))
+    partitions = [
+        (
+            AddressRange(int(region_starts[i]), int(region_ends[i])),
+            order[offsets[i] : offsets[i + 1]],
+        )
+        for i in range(len(region_starts))
+    ]
+    if not merge_lonely:
+        return partitions
+
+    lonely = [p for p in partitions if len(p[1]) == 1]
+    crowded = [p for p in partitions if len(p[1]) != 1]
+    if len(lonely) <= 1:
+        return partitions
+    merged = crowded + _group_lonely_columnar(np, lonely, timestamps)
+    # Stable sort; starts are distinct original region starts, and the
+    # crowded-then-grouped concatenation order matches the scalar path.
+    merged.sort(key=lambda p: p[0].start)
+    return merged
 
 
 def partition_dynamic(

@@ -317,6 +317,12 @@ def main(argv=None) -> int:
             help="validate every simulated request against the trace "
                  "invariants (monotonic timestamps, legal addresses and "
                  "operations); fails fast on the first violation")
+        command.add_argument(
+            "--backend", choices=("auto", "scalar", "columnar"), default=None,
+            help="trace data path: 'scalar' walks per-request objects, "
+                 "'columnar' uses vectorized column passes, 'auto' (the "
+                 "default) picks columnar when numpy is available; "
+                 "results are bit-identical either way")
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain the cross-run result cache"
@@ -351,6 +357,13 @@ def main(argv=None) -> int:
         return 0
     if args.command == "cache":
         return run_cache_command(args)
+
+    if args.backend is not None:
+        # set_backend records the choice in MOCKTAILS_BACKEND, so
+        # parallel worker processes inherit it.
+        from ..core.columnar import set_backend
+
+        set_backend(args.backend)
 
     registry = None
     if args.metrics_out or args.trace_events:

@@ -17,7 +17,9 @@ from ..engine import LintContext, Rule, register
 #: per-request / per-burst / per-access paths.
 HOT_PATH_MODULES: Tuple[Tuple[str, ...], ...] = (
     ("core", "request.py"),
+    ("core", "columnar.py"),
     ("cache", "cache.py"),
+    ("cache", "batched.py"),
     ("dram", "controller.py"),
     ("dram", "address_map.py"),
     ("interconnect", "crossbar.py"),

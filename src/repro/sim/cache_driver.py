@@ -2,15 +2,25 @@
 
 Atomic-mode replay: timestamps are ignored and only request order
 matters, matching the paper's gem5 configuration for the CPU/L1 study.
+
+Two equivalent replay engines sit behind :func:`run_cache_trace`: the
+scalar :class:`~repro.cache.hierarchy.CacheHierarchy` and the batched
+:class:`~repro.cache.batched.BatchedCacheHierarchy` (columnar chunks,
+dict-LRU sets). Both produce field-identical :class:`CacheStats`; the
+resolved backend (see :mod:`repro.core.columnar`) picks the engine. The
+batched engine handles only plain LRU sweeps — sanitized runs and
+non-LRU replacement policies always take the scalar path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
 
+from ..cache.batched import BatchedCacheHierarchy
 from ..cache.cache import CacheConfig, CacheStats
 from ..cache.hierarchy import CacheHierarchy, paper_l2_config
+from ..core.columnar import ColumnarTrace, resolve_backend
 from ..core.trace import Trace
 from ..lint import sanitize as _sanitize
 
@@ -32,10 +42,11 @@ class CacheRunResult:
 
 
 def run_cache_trace(
-    trace: Trace,
+    trace: Union[Trace, ColumnarTrace],
     l1_config: Optional[CacheConfig] = None,
     l2_config: Optional[CacheConfig] = None,
     sanitize: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> CacheRunResult:
     """Replay a trace through an L1/L2 hierarchy and return statistics.
 
@@ -43,13 +54,29 @@ def run_cache_trace(
     :func:`repro.lint.sanitize.enable`) validates addresses, sizes and
     operations; timestamps are *not* required to be monotonic here
     because atomic-mode replay ignores them by construction.
+
+    ``backend`` overrides the process-wide selection; the scalar and
+    batched engines return identical statistics.
     """
-    hierarchy = CacheHierarchy(
-        l1_config if l1_config is not None else CacheConfig(32 * 1024, 4),
-        l2_config if l2_config is not None else paper_l2_config(),
-    )
+    l1_config = l1_config if l1_config is not None else CacheConfig(32 * 1024, 4)
+    l2_config = l2_config if l2_config is not None else paper_l2_config()
+    sanitizing = sanitize is True or (sanitize is None and _sanitize.active())
+
+    if (
+        resolve_backend(backend) == "columnar"
+        and not sanitizing
+        and l1_config.replacement == "lru"
+        and l2_config.replacement == "lru"
+    ):
+        batched = BatchedCacheHierarchy(l1_config, l2_config)
+        batched.run(trace)
+        return CacheRunResult(l1=batched.l1_stats, l2=batched.l2_stats)
+
+    if isinstance(trace, ColumnarTrace):
+        trace = trace.to_trace()
+    hierarchy = CacheHierarchy(l1_config, l2_config)
     requests = trace
-    if sanitize is True or (sanitize is None and _sanitize.active()):
+    if sanitizing:
         checker = _sanitize.TraceInvariantChecker(
             label="run_cache_trace", require_monotonic=False
         )

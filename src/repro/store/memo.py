@@ -85,6 +85,20 @@ def _environment_fingerprint() -> str:
     return _fingerprint_cache
 
 
+def _active_backend() -> str:
+    """The resolved trace backend, read live (not cached).
+
+    The backend can change mid-process (``set_backend``, env overrides),
+    so it cannot ride along in the cached environment fingerprint.
+    Folding it into every key means columnar-era payloads can never
+    collide with scalar-era entries — both backends are bit-identical by
+    contract, but the cache must not be the thing relying on that.
+    """
+    from ..core.columnar import active_backend
+
+    return active_backend()
+
+
 def cache_key(job: Any) -> str:
     """Stable hex cache key for one job dataclass."""
     if not dataclasses.is_dataclass(job):
@@ -92,6 +106,7 @@ def cache_key(job: Any) -> str:
     canonical = json.dumps(
         {
             "env": _environment_fingerprint(),
+            "backend": _active_backend(),
             "kind": type(job).__name__,
             "fields": dataclasses.asdict(job),
         },

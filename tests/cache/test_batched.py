@@ -1,0 +1,180 @@
+"""Batched (columnar) cache simulation vs the scalar hierarchy.
+
+The contract is statistical equality: a batched run's CacheStats equal
+the scalar run's field for field, including the footprint block sets,
+for every cache geometry the Sec. V sweep uses. Victim choice among
+invalid ways may differ physically but is unobservable in stats.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cache.batched import BatchedCacheHierarchy
+from repro.cache.cache import CacheConfig
+from repro.cache.hierarchy import CacheHierarchy, paper_l2_config
+from repro.core.columnar import ColumnarTrace
+from repro.core.trace import Trace
+from repro.sim.cache_driver import run_cache_trace
+from repro.workloads import workload_trace
+
+from ..conftest import req
+
+REQUESTS = 4000
+
+GEOMETRIES = {
+    "default": lambda: CacheConfig(32 * 1024, 4),
+    "small": lambda: CacheConfig(8 * 1024, 2),
+    "large": lambda: CacheConfig(64 * 1024, 8),
+    "direct_mapped": lambda: CacheConfig(1024, 1),
+}
+
+
+def stats_fields(stats):
+    return {
+        "accesses": stats.accesses,
+        "misses": stats.misses,
+        "read_accesses": stats.read_accesses,
+        "read_misses": stats.read_misses,
+        "write_accesses": stats.write_accesses,
+        "write_misses": stats.write_misses,
+        "replacements": stats.replacements,
+        "write_backs": stats.write_backs,
+        "footprint_blocks": stats.footprint_blocks,
+    }
+
+
+def assert_runs_equal(scalar, batched):
+    assert stats_fields(batched.l1) == stats_fields(scalar.l1)
+    assert stats_fields(batched.l2) == stats_fields(scalar.l2)
+
+
+@pytest.fixture(scope="module")
+def mcf_trace():
+    return workload_trace("mcf", num_requests=REQUESTS)
+
+
+@pytest.mark.parametrize("geometry", sorted(GEOMETRIES))
+def test_batched_matches_scalar_across_geometries(geometry, mcf_trace):
+    l1 = GEOMETRIES[geometry]()
+    scalar = run_cache_trace(mcf_trace, l1_config=l1, backend="scalar")
+    batched = run_cache_trace(mcf_trace, l1_config=l1, backend="columnar")
+    assert_runs_equal(scalar, batched)
+
+
+@pytest.mark.parametrize("workload", ["gcc", "lbm", "hevc1"])
+def test_batched_matches_scalar_across_workloads(workload):
+    trace = workload_trace(workload, num_requests=REQUESTS)
+    scalar = run_cache_trace(trace, backend="scalar")
+    batched = run_cache_trace(trace, backend="columnar")
+    assert_runs_equal(scalar, batched)
+
+
+def test_batched_accepts_columnar_input(mcf_trace):
+    scalar = run_cache_trace(mcf_trace, backend="scalar")
+    columns = ColumnarTrace.from_trace(mcf_trace)
+    batched = run_cache_trace(columns, backend="columnar")
+    assert_runs_equal(scalar, batched)
+
+
+def test_batched_without_numpy_matches(monkeypatch, mcf_trace):
+    """The pure-Python expansion path produces the same statistics."""
+    scalar = run_cache_trace(mcf_trace, backend="scalar")
+    monkeypatch.setenv("MOCKTAILS_NO_NUMPY", "1")
+    batched = run_cache_trace(mcf_trace, backend="columnar")
+    assert_runs_equal(scalar, batched)
+
+
+def test_straddling_requests_touch_every_block():
+    """A request crossing block boundaries accesses each covered block."""
+    trace = Trace([req(0, 60, "R", 136)])  # 64B blocks: covers blocks 0..3
+    scalar = run_cache_trace(trace, backend="scalar")
+    batched = run_cache_trace(trace, backend="columnar")
+    assert_runs_equal(scalar, batched)
+    assert batched.l1.accesses == 4
+
+
+def test_write_back_path_matches():
+    """Dirty evictions from L1 write back into L2 identically."""
+    l1 = CacheConfig(1024, 1)  # direct-mapped: easy conflict misses
+    builder = []
+    # Write two conflicting blocks alternately so dirty victims bounce.
+    for i in range(64):
+        builder.append(req(i, (i % 2) * 1024 * 16, "W", 64))
+    trace = Trace(builder)
+    scalar = run_cache_trace(trace, l1_config=l1, backend="scalar")
+    batched = run_cache_trace(trace, l1_config=l1, backend="columnar")
+    assert_runs_equal(scalar, batched)
+    assert batched.l1.write_backs > 0
+
+
+def test_chunked_replay_is_chunk_size_invariant(mcf_trace):
+    columns = ColumnarTrace.from_trace(mcf_trace)
+    reference = BatchedCacheHierarchy()
+    reference.run(columns)
+    for chunk in (1, 7, 1024):
+        hierarchy = BatchedCacheHierarchy()
+        hierarchy.run(columns, chunk_requests=chunk)
+        assert stats_fields(hierarchy.l1_stats) == stats_fields(reference.l1_stats)
+        assert stats_fields(hierarchy.l2_stats) == stats_fields(reference.l2_stats)
+
+
+def test_repeated_run_accumulates_like_scalar(mcf_trace):
+    scalar = CacheHierarchy(CacheConfig(32 * 1024, 4), paper_l2_config())
+    scalar.run(mcf_trace)
+    scalar.run(mcf_trace)
+    batched = BatchedCacheHierarchy(CacheConfig(32 * 1024, 4), paper_l2_config())
+    batched.run(mcf_trace)
+    batched.run(mcf_trace)
+    assert stats_fields(batched.l1_stats) == stats_fields(scalar.l1_stats)
+    assert stats_fields(batched.l2_stats) == stats_fields(scalar.l2_stats)
+
+
+def test_obs_counters_match_scalar(mcf_trace):
+    def counters(backend):
+        registry = obs.enable()
+        try:
+            run_cache_trace(mcf_trace, backend=backend)
+            return {
+                name: value
+                for name, value in registry.counters()
+                if name.startswith("cache.")
+            }
+        finally:
+            obs.disable()
+
+    assert counters("columnar") == counters("scalar")
+
+
+def test_non_lru_falls_back_to_scalar(mcf_trace):
+    """FIFO sweeps run the scalar engine under either backend."""
+    l1 = CacheConfig(8 * 1024, 2, replacement="fifo")
+    fifo_scalar = run_cache_trace(mcf_trace, l1_config=l1, backend="scalar")
+    fifo_columnar = run_cache_trace(mcf_trace, l1_config=l1, backend="columnar")
+    assert_runs_equal(fifo_scalar, fifo_columnar)
+
+
+def test_batched_hierarchy_rejects_non_lru():
+    with pytest.raises(ValueError, match="only LRU replacement"):
+        BatchedCacheHierarchy(CacheConfig(8 * 1024, 2, replacement="fifo"))
+
+
+def test_batched_hierarchy_rejects_mismatched_block_size():
+    with pytest.raises(ValueError, match="share a block size"):
+        BatchedCacheHierarchy(
+            CacheConfig(8 * 1024, 2, block_size=32),
+            paper_l2_config(),
+        )
+
+
+def test_sanitized_run_takes_scalar_path(mcf_trace):
+    """sanitize=True keeps the invariant checker in the loop (scalar)."""
+    sanitized = run_cache_trace(mcf_trace, sanitize=True, backend="columnar")
+    plain = run_cache_trace(mcf_trace, backend="scalar")
+    assert_runs_equal(plain, sanitized)
+
+
+def test_empty_trace(mcf_trace):
+    scalar = run_cache_trace(Trace(), backend="scalar")
+    batched = run_cache_trace(Trace(), backend="columnar")
+    assert_runs_equal(scalar, batched)
+    assert batched.l1.accesses == 0

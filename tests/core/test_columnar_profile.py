@@ -1,0 +1,123 @@
+"""Scalar/columnar profile equivalence (the tentpole's bit-identity contract).
+
+The vectorized profiler must reproduce the scalar profiler exactly —
+down to Markov transition-dict insertion order, because serialization
+numbers states by first appearance. These tests compare canonical JSON
+of the full profile dict (which encodes that order) and the serialized
+on-disk bytes across backends, hierarchy configurations and workloads,
+with and without numpy.
+"""
+
+import json
+
+import pytest
+
+from repro.core.columnar import ColumnarTrace, numpy_or_none
+from repro.core.hierarchy import micro_macro, two_level_rs, two_level_ts
+from repro.core.profiler import build_profile
+from repro.core.serialization import profile_to_dict, save_profile
+from repro.workloads import workload_trace
+
+HAVE_NUMPY = numpy_or_none() is not None
+
+REQUESTS = 3000
+
+
+def canonical(profile) -> str:
+    return json.dumps(profile_to_dict(profile), sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def hevc_trace():
+    return workload_trace("hevc1", num_requests=REQUESTS)
+
+
+CONFIGS = {
+    "2l_ts": lambda: two_level_ts(cycles_per_interval=50_000),
+    "2l_rs": lambda: two_level_rs(requests_per_interval=500),
+    "micro_macro": lambda: micro_macro(macro_cycles=50_000, micro_cycles=5_000),
+    "fixed": lambda: two_level_ts(
+        cycles_per_interval=50_000, spatial="fixed", block_size=4096
+    ),
+}
+
+
+@pytest.mark.parametrize("config_name", sorted(CONFIGS))
+def test_columnar_profile_bit_identical(config_name, hevc_trace):
+    """Canonical JSON matches between backends for every hierarchy shape."""
+    config = CONFIGS[config_name]()
+    scalar = build_profile(hevc_trace, config, name="hevc1", backend="scalar")
+    columnar = build_profile(hevc_trace, config, name="hevc1", backend="columnar")
+    assert canonical(columnar) == canonical(scalar)
+
+
+@pytest.mark.parametrize("workload", ["mcf", "crypto1", "manhattan"])
+def test_columnar_profile_across_workloads(workload):
+    trace = workload_trace(workload, num_requests=REQUESTS)
+    config = two_level_ts(cycles_per_interval=50_000)
+    scalar = build_profile(trace, config, name=workload, backend="scalar")
+    columnar = build_profile(trace, config, name=workload, backend="columnar")
+    assert canonical(columnar) == canonical(scalar)
+
+
+def test_columnar_accepts_columnar_input(hevc_trace):
+    """A ColumnarTrace input avoids the object conversion and still matches."""
+    config = two_level_ts(cycles_per_interval=50_000)
+    scalar = build_profile(hevc_trace, config, name="hevc1", backend="scalar")
+    columns = ColumnarTrace.from_trace(hevc_trace)
+    columnar = build_profile(columns, config, name="hevc1", backend="columnar")
+    assert canonical(columnar) == canonical(scalar)
+
+
+def test_scalar_accepts_columnar_input(hevc_trace):
+    """The scalar backend transparently converts columnar input back."""
+    config = two_level_ts(cycles_per_interval=50_000)
+    from_objects = build_profile(hevc_trace, config, name="hevc1", backend="scalar")
+    from_columns = build_profile(
+        ColumnarTrace.from_trace(hevc_trace), config, name="hevc1", backend="scalar"
+    )
+    assert canonical(from_columns) == canonical(from_objects)
+
+
+def test_serialized_bytes_identical(tmp_path, hevc_trace):
+    """The on-disk profile artifact is byte-identical across backends."""
+    config = two_level_ts(cycles_per_interval=50_000)
+    scalar_path = tmp_path / "scalar.profile"
+    columnar_path = tmp_path / "columnar.profile"
+    save_profile(
+        build_profile(hevc_trace, config, name="hevc1", backend="scalar"), scalar_path
+    )
+    save_profile(
+        build_profile(hevc_trace, config, name="hevc1", backend="columnar"),
+        columnar_path,
+    )
+    assert scalar_path.read_bytes() == columnar_path.read_bytes()
+
+
+def test_forced_columnar_without_numpy_matches(monkeypatch, hevc_trace):
+    """backend="columnar" without numpy falls back to scalar code, same bits."""
+    config = two_level_ts(cycles_per_interval=50_000)
+    reference = build_profile(hevc_trace, config, name="hevc1", backend="scalar")
+    monkeypatch.setenv("MOCKTAILS_NO_NUMPY", "1")
+    fallback = build_profile(hevc_trace, config, name="hevc1", backend="columnar")
+    assert canonical(fallback) == canonical(reference)
+
+
+def test_empty_trace_profiles_identically():
+    from repro.core.trace import Trace
+
+    config = two_level_ts()
+    scalar = build_profile(Trace(), config, name="empty", backend="scalar")
+    columnar = build_profile(Trace(), config, name="empty", backend="columnar")
+    assert canonical(columnar) == canonical(scalar)
+
+
+def test_unsorted_trace_rejected_by_both_backends():
+    from repro.core.trace import Trace
+
+    from ..conftest import req
+
+    trace = Trace([req(5, 0), req(3, 64)])
+    for backend in ("scalar", "columnar"):
+        with pytest.raises(ValueError, match="sorted by timestamp"):
+            build_profile(trace, two_level_ts(), backend=backend)

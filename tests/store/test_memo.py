@@ -57,6 +57,33 @@ def test_non_dataclass_jobs_rejected():
         cache_key({"name": "hevc1"})
 
 
+def test_cache_key_separates_backends(monkeypatch):
+    # Columnar-era payloads must never collide with scalar-era entries,
+    # even though both backends are bit-identical by contract.
+    job = DramJob("hevc1", 2000)
+    monkeypatch.setenv("MOCKTAILS_BACKEND", "scalar")
+    scalar_key = cache_key(job)
+    monkeypatch.setenv("MOCKTAILS_BACKEND", "columnar")
+    columnar_key = cache_key(job)
+    assert scalar_key != columnar_key
+    monkeypatch.setenv("MOCKTAILS_BACKEND", "scalar")
+    assert cache_key(job) == scalar_key  # live read, not cached
+
+
+def test_cache_key_uses_resolved_backend(monkeypatch):
+    # "auto" resolves before keying: an auto-selected columnar run shares
+    # its cache entries with an explicitly columnar one.
+    from repro.core.columnar import active_backend
+
+    job = DramJob("hevc1", 2000)
+    monkeypatch.setenv("MOCKTAILS_BACKEND", "auto")
+    auto_key = cache_key(job)
+    monkeypatch.setenv("MOCKTAILS_BACKEND", "auto")
+    resolved = active_backend()
+    monkeypatch.setenv("MOCKTAILS_BACKEND", resolved)
+    assert cache_key(job) == auto_key
+
+
 # ---------------------------------------------------------------------------
 # Fetch/store round trips
 # ---------------------------------------------------------------------------
