@@ -13,7 +13,13 @@ columnar trace backend (:mod:`repro.core.columnar`) is measured the same
 way: the vectorized profile build and the batched cache sweep are timed
 against their scalar twins on the 20k-request micro-benches, asserted
 bit-identical, and the speedups recorded as ``speedup_profile_build`` /
-``speedup_cache_sweep``. A run manifest (``BENCH_manifest.json``,
+``speedup_cache_sweep``. The out-of-core streaming build
+(:mod:`repro.stream`) is held to the same bar (schema 5): the chunked
+map-reduce build is timed against the in-memory columnar build on the
+same 20k micro-bench, asserted bit-identical and within 1.5x, and the
+tracemalloc peak allocation size of each build is recorded
+(``peak_profile_memory_bytes`` vs ``peak_profile_memory_bytes_inmemory``).
+A run manifest (``BENCH_manifest.json``,
 via :mod:`repro.obs`) is recorded alongside it with host info and the
 observability counters accumulated during the figure runs.
 
@@ -47,6 +53,7 @@ from repro.eval.comparison import baseline_trace, clear_cache
 from repro.eval.parallel import jobs_for, prewarm
 from repro.sim.cache_driver import run_cache_trace
 from repro.sim.driver import simulate_trace
+from repro.stream import build_profile_streaming
 
 from conftest import BENCH_REQUESTS, SPEC_REQUESTS
 
@@ -154,6 +161,39 @@ def test_perf_snapshot(bench_jobs, capsys):
             else None
         )
 
+    # -- streaming (out-of-core) build vs in-memory columnar ---------------
+    # Same 20k micro-bench, default 8192-request blocks: the chunked
+    # map-reduce build must stay within 1.5x of the one-shot columnar
+    # build while holding only O(block) rows at a time.
+    profile_streamed, timings["profile_build_streamed"] = _timed_best(
+        lambda: build_profile_streaming(
+            columns.iter_blocks(8192), two_level_ts(), name="hevc1"
+        )
+    )
+    streaming_identical = profile_to_dict(profile_streamed) == profile_to_dict(
+        profile_scalar
+    )
+    assert streaming_identical, "streamed profile differs from single-pass"
+
+    streaming_over_columnar = None
+    if have_numpy and timings["profile_build_columnar"]:
+        streaming_over_columnar = (
+            timings["profile_build_streamed"] / timings["profile_build_columnar"]
+        )
+        assert streaming_over_columnar < 1.5, (
+            f"streaming build {streaming_over_columnar:.2f}x slower than "
+            "in-memory columnar (budget: 1.5x)"
+        )
+
+    # Peak traced allocations of each build: the streamed number is what
+    # the O(block) claim looks like in bytes (see PERFORMANCE.md).
+    _, peak_profile_memory_bytes = obs.measure_peak_memory(
+        lambda: build_profile_streaming(columns.iter_blocks(8192), two_level_ts())
+    )
+    _, peak_profile_memory_bytes_inmemory = obs.measure_peak_memory(
+        lambda: build_profile(trace, two_level_ts(), stream=False)
+    )
+
     # -- figure runners: serial (cold caches, metrics registry active) -----
     registry = obs.enable()
     try:
@@ -235,7 +275,7 @@ def test_perf_snapshot(bench_jobs, capsys):
             speedup = serial_total / parallel_total if parallel_total else None
 
         snapshot = {
-            "schema": 4,
+            "schema": 5,
             "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "host": {
                 "cpus": cpus,
@@ -266,6 +306,14 @@ def test_perf_snapshot(bench_jobs, capsys):
             "columnar_identical": columnar_identical,
             "speedup_profile_build": speedup_profile_build,
             "speedup_cache_sweep": speedup_cache_sweep,
+            # Streaming map-reduce build (repro.stream): bit-identical to
+            # the single-pass build, throughput within 1.5x of in-memory
+            # columnar (null ratio without numpy), with tracemalloc peak
+            # allocation sizes for both builds (schema 5).
+            "streaming_identical": streaming_identical,
+            "streaming_over_columnar": streaming_over_columnar,
+            "peak_profile_memory_bytes": peak_profile_memory_bytes,
+            "peak_profile_memory_bytes_inmemory": peak_profile_memory_bytes_inmemory,
             "timings_seconds": {key: round(value, 4) for key, value in timings.items()},
         }
         RESULT_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
@@ -297,5 +345,11 @@ def test_perf_snapshot(bench_jobs, capsys):
         if speedup_cache_sweep is not None:
             print(f"  batched cache sweep:     {speedup_cache_sweep:.1f}x "
                   "over scalar (bit-identical)")
+        if streaming_over_columnar is not None:
+            print(f"  streamed profile build:  {streaming_over_columnar:.2f}x "
+                  "of in-memory columnar (bit-identical)")
+        print(f"  peak build memory:       "
+              f"{peak_profile_memory_bytes / 1e6:.1f} MB streamed vs "
+              f"{peak_profile_memory_bytes_inmemory / 1e6:.1f} MB in-memory")
         print(f"  -> {RESULT_PATH}")
         print(f"  -> {MANIFEST_PATH}")

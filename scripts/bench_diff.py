@@ -24,6 +24,7 @@ def _load_bench(path):
               "(expected an object with a 'timings_seconds' mapping)", file=sys.stderr)
         raise SystemExit(2)
     _check_schema4_fields(path, data)
+    _check_schema5_fields(path, data)
     return data
 
 
@@ -50,6 +51,33 @@ def _check_schema4_fields(path, data):
     missing += [f"top-level '{key}'" for key in _SCHEMA4_FIELDS if key not in data]
     if missing:
         print(f"error: {path} (schema {schema}) is missing required columnar "
+              f"bench entries: {', '.join(missing)}; "
+              "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
+        raise SystemExit(2)
+
+
+#: Snapshot fields introduced with the streaming build (schema 5): the
+#: streamed micro-bench timing, its ratio over the in-memory columnar
+#: build, and the tracemalloc peak allocation sizes of both builds.
+_SCHEMA5_TIMINGS = ("profile_build_streamed",)
+_SCHEMA5_FIELDS = (
+    "streaming_identical",
+    "streaming_over_columnar",
+    "peak_profile_memory_bytes",
+    "peak_profile_memory_bytes_inmemory",
+)
+
+
+def _check_schema5_fields(path, data):
+    """Fail loudly when a schema>=5 snapshot lacks the streaming entries."""
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema < 5:
+        return  # pre-streaming snapshot: nothing to require
+    timings = data["timings_seconds"]
+    missing = [key for key in _SCHEMA5_TIMINGS if key not in timings]
+    missing += [f"top-level '{key}'" for key in _SCHEMA5_FIELDS if key not in data]
+    if missing:
+        print(f"error: {path} (schema {schema}) is missing required streaming "
               f"bench entries: {', '.join(missing)}; "
               "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
         raise SystemExit(2)

@@ -23,7 +23,7 @@ hierarchy for FIFO/random sweeps and sanitized runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Union
 
 from .. import obs
 from ..core.columnar import ColumnarTrace, numpy_or_none
@@ -102,13 +102,23 @@ class BatchedCacheHierarchy:
         columns = (
             trace if isinstance(trace, ColumnarTrace) else ColumnarTrace.from_trace(trace)
         )
+        self.run_blocks(columns.iter_blocks(chunk_requests))
+
+    def run_blocks(self, blocks: Iterable[ColumnarTrace]) -> None:
+        """Replay a stream of column blocks (order only, atomic mode).
+
+        The out-of-core entry point: blocks may come straight from
+        :func:`repro.stream.iter_blocks`, so peak memory is O(block) no
+        matter the trace size. :meth:`run` is this over
+        :meth:`ColumnarTrace.iter_blocks`.
+        """
         before = tuple(
             (stats.hits, stats.misses, stats.write_backs)
             for stats in (self.l1_stats, self.l2_stats)
         )
-        for block in columns.iter_blocks(chunk_requests):
-            blocks, writes = _expand_blocks(block, self.l1_config.block_size)
-            self._replay_chunk(blocks, writes)
+        for block in blocks:
+            expanded, writes = _expand_blocks(block, self.l1_config.block_size)
+            self._replay_chunk(expanded, writes)
         self._publish(before)
 
     # -- chunk replay ---------------------------------------------------------

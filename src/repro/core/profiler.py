@@ -32,6 +32,7 @@ from .hierarchy import (
     HierarchyConfig,
     SpatialLayer,
     TemporalLayer,
+    _build as _hierarchy_build,
     build_leaves,
     two_level_ts,
 )
@@ -53,6 +54,7 @@ def build_profile(
     leaf_factory: LeafModelFactory = LeafModel.fit,
     name: str = "",
     backend: Optional[str] = None,
+    stream: Optional[bool] = None,
 ):
     """Build a statistical profile from a trace.
 
@@ -70,18 +72,62 @@ def build_profile(
             defers to the process-wide selection
             (:func:`repro.core.columnar.active_backend`). Both backends
             build bit-identical profiles.
+        stream: ``True`` routes the build through the out-of-core
+            map-reduce profiler (:mod:`repro.stream`) in fixed-size
+            blocks; ``None`` defers to the ``MOCKTAILS_STREAM``
+            environment switch (see
+            :func:`repro.stream.set_stream_mode`); ``False`` forces the
+            single-pass build. All paths are bit-identical.
 
     Returns:
         A :class:`repro.core.profile.Profile`.
     """
-    from .columnar import ColumnarTrace, numpy_or_none, resolve_backend
-    from .profile import Profile
+    from .columnar import ColumnarTrace
 
     if config is None:
         config = two_level_ts()
 
     # Bound-method equality, not identity: each LeafModel.fit attribute
     # access creates a fresh bound method object.
+    if stream is not False and leaf_factory == LeafModel.fit:
+        from ..stream import (
+            build_profile_streaming,
+            stream_block_requests,
+            stream_requested,
+        )
+
+        if stream is True or (stream is None and stream_requested()):
+            columns = (
+                trace if isinstance(trace, ColumnarTrace) else ColumnarTrace.from_trace(trace)
+            )
+            return build_profile_streaming(
+                columns.iter_blocks(stream_block_requests()),
+                config,
+                name=name,
+                backend=backend,
+            )
+    elif stream is True:
+        raise ValueError("stream=True requires the default all-McC leaf factory")
+
+    return _build_profile_inmemory(trace, config, leaf_factory, name, backend)
+
+
+def _build_profile_inmemory(
+    trace: Union[Trace, "ColumnarTrace"],
+    config: HierarchyConfig,
+    leaf_factory: LeafModelFactory = LeafModel.fit,
+    name: str = "",
+    backend: Optional[str] = None,
+):
+    """The single-pass build — scalar or batched-columnar, never streaming.
+
+    :mod:`repro.stream` calls this directly (not :func:`build_profile`)
+    when it has to fall back to a materialized build, so the
+    ``MOCKTAILS_STREAM`` switch can never recurse.
+    """
+    from .columnar import ColumnarTrace, numpy_or_none, resolve_backend
+    from .profile import Profile
+
     if resolve_backend(backend) == "columnar" and leaf_factory == LeafModel.fit:
         np = numpy_or_none()
         if np is not None:
@@ -97,6 +143,78 @@ def build_profile(
     leaves = build_leaves(trace.requests, config)
     models = [leaf_factory(leaf.requests, leaf.region) for leaf in leaves]
     return Profile(models, hierarchy=config.describe(), name=name)
+
+
+def fit_interval_leaves(intervals, layers, backend: Optional[str] = None) -> List[LeafModel]:
+    """Fit every leaf model of a batch of completed hierarchy intervals.
+
+    Each interval is a :class:`~repro.core.columnar.ColumnarTrace`
+    holding one closed bin of an outer temporal layer; ``layers`` are the
+    hierarchy layers *below* that outer layer (empty when the outer layer
+    is the whole hierarchy, so each interval is itself a leaf). Returns
+    the concatenation of every interval's leaf models in interval order,
+    bit-identical to the single-pass profiler's models for those bins.
+
+    This is the reduce-side fitting primitive of the streaming profiler:
+    :class:`repro.stream.ProfilePartial` collects closed intervals and
+    fits them in batches through this function, so the batched columnar
+    kernels amortize over many intervals per call.
+    """
+    from .columnar import ColumnarTrace, numpy_or_none, resolve_backend
+
+    intervals = [interval for interval in intervals if len(interval)]
+    if not intervals:
+        return []
+    layers = tuple(layers)
+
+    if resolve_backend(backend) == "columnar":
+        np = numpy_or_none()
+        if np is not None:
+            models = _fit_interval_leaves_columnar(np, intervals, layers)
+            if models is not None:
+                return models
+
+    models = []
+    for interval in intervals:
+        requests = (
+            interval.to_trace().requests
+            if isinstance(interval, ColumnarTrace)
+            else list(interval)
+        )
+        for i in range(len(requests) - 1):
+            if requests[i].timestamp > requests[i + 1].timestamp:
+                raise ValueError("requests must be sorted by timestamp")
+        for leaf in _hierarchy_build(list(requests), layers, None):
+            models.append(LeafModel.fit(leaf.requests, leaf.region))
+    return models
+
+
+def _fit_interval_leaves_columnar(np, intervals, layers):
+    """Columnar ``fit_interval_leaves``, or ``None`` to fall back."""
+    from .columnar import ColumnarTrace
+
+    columns = ColumnarTrace.concat(intervals) if len(intervals) > 1 else intervals[0]
+    if int(np.max(columns.timestamps)) > _INT64_MAX:
+        return None
+    if int(np.max(columns.addresses)) + int(np.max(columns.sizes)) > _INT64_MAX:
+        return None
+
+    timestamps = columns.timestamps.astype(np.int64)
+    addresses = columns.addresses.astype(np.int64)
+    sizes = columns.sizes.astype(np.int64)
+    ops = columns.ops.astype(np.int64)
+
+    segments = []
+    base = 0
+    for interval in intervals:
+        stop = base + len(interval)
+        window = timestamps[base:stop]
+        if len(window) > 1 and bool(np.any(window[1:] < window[:-1])):
+            raise ValueError("requests must be sorted by timestamp")
+        indices = np.arange(base, stop, dtype=np.int64)
+        segments.extend(_leaf_segments(np, timestamps, addresses, sizes, layers, indices, None))
+        base = stop
+    return _fit_leaves_batched(np, timestamps, addresses, sizes, ops, segments)
 
 
 # -- columnar path -------------------------------------------------------------
@@ -245,14 +363,22 @@ def _fit_mcc_batched(np, values, offsets) -> List[McCModel]:
     models: List[Optional[McCModel]] = [None] * segment_count
 
     if len(values):
-        # Clamped starts keep reduceat in bounds for empty tail segments;
-        # empty segments are overridden below regardless.
-        safe_starts = np.minimum(offsets[:-1], len(values) - 1)
-        minima = np.minimum.reduceat(values, safe_starts)
-        maxima = np.maximum.reduceat(values, safe_starts)
-        firsts = values[safe_starts]
+        # reduceat treats consecutive indices as segment bounds, so empty
+        # segments must be dropped, not clamped: clamping an empty tail's
+        # start into range truncates the preceding segment's reduction.
+        # Consecutive empty segments share their successor's offset, so
+        # the non-empty starts are strictly increasing and each reduction
+        # ends exactly at its own segment's end.
+        nonempty = lengths > 0
+        starts = offsets[:-1][nonempty]
+        constant_all = np.ones(segment_count, dtype=bool)
+        constant_all[nonempty] = np.minimum.reduceat(values, starts) == (
+            np.maximum.reduceat(values, starts)
+        )
+        firsts = np.zeros(segment_count, dtype=values.dtype)
+        firsts[nonempty] = values[starts]
         length_list = lengths.tolist()
-        constant = (minima == maxima).tolist()
+        constant = constant_all.tolist()
         first_list = firsts.tolist()
     else:
         length_list = [0] * segment_count

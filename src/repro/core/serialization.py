@@ -14,12 +14,12 @@ from __future__ import annotations
 
 import gzip
 import json
-import zlib
 from pathlib import Path
 from typing import Callable, Dict, Union
 
 from ..store.atomic import atomic_write_bytes
 from .errors import CorruptArtifactError
+from .ioutil import read_artifact_bytes
 from .leaf import (
     AddressModel,
     LeafModel,
@@ -120,8 +120,12 @@ def load_profile(path: Union[str, Path]) -> Profile:
     path on truncated gzip streams or malformed payloads.
     """
     try:
-        payload = gzip.decompress(Path(path).read_bytes())
-    except (OSError, EOFError, zlib.error) as error:
+        payload = read_artifact_bytes(
+            path, require_gzip=True, what="gzip profile file"
+        )
+    except CorruptArtifactError:
+        raise
+    except OSError as error:
         raise CorruptArtifactError(
             path, f"not a gzip profile file, or truncated ({error})"
         ) from error

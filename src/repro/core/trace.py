@@ -19,12 +19,12 @@ from __future__ import annotations
 
 import gzip
 import struct
-import zlib
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from ..store.atomic import atomic_write_bytes
 from .errors import CorruptArtifactError
+from .ioutil import read_artifact_bytes
 from .request import AddressRange, MemoryRequest, Operation
 
 _BINARY_MAGIC = b"MTR1"
@@ -49,18 +49,11 @@ def _write_payload(path: Union[str, Path], payload: bytes) -> int:
 def _read_payload(path: Union[str, Path]) -> bytes:
     """Read a file, transparently decompressing if it is gzipped.
 
-    Raises :class:`CorruptArtifactError` on a truncated or corrupt gzip
-    stream.
+    Decompression is incremental (bounded chunks, never the whole
+    compressed file at once). Raises :class:`CorruptArtifactError` with
+    the byte offset on a truncated or corrupt gzip stream.
     """
-    data = Path(path).read_bytes()
-    if data[:2] == _GZIP_MAGIC:
-        try:
-            return gzip.decompress(data)
-        except (EOFError, zlib.error, OSError) as error:
-            raise CorruptArtifactError(
-                path, f"truncated or corrupt gzip stream ({error})"
-            ) from error
-    return data
+    return read_artifact_bytes(path, what="gzip stream")
 
 
 class Trace:

@@ -269,6 +269,82 @@ def run_cache_command(args) -> int:
     raise AssertionError(f"unknown cache command: {args.cache_command}")  # pragma: no cover
 
 
+def run_stream_command(args) -> int:
+    """The ``stream`` subcommand: out-of-core profile build + replay."""
+    from ..core.hierarchy import micro_macro, two_level_rs, two_level_ts
+    from ..stream import DEFAULT_BLOCK_REQUESTS, iter_blocks
+
+    config = {
+        "2lts": two_level_ts,
+        "2lrs": two_level_rs,
+        "micro-macro": micro_macro,
+    }[args.config]()
+    block_requests = (
+        args.block_requests if args.block_requests is not None else DEFAULT_BLOCK_REQUESTS
+    )
+    if block_requests <= 0:
+        parser_error = f"--block-requests must be positive, got {block_requests}"
+        print(parser_error, file=sys.stderr)
+        return 2
+
+    start = time.perf_counter()
+    if args.jobs > 1:
+        from ..stream import build_profile_sharded
+
+        profile = build_profile_sharded(
+            args.trace,
+            config,
+            jobs=args.jobs,
+            block_requests=block_requests,
+            backend=args.backend,
+        )
+    else:
+        from ..stream import build_profile_streaming
+
+        profile = build_profile_streaming(
+            iter_blocks(args.trace, block_requests), config, backend=args.backend
+        )
+    elapsed = time.perf_counter() - start
+    total_requests = sum(leaf.count for leaf in profile)
+    workers = f", {args.jobs} jobs" if args.jobs > 1 else ""
+    print(
+        f"profiled {total_requests:,} requests into {len(profile)} leaves "
+        f"in {elapsed:.1f}s (blocks of {block_requests:,}{workers})"
+    )
+
+    if args.profile_out:
+        from ..core.serialization import save_profile
+
+        size = save_profile(profile, args.profile_out)
+        print(f"wrote profile to {args.profile_out} ({_format_bytes(size)})")
+
+    if args.replay == "cache":
+        from ..sim.cache_driver import run_cache_blocks
+
+        start = time.perf_counter()
+        result = run_cache_blocks(
+            iter_blocks(args.trace, block_requests), backend=args.backend
+        )
+        elapsed = time.perf_counter() - start
+        print(
+            f"cache replay ({elapsed:.1f}s): "
+            f"L1 miss rate {result.l1_miss_rate:.4f}, "
+            f"L2 miss rate {result.l2_miss_rate:.4f}"
+        )
+    elif args.replay == "dram":
+        from ..sim.driver import simulate_blocks
+
+        start = time.perf_counter()
+        stats = simulate_blocks(iter_blocks(args.trace, block_requests))
+        elapsed = time.perf_counter() - start
+        print(
+            f"dram replay ({elapsed:.1f}s): "
+            f"{stats.latency_count:,} accesses, "
+            f"avg latency {stats.avg_access_latency:.1f} cycles"
+        )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
@@ -323,6 +399,46 @@ def main(argv=None) -> int:
                  "'columnar' uses vectorized column passes, 'auto' (the "
                  "default) picks columnar when numpy is available; "
                  "results are bit-identical either way")
+        command.add_argument(
+            "--stream", action="store_true",
+            help="build every profile through the out-of-core streaming "
+                 "path (repro.stream): O(block) peak memory, results "
+                 "bit-identical to the in-memory build")
+        command.add_argument(
+            "--block-requests", type=int, default=None, metavar="N",
+            help="streaming block size in requests (default 8,192; "
+                 "implies nothing without --stream)")
+
+    stream = sub.add_parser(
+        "stream",
+        help="profile (and optionally replay) a trace file out-of-core",
+        description="Stream a .mtr/.csv trace (plain or gz) through the "
+                    "chunked profile build without ever loading it whole; "
+                    "optionally replay it through the cache or DRAM "
+                    "simulators the same way.",
+    )
+    stream.add_argument("trace", help="trace file (.mtr/.csv, optionally .gz)")
+    stream.add_argument(
+        "--config", choices=("2lts", "2lrs", "micro-macro"), default="2lts",
+        help="hierarchy configuration (default 2lts, the paper's "
+             "two-level temporal/spatial split)")
+    stream.add_argument(
+        "--profile-out", metavar="PATH", default=None,
+        help="save the resulting profile (gzip JSON) to PATH")
+    stream.add_argument(
+        "--replay", choices=("none", "cache", "dram"), default="none",
+        help="additionally replay the trace block-by-block through the "
+             "L1/L2 cache or the crossbar+DRAM simulator")
+    stream.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the sharded map-reduce build "
+             "(default 1 = sequential; results are identical)")
+    stream.add_argument(
+        "--block-requests", type=int, default=None, metavar="N",
+        help="requests per streamed block (default 8,192)")
+    stream.add_argument(
+        "--backend", choices=("auto", "scalar", "columnar"), default=None,
+        help="trace data path (see 'run --backend')")
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain the cross-run result cache"
@@ -357,6 +473,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "cache":
         return run_cache_command(args)
+    if args.command == "stream":
+        return run_stream_command(args)
 
     if args.backend is not None:
         # set_backend records the choice in MOCKTAILS_BACKEND, so
@@ -364,6 +482,20 @@ def main(argv=None) -> int:
         from ..core.columnar import set_backend
 
         set_backend(args.backend)
+
+    stream_env = None
+    if args.stream or args.block_requests is not None:
+        # set_stream_mode records the choice in MOCKTAILS_STREAM /
+        # MOCKTAILS_STREAM_BLOCK_REQUESTS, so workers inherit it; the
+        # prior values are restored on the way out.
+        import os
+
+        from ..stream import _BLOCK_ENV, _STREAM_ENV, set_stream_mode
+
+        stream_env = {
+            key: os.environ.get(key) for key in (_STREAM_ENV, _BLOCK_ENV)
+        }
+        set_stream_mode(args.stream, args.block_requests)
 
     registry = None
     if args.metrics_out or args.trace_events:
@@ -410,6 +542,14 @@ def main(argv=None) -> int:
             print(f"wrote {registry.sink.emitted if registry.sink else 0:,} "
                   f"events to {args.trace_events}")
     finally:
+        if stream_env is not None:
+            import os
+
+            for key, value in stream_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
         if args.sanitize:
             from ..lint import sanitize as lint_sanitize
 

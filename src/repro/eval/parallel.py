@@ -120,7 +120,10 @@ def _worker_init() -> None:
     obs.disable()
 
 
-def _make_pool(processes: int) -> ProcessPoolExecutor:
+def make_pool(processes: int) -> ProcessPoolExecutor:
+    """A worker pool with the repo's standard setup (fork-preferred,
+    observability disabled in workers). Shared with the streaming
+    profiler's shard fan-out (:mod:`repro.stream.parallel`)."""
     # fork (where available) keeps workers cheap; spawn works too because
     # jobs and payloads are plain picklable dataclasses.
     methods = multiprocessing.get_all_start_methods()
@@ -128,6 +131,9 @@ def _make_pool(processes: int) -> ProcessPoolExecutor:
     return ProcessPoolExecutor(
         max_workers=processes, mp_context=context, initializer=_worker_init
     )
+
+
+_make_pool = make_pool
 
 
 def _fetch_memoized(jobs: List[Job], memo) -> List[Job]:

@@ -1,10 +1,17 @@
-"""I/O rules: every artifact write must be crash-safe.
+"""I/O rules: every artifact write must be crash-safe, every hot-path
+read bounded.
 
 The result store's warm==cold guarantee assumes no reader can ever
 observe a truncated artifact, which holds only if every write in the
 repo funnels through :mod:`repro.store.atomic` (temp file + fsync +
 same-directory ``os.replace``). A bare ``open(path, "w")`` reintroduces
 the torn-write window that helper exists to close.
+
+Similarly, the streaming pipeline's O(block) memory bound holds only if
+no trace/profile loader slurps a whole file in one call: a single
+``handle.read()`` in a hot I/O module silently reintroduces the
+O(trace) peak the out-of-core refactor removed (see
+``io-unbounded-read``).
 """
 
 from __future__ import annotations
@@ -33,6 +40,78 @@ def _write_mode(call: ast.Call, mode_arg_index: int) -> Optional[str]:
             if _MODE_RE.match(mode) and any(ch in mode for ch in "wax"):
                 return mode
     return None
+
+
+#: The modules whose reads sit on the trace/profile hot path: file sizes
+#: there scale with trace length, so an unbounded read is an O(trace)
+#: memory spike. ``("stream",)`` covers the whole streaming package.
+_HOT_READ_MODULES = (
+    ("core", "trace.py"),
+    ("core", "serialization.py"),
+    ("core", "ioutil.py"),
+)
+
+
+def _is_unbounded_size(call: ast.Call) -> bool:
+    """True when a ``.read`` call asks for everything at once."""
+    if len(call.args) > 1 or call.keywords:
+        return False  # not a plain .read(size) shape; out of scope
+    if not call.args:
+        return True
+    size = call.args[0]
+    if isinstance(size, ast.Constant):
+        return size.value is None
+    # -1 parses as UnaryOp(USub, Constant(1)).
+    return (
+        isinstance(size, ast.UnaryOp)
+        and isinstance(size.op, ast.USub)
+        and isinstance(size.operand, ast.Constant)
+        and size.operand.value == 1
+    )
+
+
+@register
+class UnboundedReadRule(Rule):
+    """Trace/profile hot paths must read in bounded chunks.
+
+    Flags argless ``.read()`` (and the equivalent ``.read(-1)`` /
+    ``.read(None)``) plus ``Path.read_bytes``/``read_text`` inside the
+    modules that open trace or profile files: those files scale with
+    trace length, so one unbounded read is an O(trace) allocation.
+    Bounded reads (``.read(CHUNK_BYTES)``) pass. A deliberate
+    whole-file read of a small artifact documents the exception with
+    ``# lint: ignore[io-unbounded-read]``.
+    """
+
+    rule_id = "io-unbounded-read"
+    description = "unbounded file read on a trace/profile hot path"
+
+    def check(self, context: LintContext) -> None:
+        hot = context.in_package("stream") or any(
+            context.is_module(*parts) for parts in _HOT_READ_MODULES
+        )
+        if not hot:
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "read" and _is_unbounded_size(node):
+                context.report(
+                    node,
+                    self.rule_id,
+                    ".read() slurps the whole stream; read in bounded "
+                    "chunks (see repro.core.ioutil / repro.stream)",
+                )
+            elif func.attr in ("read_bytes", "read_text"):
+                context.report(
+                    node,
+                    self.rule_id,
+                    f".{func.attr}(...) materializes the whole file; read "
+                    "in bounded chunks (see repro.core.ioutil / repro.stream)",
+                )
 
 
 @register

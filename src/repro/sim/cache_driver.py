@@ -15,7 +15,7 @@ non-LRU replacement policies always take the scalar path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Iterable, Optional, Union
 
 from ..cache.batched import BatchedCacheHierarchy
 from ..cache.cache import CacheConfig, CacheStats
@@ -81,5 +81,45 @@ def run_cache_trace(
             label="run_cache_trace", require_monotonic=False
         )
         requests = checker.watch(trace)
+    hierarchy.run(requests)
+    return CacheRunResult(l1=hierarchy.l1_stats, l2=hierarchy.l2_stats)
+
+
+def run_cache_blocks(
+    blocks: Iterable[ColumnarTrace],
+    l1_config: Optional[CacheConfig] = None,
+    l2_config: Optional[CacheConfig] = None,
+    sanitize: Optional[bool] = None,
+    backend: Optional[str] = None,
+) -> CacheRunResult:
+    """Replay a stream of column blocks through the L1/L2 hierarchy.
+
+    The out-of-core twin of :func:`run_cache_trace`: blocks (e.g. from
+    :func:`repro.stream.iter_blocks`) are consumed one at a time, so
+    peak memory is O(block) regardless of trace length. Engine selection
+    and statistics match :func:`run_cache_trace` over the concatenated
+    blocks exactly.
+    """
+    l1_config = l1_config if l1_config is not None else CacheConfig(32 * 1024, 4)
+    l2_config = l2_config if l2_config is not None else paper_l2_config()
+    sanitizing = sanitize is True or (sanitize is None and _sanitize.active())
+
+    if (
+        resolve_backend(backend) == "columnar"
+        and not sanitizing
+        and l1_config.replacement == "lru"
+        and l2_config.replacement == "lru"
+    ):
+        batched = BatchedCacheHierarchy(l1_config, l2_config)
+        batched.run_blocks(blocks)
+        return CacheRunResult(l1=batched.l1_stats, l2=batched.l2_stats)
+
+    hierarchy = CacheHierarchy(l1_config, l2_config)
+    requests = (request for block in blocks for request in block.iter_requests())
+    if sanitizing:
+        checker = _sanitize.TraceInvariantChecker(
+            label="run_cache_blocks", require_monotonic=False
+        )
+        requests = checker.watch(requests)
     hierarchy.run(requests)
     return CacheRunResult(l1=hierarchy.l1_stats, l2=hierarchy.l2_stats)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Optional, Union
 
+from ..core.columnar import ColumnarTrace
 from ..core.profile import Profile
 from ..core.request import MemoryRequest
 from ..core.synthesis import FeedbackSynthesizer, synthesize_stream
@@ -69,6 +70,28 @@ def simulate_trace(
         crossbar.send(request)
     memory.drain()
     return memory.stats
+
+
+def simulate_blocks(
+    blocks: Iterable[ColumnarTrace],
+    config: Optional[MemoryConfig] = None,
+    crossbar_config: Optional[CrossbarConfig] = None,
+    sanitize: Optional[bool] = None,
+) -> MemorySystemStats:
+    """Replay a stream of column blocks through crossbar + memory.
+
+    The out-of-core twin of :func:`simulate_trace`: blocks (e.g. from
+    :func:`repro.stream.iter_blocks`) are expanded into per-request
+    objects one block at a time, so peak memory is O(block) regardless
+    of trace length. Statistics equal :func:`simulate_trace` over the
+    concatenated blocks.
+    """
+    return simulate_trace(
+        (request for block in blocks for request in block.iter_requests()),
+        config,
+        crossbar_config,
+        sanitize=sanitize,
+    )
 
 
 def simulate_profile(

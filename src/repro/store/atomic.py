@@ -49,3 +49,68 @@ def atomic_write_bytes(path: Union[str, Path], data: bytes) -> int:
 def atomic_write_text(path: Union[str, Path], text: str, encoding: str = "utf-8") -> int:
     """Atomically write ``text`` to ``path``; returns bytes written."""
     return atomic_write_bytes(path, text.encode(encoding))
+
+
+class AtomicFileWriter:
+    """Incremental atomic writes: many ``write()`` calls, one rename.
+
+    :func:`atomic_write_bytes` needs the whole payload in memory; the
+    streaming writers (chunked synthesis-to-disk, trace block writers)
+    produce output block by block and must never hold it all at once.
+    This class hands out a real binary file handle to a temp file next
+    to the destination; :meth:`commit` flushes, fsyncs and renames it
+    over ``path`` in one atomic step, :meth:`abort` discards it. Used as
+    a context manager it commits on success and aborts on any exception
+    — a kill mid-write leaves the destination untouched.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        directory = self.path.parent if str(self.path.parent) else Path(".")
+        fd, self._temp_name = tempfile.mkstemp(
+            prefix=f".{self.path.name}.", suffix=".tmp", dir=directory
+        )
+        self.handle = os.fdopen(fd, "w+b")
+        self._committed = False
+
+    def write(self, data: bytes) -> int:
+        return self.handle.write(data)
+
+    def tell(self) -> int:
+        return self.handle.tell()
+
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self.handle.seek(offset, whence)
+
+    def commit(self) -> int:
+        """Flush, fsync, and atomically publish; returns file size."""
+        if self._committed:
+            raise RuntimeError(f"{self.path}: already committed")
+        self.handle.flush()
+        os.fsync(self.handle.fileno())
+        size = self.handle.seek(0, os.SEEK_END)
+        self.handle.close()
+        os.replace(self._temp_name, self.path)
+        self._committed = True
+        return size
+
+    def abort(self) -> None:
+        """Discard the temp file; the destination is left untouched."""
+        if self._committed:
+            return
+        try:
+            self.handle.close()
+        finally:
+            try:
+                os.unlink(self._temp_name)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "AtomicFileWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None and not self._committed:
+            self.commit()
+        else:
+            self.abort()

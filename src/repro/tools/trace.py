@@ -59,18 +59,48 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_info(args: argparse.Namespace) -> int:
-    trace = load_any(Path(args.trace))
-    if not len(trace):
+    # One streamed pass (repro.stream): every statistic below is a
+    # per-block reduction, so arbitrarily large traces fit in O(block).
+    from ..stream import iter_blocks
+
+    total = writes = total_bytes = 0
+    start_time = end_time = None
+    addr_lo = addr_hi = None
+    is_sorted = True
+    previous_ts = None
+    for block in iter_blocks(Path(args.trace)):
+        timestamps = block.timestamps.tolist()
+        addresses = block.addresses.tolist()
+        sizes = block.sizes.tolist()
+        total += len(timestamps)
+        writes += sum(block.ops.tolist())
+        total_bytes += sum(sizes)
+        lo, hi = min(timestamps), max(timestamps)
+        start_time = lo if start_time is None else min(start_time, lo)
+        end_time = hi if end_time is None else max(end_time, hi)
+        block_lo = min(addresses)
+        block_hi = max(a + s for a, s in zip(addresses, sizes))
+        addr_lo = block_lo if addr_lo is None else min(addr_lo, block_lo)
+        addr_hi = block_hi if addr_hi is None else max(addr_hi, block_hi)
+        if is_sorted:
+            if previous_ts is not None and timestamps[0] < previous_ts:
+                is_sorted = False
+            else:
+                is_sorted = all(
+                    timestamps[i] <= timestamps[i + 1]
+                    for i in range(len(timestamps) - 1)
+                )
+        previous_ts = timestamps[-1]
+    if not total:
         print("empty trace")
         return 0
-    address_range = trace.address_range()
-    print(f"requests:    {len(trace):,}")
-    print(f"reads:       {trace.read_count():,}")
-    print(f"writes:      {trace.write_count():,}")
-    print(f"bytes:       {trace.total_bytes():,}")
-    print(f"duration:    {trace.duration:,} cycles")
-    print(f"addresses:   0x{address_range.start:x} .. 0x{address_range.end:x}")
-    print(f"sorted:      {trace.is_sorted()}")
+    print(f"requests:    {total:,}")
+    print(f"reads:       {total - writes:,}")
+    print(f"writes:      {writes:,}")
+    print(f"bytes:       {total_bytes:,}")
+    print(f"duration:    {end_time - start_time:,} cycles")
+    print(f"addresses:   0x{addr_lo:x} .. 0x{addr_hi:x}")
+    print(f"sorted:      {is_sorted}")
     return 0
 
 
@@ -83,9 +113,17 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def cmd_convert(args: argparse.Namespace) -> int:
-    trace = load_any(Path(args.input))
-    size = save_any(trace, Path(args.output))
-    print(f"converted {len(trace):,} requests -> {args.output} ({size:,} bytes)")
+    # Block-by-block copy (repro.stream): output bytes are identical to
+    # load-then-save, but peak memory stays O(block).
+    from ..stream import TraceBlockWriter, iter_blocks
+
+    with TraceBlockWriter(Path(args.output)) as writer:
+        for block in iter_blocks(Path(args.input)):
+            writer.write_block(block)
+    print(
+        f"converted {writer.requests_written:,} requests -> {args.output} "
+        f"({writer.bytes_written:,} bytes)"
+    )
     return 0
 
 

@@ -1,0 +1,14 @@
+# lint-path: repro/core/ioutil.py
+CHUNK_BYTES = 1 << 20
+
+
+def copy_chunked(source, sink):
+    while True:
+        chunk = source.read(CHUNK_BYTES)
+        if not chunk:
+            break
+        sink.write(chunk)
+
+
+def read_header(handle):
+    return handle.read(12)

@@ -67,6 +67,7 @@ def test_all_rules_registry_is_stable():
         "det-unseeded-random",
         "det-wall-clock",
         "io-atomic-write",
+        "io-unbounded-read",
         "perf-slots",
     }
 

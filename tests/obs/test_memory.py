@@ -1,0 +1,59 @@
+"""Peak-memory gauge: measured bounds, nesting, registry publication."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro import obs
+from repro.obs import PeakMemoryTracker, measure_peak_memory
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.disable()
+    yield
+    obs.disable()
+
+
+def test_tracker_measures_allocation():
+    with PeakMemoryTracker() as tracker:
+        blob = bytearray(4 << 20)
+    assert tracker.peak_bytes >= len(blob)
+    assert not tracemalloc.is_tracing()
+
+
+def test_tracker_stops_only_what_it_started():
+    tracemalloc.start()
+    try:
+        with PeakMemoryTracker() as tracker:
+            bytearray(1 << 20)
+        assert tracemalloc.is_tracing()
+        assert tracker.peak_bytes >= 1 << 20
+    finally:
+        tracemalloc.stop()
+
+
+def test_nested_trackers_reset_peak():
+    with PeakMemoryTracker() as outer:
+        bytearray(8 << 20)
+        with PeakMemoryTracker() as inner:
+            bytearray(1 << 20)
+    # The inner tracker's peak must reflect only its own region, not
+    # the 8 MiB high-water mark the outer region already set.
+    assert inner.peak_bytes < 4 << 20
+    assert outer.peak_bytes >= 1 << 20
+
+
+def test_tracker_publishes_gauge():
+    registry = obs.enable()
+    with PeakMemoryTracker(name="test.peak"):
+        bytearray(1 << 20)
+    assert registry.gauge("test.peak").value >= 1 << 20
+
+
+def test_measure_peak_memory_returns_result_and_peak():
+    result, peak = measure_peak_memory(lambda n: bytes(n), 2 << 20)
+    assert len(result) == 2 << 20
+    assert peak >= 2 << 20

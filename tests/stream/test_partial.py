@@ -1,0 +1,140 @@
+"""Property tests: mergeable partials reproduce the single-pass fits.
+
+The map-reduce contract is exact equality, not statistical closeness:
+for every split of the input into chunks, feeding the chunks through
+partials and merging must produce the same model objects — including
+Markov transition *insertion order*, which is serialization-visible —
+as fitting the whole sequence at once.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.core.columnar import ColumnarTrace
+from repro.core.leaf import LeafModel
+from repro.core.serialization import leaf_to_dict
+from repro.core.mcc import McCModel
+from repro.core.request import AddressRange
+from repro.stream.partial import LeafPartial, McCPartial
+
+from ..conftest import req
+
+
+def _feed(values):
+    partial = McCPartial()
+    for value in values:
+        partial.feed_one(value)
+    return partial
+
+
+def _value_stream(rng, length):
+    alphabet = [0, 1, 2, 64, -64, 4096]
+    return [rng.choice(alphabet) for _ in range(length)]
+
+
+@pytest.mark.parametrize("length", [0, 1, 2, 5, 37])
+def test_mcc_partial_matches_fit(length):
+    rng = random.Random(length)
+    values = _value_stream(rng, length)
+    assert _feed(values).finalize().to_dict() == McCModel.fit(values).to_dict()
+
+
+def test_mcc_partial_constant_runs():
+    for values in ([], [7], [7, 7], [7, 7, 7, 7]):
+        assert _feed(values).finalize().to_dict() == McCModel.fit(values).to_dict()
+
+
+def test_mcc_partial_merge_every_split_point():
+    rng = random.Random(99)
+    values = _value_stream(rng, 23)
+    expected = McCModel.fit(values).to_dict()
+    for split in range(len(values) + 1):
+        left = _feed(values[:split])
+        left.merge(_feed(values[split:]))
+        assert left.finalize().to_dict() == expected, f"split at {split}"
+
+
+def test_mcc_partial_merge_many_chunks():
+    rng = random.Random(5)
+    values = _value_stream(rng, 64)
+    expected = McCModel.fit(values).to_dict()
+    for chunk in (1, 3, 7, 64):
+        total = McCPartial()
+        for start in range(0, len(values), chunk):
+            total.merge(_feed(values[start : start + chunk]))
+        assert total.finalize().to_dict() == expected, f"chunk size {chunk}"
+
+
+def _leaf_requests(seed, length):
+    rng = random.Random(seed)
+    requests = []
+    clock = 50
+    address = 0x2000
+    for _ in range(length):
+        clock += rng.choice([0, 1, 5, 80])
+        address = (address + rng.choice([64, -64, 256])) % (1 << 30)
+        requests.append(
+            req(clock, address, rng.choice("RW"), rng.choice([8, 64]))
+        )
+    return requests
+
+
+def _feed_leaf(requests):
+    partial = LeafPartial()
+    if requests:
+        partial.feed_block(ColumnarTrace.from_trace(requests))
+    return partial
+
+
+@pytest.mark.parametrize("length", [1, 2, 9, 40])
+def test_leaf_partial_matches_fit(length):
+    requests = _leaf_requests(length, length)
+    region = AddressRange(0, 1 << 30)
+    expected = leaf_to_dict(LeafModel.fit(requests, region))
+    assert leaf_to_dict(_feed_leaf(requests).finalize(region=region)) == expected
+
+
+def test_leaf_partial_merge_every_split_point():
+    requests = _leaf_requests(3, 17)
+    region = AddressRange(0, 1 << 30)
+    expected = leaf_to_dict(LeafModel.fit(requests, region))
+    for split in range(len(requests) + 1):
+        left = _feed_leaf(requests[:split])
+        left.merge(_feed_leaf(requests[split:]))
+        assert leaf_to_dict(left.finalize(region=region)) == expected, f"split {split}"
+
+
+def test_leaf_partial_block_feed_matches_single_block():
+    requests = _leaf_requests(11, 30)
+    columns = ColumnarTrace.from_trace(requests)
+    whole = LeafPartial()
+    whole.feed_block(columns)
+    chunked = LeafPartial()
+    for block in columns.iter_blocks(7):
+        chunked.feed_block(block)
+    assert leaf_to_dict(chunked.finalize()) == leaf_to_dict(whole.finalize())
+
+
+def test_leaf_partial_tight_region_matches_hierarchy():
+    """finalize() without a region uses the leaf's own footprint."""
+    requests = _leaf_requests(21, 25)
+    start = min(r.address for r in requests)
+    end = max(r.end_address for r in requests)
+    fitted = _feed_leaf(requests).finalize()
+    assert leaf_to_dict(fitted) == leaf_to_dict(
+        LeafModel.fit(requests, AddressRange(start, end))
+    )
+
+
+def test_partials_are_picklable():
+    """Shards cross process boundaries in the parallel build."""
+    requests = _leaf_requests(8, 12)
+    partial = _feed_leaf(requests)
+    clone = pickle.loads(pickle.dumps(partial))
+    assert leaf_to_dict(clone.finalize()) == leaf_to_dict(partial.finalize())
+    mcc = _feed([1, 2, 1, 2, 3])
+    assert pickle.loads(pickle.dumps(mcc)).finalize() == mcc.finalize()

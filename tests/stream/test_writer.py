@@ -1,0 +1,92 @@
+"""Block writer: byte-identical output, atomic publish, clean aborts.
+
+``TraceBlockWriter`` must produce exactly the bytes of
+``Trace.save_binary``/``save_csv`` — the deterministic-artifact
+contract extends down to the gzip container — and must never leave a
+partial file at the destination, whatever goes wrong mid-write.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.columnar import ColumnarTrace
+from repro.stream import TraceBlockWriter
+
+SUFFIXES = (".mtr", ".mtr.gz", ".csv", ".csv.gz")
+
+
+def _reference_bytes(trace, path):
+    if ".mtr" in path.name:
+        trace.save_binary(path)
+    else:
+        trace.save_csv(path)
+    return path.read_bytes()
+
+
+@pytest.mark.parametrize("suffix", SUFFIXES)
+@pytest.mark.parametrize("known_count", [True, False])
+def test_blockwise_write_is_byte_identical(
+    suffix, known_count, stream_trace, stream_columns, tmp_path
+):
+    expected = _reference_bytes(stream_trace, tmp_path / f"ref{suffix}")
+    out = tmp_path / f"out{suffix}"
+    count = len(stream_trace) if known_count else None
+    with TraceBlockWriter(out, expected_requests=count) as writer:
+        for block in stream_columns.iter_blocks(100):
+            writer.write_block(block)
+    assert writer.requests_written == len(stream_trace)
+    assert writer.bytes_written == out.stat().st_size
+    assert out.read_bytes() == expected
+
+
+@pytest.mark.parametrize("suffix", SUFFIXES)
+def test_empty_trace_write(suffix, stream_trace, tmp_path):
+    expected = _reference_bytes(stream_trace[:0], tmp_path / f"ref{suffix}")
+    out = tmp_path / f"out{suffix}"
+    with TraceBlockWriter(out):
+        pass
+    assert out.read_bytes() == expected
+
+
+def test_count_mismatch_aborts_without_file(stream_columns, tmp_path):
+    out = tmp_path / "short.mtr"
+    writer = TraceBlockWriter(out, expected_requests=len(stream_columns) + 5)
+    for block in stream_columns.iter_blocks(100):
+        writer.write_block(block)
+    with pytest.raises(ValueError, match="expected"):
+        writer.close()
+    assert not out.exists()
+
+
+def test_exception_leaves_destination_untouched(stream_columns, tmp_path):
+    out = tmp_path / "keep.mtr"
+    out.write_bytes(b"precious")
+    with pytest.raises(RuntimeError, match="boom"):
+        with TraceBlockWriter(out) as writer:
+            writer.write_block(next(stream_columns.iter_blocks(10)))
+            raise RuntimeError("boom")
+    assert out.read_bytes() == b"precious"
+
+
+def test_write_after_close_rejected(tmp_path):
+    writer = TraceBlockWriter(tmp_path / "t.csv")
+    writer.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        writer.write_block(ColumnarTrace([1], [64], [64], [0]))
+
+
+def test_close_is_idempotent(tmp_path):
+    writer = TraceBlockWriter(tmp_path / "t.csv")
+    size = writer.close()
+    assert writer.close() == size
+
+
+def test_unknown_suffix_rejected(tmp_path):
+    with pytest.raises(ValueError, match="unknown trace suffix"):
+        TraceBlockWriter(tmp_path / "t.bin")
+
+
+def test_negative_expected_rejected(tmp_path):
+    with pytest.raises(ValueError, match="non-negative"):
+        TraceBlockWriter(tmp_path / "t.mtr", expected_requests=-1)
