@@ -19,6 +19,11 @@ map-reduce build is timed against the in-memory columnar build on the
 same 20k micro-bench, asserted bit-identical and within 1.5x, and the
 tracemalloc peak allocation size of each build is recorded
 (``peak_profile_memory_bytes`` vs ``peak_profile_memory_bytes_inmemory``).
+Statistical sampling (:mod:`repro.sample`, schema 6) is measured on the
+same micro-bench: the K-representative profile build is timed against
+the full columnar build (floor: 3x faster at the ~10% default K) and
+the weighted estimate's Fig. 6/13/14 geomean error is recorded and
+asserted against the plan's declared error bound.
 A run manifest (``BENCH_manifest.json``,
 via :mod:`repro.obs`) is recorded alongside it with host info and the
 observability counters accumulated during the figure runs.
@@ -185,6 +190,49 @@ def test_perf_snapshot(bench_jobs, capsys):
             "in-memory columnar (budget: 1.5x)"
         )
 
+    # -- statistical sampling (repro.sample): K-representative build -------
+    # Same 20k hevc1 micro-bench: fingerprint + cluster + fit only the
+    # ~10% representative intervals, vs the full columnar build above.
+    # The estimate must honour its own declared error bound (schema 6).
+    from repro.sample import (
+        build_sampled_profile,
+        default_sample_k,
+        interval_slices,
+        sampling_comparison,
+    )
+
+    sample_intervals = len(interval_slices(columns, two_level_ts().layers[0]))
+    sample_k = default_sample_k(sample_intervals)
+    (_, sample_plan), timings["sampled_profile_build"] = _timed_best(
+        lambda: build_sampled_profile(
+            columns, two_level_ts(), k=sample_k, name="hevc1", backend="columnar"
+        )
+    )
+    assert not sample_plan.exact, (
+        f"sampling bench degenerate: k={sample_k} covers all "
+        f"{sample_intervals} intervals"
+    )
+    speedup_sampled_profile_build = None
+    if have_numpy and timings["sampled_profile_build"]:
+        speedup_sampled_profile_build = (
+            timings["profile_build_columnar"] / timings["sampled_profile_build"]
+        )
+        assert speedup_sampled_profile_build >= 3.0, (
+            f"sampled profile build only {speedup_sampled_profile_build:.2f}x "
+            f"faster than full (k={sample_k}/{sample_intervals}; floor: 3x)"
+        )
+
+    sample_report = sampling_comparison(
+        trace, two_level_ts(), k=sample_k, name="hevc1"
+    )
+    sampled_geomean_error_percent = sample_report.geomean_error_percent
+    sampled_error_bound_percent = sample_report.error_bound_percent
+    sampled_within_bound = sample_report.within_bound
+    assert sampled_within_bound, (
+        f"sampled estimate error {sampled_geomean_error_percent:.2f}% exceeds "
+        f"its declared bound {sampled_error_bound_percent:.2f}%"
+    )
+
     # Peak traced allocations of each build: the streamed number is what
     # the O(block) claim looks like in bytes (see PERFORMANCE.md).
     _, peak_profile_memory_bytes = obs.measure_peak_memory(
@@ -275,7 +323,7 @@ def test_perf_snapshot(bench_jobs, capsys):
             speedup = serial_total / parallel_total if parallel_total else None
 
         snapshot = {
-            "schema": 5,
+            "schema": 6,
             "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "host": {
                 "cpus": cpus,
@@ -314,6 +362,17 @@ def test_perf_snapshot(bench_jobs, capsys):
             "streaming_over_columnar": streaming_over_columnar,
             "peak_profile_memory_bytes": peak_profile_memory_bytes,
             "peak_profile_memory_bytes_inmemory": peak_profile_memory_bytes_inmemory,
+            # Statistical sampling (repro.sample): K-representative
+            # profile build speedup over the full columnar build (null
+            # without numpy), and the weighted estimate's measured
+            # Fig. 6/13/14 geomean error against its declared bound
+            # (schema 6).
+            "sample_intervals": sample_intervals,
+            "sample_k": sample_k,
+            "speedup_sampled_profile_build": speedup_sampled_profile_build,
+            "sampled_geomean_error_percent": sampled_geomean_error_percent,
+            "sampled_error_bound_percent": sampled_error_bound_percent,
+            "sampled_within_bound": sampled_within_bound,
             "timings_seconds": {key: round(value, 4) for key, value in timings.items()},
         }
         RESULT_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
@@ -348,6 +407,11 @@ def test_perf_snapshot(bench_jobs, capsys):
         if streaming_over_columnar is not None:
             print(f"  streamed profile build:  {streaming_over_columnar:.2f}x "
                   "of in-memory columnar (bit-identical)")
+        if speedup_sampled_profile_build is not None:
+            print(f"  sampled profile build:   {speedup_sampled_profile_build:.1f}x "
+                  f"over full (k={sample_k}/{sample_intervals}, "
+                  f"err {sampled_geomean_error_percent:.1f}% <= "
+                  f"bound {sampled_error_bound_percent:.1f}%)")
         print(f"  peak build memory:       "
               f"{peak_profile_memory_bytes / 1e6:.1f} MB streamed vs "
               f"{peak_profile_memory_bytes_inmemory / 1e6:.1f} MB in-memory")

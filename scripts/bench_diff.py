@@ -25,6 +25,7 @@ def _load_bench(path):
         raise SystemExit(2)
     _check_schema4_fields(path, data)
     _check_schema5_fields(path, data)
+    _check_schema6_fields(path, data)
     return data
 
 
@@ -78,6 +79,33 @@ def _check_schema5_fields(path, data):
     missing += [f"top-level '{key}'" for key in _SCHEMA5_FIELDS if key not in data]
     if missing:
         print(f"error: {path} (schema {schema}) is missing required streaming "
+              f"bench entries: {', '.join(missing)}; "
+              "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
+        raise SystemExit(2)
+
+
+#: Snapshot fields introduced with statistical sampling (schema 6): the
+#: K-representative profile-build timing, its speedup over the full
+#: columnar build, and the estimator's measured-vs-declared error.
+_SCHEMA6_TIMINGS = ("sampled_profile_build",)
+_SCHEMA6_FIELDS = (
+    "speedup_sampled_profile_build",
+    "sampled_geomean_error_percent",
+    "sampled_error_bound_percent",
+    "sampled_within_bound",
+)
+
+
+def _check_schema6_fields(path, data):
+    """Fail loudly when a schema>=6 snapshot lacks the sampling entries."""
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema < 6:
+        return  # pre-sampling snapshot: nothing to require
+    timings = data["timings_seconds"]
+    missing = [key for key in _SCHEMA6_TIMINGS if key not in timings]
+    missing += [f"top-level '{key}'" for key in _SCHEMA6_FIELDS if key not in data]
+    if missing:
+        print(f"error: {path} (schema {schema}) is missing required sampling "
               f"bench entries: {', '.join(missing)}; "
               "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
         raise SystemExit(2)

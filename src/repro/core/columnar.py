@@ -315,6 +315,14 @@ class ColumnarTrace:
             raise ValueError("empty trace has no end time")
         return int(max(self.timestamps))
 
+    @property
+    def duration(self) -> int:
+        """Cycles spanned by the trace, 0 when empty (parity with
+        :attr:`repro.core.trace.Trace.duration`)."""
+        if not len(self):
+            return 0
+        return self.end_time - self.start_time
+
     def read_count(self) -> int:
         return len(self) - self.write_count()
 

@@ -149,6 +149,23 @@ def _print_fig17(result) -> None:
     print(format_table(["benchmark", "trace B", "dynamic B", "4KB B", "ratio"], rows))
 
 
+def _print_sampling(result) -> None:
+    rows = []
+    for name, data in result.items():
+        rows.append([
+            name,
+            data["interval_count"],
+            data["k"],
+            "yes" if data["exact"] else "no",
+            f"{data['geomean_error_percent']:.2f}",
+            f"{data['error_bound_percent']:.2f}",
+            "yes" if data["within_bound"] else "NO",
+        ])
+    print(format_table(
+        ["workload", "intervals", "K", "exact", "geomean err %",
+         "bound %", "within"], rows))
+
+
 EXPERIMENTS = {
     "fig2": (experiments.figure_2, _print_fig2),
     "fig3": (experiments.figure_3, _print_fig3),
@@ -169,6 +186,7 @@ EXPERIMENTS = {
     "fig17": (experiments.figure_17, _print_fig17),
     "ext-chargecache": (experiments.extension_chargecache, None),
     "ext-soc": (experiments.extension_soc, None),
+    "sampling": (experiments.sampling_fidelity, _print_sampling),
 }
 
 
@@ -288,7 +306,34 @@ def run_stream_command(args) -> int:
         return 2
 
     start = time.perf_counter()
-    if args.jobs > 1:
+    if args.sample_intervals is not None:
+        # Statistical sampling: fingerprint every outer interval in one
+        # streaming pass, then fit only the K representatives (second
+        # pass). Peak memory stays O(interval).
+        from ..sample import sampled_profile_from_file
+
+        profile, plan = sampled_profile_from_file(
+            args.trace,
+            config,
+            k=args.sample_intervals,
+            seed=args.sample_seed or 0,
+            block_requests=block_requests,
+            backend=args.backend,
+        )
+        elapsed = time.perf_counter() - start
+        total_requests = sum(leaf.count for leaf in profile)
+        mode = (
+            "exact (K covers every interval)"
+            if plan.exact
+            else f"error bound {plan.error_bound_percent:.1f}%"
+        )
+        print(
+            f"sampled {len(plan.representatives)} of {plan.interval_count} "
+            f"intervals ({mode}); profiled {total_requests:,} requests into "
+            f"{len(profile)} leaves in {elapsed:.1f}s "
+            f"(blocks of {block_requests:,})"
+        )
+    elif args.jobs > 1:
         from ..stream import build_profile_sharded
 
         profile = build_profile_sharded(
@@ -298,19 +343,24 @@ def run_stream_command(args) -> int:
             block_requests=block_requests,
             backend=args.backend,
         )
+        elapsed = time.perf_counter() - start
+        total_requests = sum(leaf.count for leaf in profile)
+        print(
+            f"profiled {total_requests:,} requests into {len(profile)} leaves "
+            f"in {elapsed:.1f}s (blocks of {block_requests:,}, {args.jobs} jobs)"
+        )
     else:
         from ..stream import build_profile_streaming
 
         profile = build_profile_streaming(
             iter_blocks(args.trace, block_requests), config, backend=args.backend
         )
-    elapsed = time.perf_counter() - start
-    total_requests = sum(leaf.count for leaf in profile)
-    workers = f", {args.jobs} jobs" if args.jobs > 1 else ""
-    print(
-        f"profiled {total_requests:,} requests into {len(profile)} leaves "
-        f"in {elapsed:.1f}s (blocks of {block_requests:,}{workers})"
-    )
+        elapsed = time.perf_counter() - start
+        total_requests = sum(leaf.count for leaf in profile)
+        print(
+            f"profiled {total_requests:,} requests into {len(profile)} leaves "
+            f"in {elapsed:.1f}s (blocks of {block_requests:,})"
+        )
 
     if args.profile_out:
         from ..core.serialization import save_profile
@@ -408,6 +458,17 @@ def main(argv=None) -> int:
             "--block-requests", type=int, default=None, metavar="N",
             help="streaming block size in requests (default 8,192; "
                  "implies nothing without --stream)")
+        command.add_argument(
+            "--sample-intervals", type=int, default=None, metavar="K",
+            help="statistical sampling: cluster each trace's outer "
+                 "temporal intervals and simulate only K weighted "
+                 "representatives (repro.sample); K >= the interval "
+                 "count reproduces the full pipeline byte-identically. "
+                 "Used by the 'sampling' experiment")
+        command.add_argument(
+            "--sample-seed", type=int, default=None, metavar="SEED",
+            help="clustering seed for --sample-intervals (default 0; "
+                 "results are deterministic for a fixed seed)")
 
     stream = sub.add_parser(
         "stream",
@@ -439,6 +500,14 @@ def main(argv=None) -> int:
     stream.add_argument(
         "--backend", choices=("auto", "scalar", "columnar"), default=None,
         help="trace data path (see 'run --backend')")
+    stream.add_argument(
+        "--sample-intervals", type=int, default=None, metavar="K",
+        help="profile only K representative outer intervals (two "
+             "streaming passes: fingerprint, then fit; K >= the "
+             "interval count is byte-identical to the full build)")
+    stream.add_argument(
+        "--sample-seed", type=int, default=None, metavar="SEED",
+        help="clustering seed for --sample-intervals (default 0)")
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain the cross-run result cache"
@@ -497,6 +566,19 @@ def main(argv=None) -> int:
         }
         set_stream_mode(args.stream, args.block_requests)
 
+    sample_env = None
+    if args.sample_intervals is not None:
+        # set_sampling records the choice in MOCKTAILS_SAMPLE_INTERVALS /
+        # MOCKTAILS_SAMPLE_SEED, so parallel workers inherit it and
+        # repro.store.memo folds it into every cache key; the prior
+        # values are restored on the way out.
+        import os
+
+        from ..sample import _K_ENV, _SEED_ENV, set_sampling
+
+        sample_env = {key: os.environ.get(key) for key in (_K_ENV, _SEED_ENV)}
+        set_sampling(args.sample_intervals, args.sample_seed)
+
     registry = None
     if args.metrics_out or args.trace_events:
         sink = obs.JsonlEventSink(args.trace_events) if args.trace_events else None
@@ -546,6 +628,14 @@ def main(argv=None) -> int:
             import os
 
             for key, value in stream_env.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+        if sample_env is not None:
+            import os
+
+            for key, value in sample_env.items():
                 if value is None:
                     os.environ.pop(key, None)
                 else:

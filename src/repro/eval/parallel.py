@@ -72,7 +72,19 @@ class SizeJob:
     num_requests: int = DEFAULT_REQUESTS
 
 
-Job = Union[DramJob, SpecJob, SizeJob]
+@dataclass(frozen=True)
+class SampleJob:
+    """One sampled-vs-full fidelity report (repro.sample estimator)."""
+
+    name: str
+    num_requests: int = DEFAULT_REQUESTS
+    seed: int = 0
+    interval: int = DEFAULT_INTERVAL
+    k: Optional[int] = None
+    sample_seed: int = 0
+
+
+Job = Union[DramJob, SpecJob, SizeJob, SampleJob]
 
 
 def execute_job(job: Job) -> Tuple[Job, object]:
@@ -89,6 +101,15 @@ def execute_job(job: Job) -> Tuple[Job, object]:
         payload = experiments.spec_synthetics(job.benchmark, job.num_requests, job.seed)
     elif isinstance(job, SizeJob):
         payload = experiments.spec_size_record(job.benchmark, job.num_requests)
+    elif isinstance(job, SampleJob):
+        payload = experiments.sampling_report_for(
+            job.name,
+            job.num_requests,
+            seed=job.seed,
+            interval=job.interval,
+            k=job.k,
+            sample_seed=job.sample_seed,
+        )
     else:
         raise TypeError(f"unknown job type: {job!r}")
     return job, payload
@@ -103,8 +124,14 @@ def _install(job: Job, payload: object) -> None:
         experiments._SPEC_SYNTH_CACHE[(job.benchmark, job.num_requests, job.seed)] = payload
     elif isinstance(job, SizeJob):
         experiments._SPEC_SIZE_CACHE[(job.benchmark, job.num_requests)] = payload
+    elif isinstance(job, SampleJob):
+        experiments._SAMPLING_CACHE[_sample_key(job)] = payload
     else:  # pragma: no cover - guarded in execute_job
         raise TypeError(f"unknown job type: {job!r}")
+
+
+def _sample_key(job: "SampleJob") -> Tuple:
+    return (job.name, job.num_requests, job.seed, job.interval, job.k, job.sample_seed)
 
 
 def default_processes() -> int:
@@ -269,6 +296,8 @@ def _is_cached(job: Job) -> bool:
         return (job.benchmark, job.num_requests, job.seed) in experiments._SPEC_SYNTH_CACHE
     if isinstance(job, SizeJob):
         return (job.benchmark, job.num_requests) in experiments._SPEC_SIZE_CACHE
+    if isinstance(job, SampleJob):
+        return _sample_key(job) in experiments._SAMPLING_CACHE
     return False
 
 
@@ -318,6 +347,27 @@ def _fig17_jobs(
     return [SizeJob(benchmark, num_requests) for benchmark in names]
 
 
+def _sampling_jobs(
+    num_requests: int,
+    workloads: Optional[Sequence[str]] = None,
+    k: Optional[int] = None,
+    sample_seed: Optional[int] = None,
+    **_: object,
+) -> List[Job]:
+    # Resolve the process-wide sampling configuration here so the jobs
+    # (and therefore the memo cache keys) carry explicit parameters.
+    from ..sample import configured_sample_intervals, configured_sample_seed
+
+    if k is None:
+        k = configured_sample_intervals()
+    if sample_seed is None:
+        sample_seed = configured_sample_seed()
+    names = TABLE_II_WORKLOADS if workloads is None else workloads
+    return [
+        SampleJob(name, num_requests, k=k, sample_seed=sample_seed) for name in names
+    ]
+
+
 JOB_BUILDERS: Dict[str, Callable[..., List[Job]]] = {
     "fig6": _device_sweep,
     "fig7": _device_sweep,
@@ -331,6 +381,7 @@ JOB_BUILDERS: Dict[str, Callable[..., List[Job]]] = {
     "fig15": _spec_sweep(tuple(FIG15_BENCHMARKS)),
     "fig16": _spec_sweep(tuple(FIG15_BENCHMARKS)),
     "fig17": _fig17_jobs,
+    "sampling": _sampling_jobs,
 }
 
 
@@ -361,4 +412,7 @@ def run_experiment(
     return runner(num_requests, **kwargs)
 
 
-_RUNNER_NAMES = {name: f"figure_{name[3:]}" for name in JOB_BUILDERS}
+_RUNNER_NAMES = {
+    name: f"figure_{name[3:]}" for name in JOB_BUILDERS if name.startswith("fig")
+}
+_RUNNER_NAMES["sampling"] = "sampling_fidelity"

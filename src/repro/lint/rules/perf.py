@@ -24,6 +24,8 @@ HOT_PATH_MODULES: Tuple[Tuple[str, ...], ...] = (
     ("dram", "address_map.py"),
     ("interconnect", "crossbar.py"),
     ("obs", "registry.py"),
+    ("sample", "fingerprint.py"),
+    ("sample", "cluster.py"),
 )
 
 _ENUM_BASES = {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"}

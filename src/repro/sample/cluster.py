@@ -1,0 +1,221 @@
+"""Deterministic, seeded k-means over interval fingerprints.
+
+SimPoint-style interval selection needs a clusterer whose output is a
+pure function of ``(vectors, k, seed)`` — bit-reproducible across runs,
+processes and backends. Three choices make that hold:
+
+* **seeded k-means++ init** from ``random.Random(seed)`` — no global
+  RNG, no hash ordering;
+* **assignment** by squared Euclidean distance accumulated dimension by
+  dimension in index order. The numpy fast path accumulates with the
+  same per-element operation order (``acc += diff*diff`` per dimension),
+  so it produces the same bits as the scalar loop; ties go to the
+  lowest-index centroid in both;
+* **centroid update** via :func:`math.fsum` per (cluster, dimension).
+  ``fsum`` is exactly rounded, so the mean is independent of summation
+  order — the one float reduction where scalar/vectorized order could
+  otherwise diverge.
+
+Empty clusters are re-seeded deterministically to the point farthest
+from its current centroid (ties to the lowest index).
+
+Inputs are expected normalized (see :func:`normalize`) so every feature
+contributes on the same scale.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from ..core.columnar import numpy_or_none
+
+__all__ = ["KMeansResult", "kmeans", "normalize", "squared_distance"]
+
+Vector = Tuple[float, ...]
+
+
+class KMeansResult:
+    """Assignments, centroids and inertia of one converged k-means run."""
+
+    __slots__ = ("assignments", "centroids", "inertia", "iterations")
+
+    def __init__(
+        self,
+        assignments: List[int],
+        centroids: List[Vector],
+        inertia: float,
+        iterations: int,
+    ):
+        self.assignments = assignments
+        self.centroids = centroids
+        self.inertia = inertia
+        self.iterations = iterations
+
+
+def normalize(vectors: Sequence[Sequence[float]]) -> List[Vector]:
+    """Min-max scale each dimension to [0, 1] (constant dimensions to 0)."""
+    if not vectors:
+        return []
+    dimensions = len(vectors[0])
+    lows = [min(vector[d] for vector in vectors) for d in range(dimensions)]
+    highs = [max(vector[d] for vector in vectors) for d in range(dimensions)]
+    spans = [high - low for low, high in zip(lows, highs)]
+    return [
+        tuple(
+            (vector[d] - lows[d]) / spans[d] if spans[d] > 0.0 else 0.0
+            for d in range(dimensions)
+        )
+        for vector in vectors
+    ]
+
+
+def squared_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Squared Euclidean distance, accumulated in dimension order."""
+    acc = 0.0
+    for x, y in zip(a, b):
+        diff = x - y
+        acc += diff * diff
+    return acc
+
+
+def _assign_scalar(vectors: Sequence[Vector], centroids: Sequence[Vector]) -> List[int]:
+    assignments = []
+    for vector in vectors:
+        best_index, best_distance = 0, squared_distance(vector, centroids[0])
+        for index in range(1, len(centroids)):
+            distance = squared_distance(vector, centroids[index])
+            if distance < best_distance:
+                best_index, best_distance = index, distance
+        assignments.append(best_index)
+    return assignments
+
+
+def _assign(vectors: Sequence[Vector], centroids: Sequence[Vector]) -> List[int]:
+    """Nearest-centroid assignment (ties to the lowest centroid index).
+
+    The numpy path computes, per centroid, ``acc += diff*diff`` one
+    dimension at a time — element-wise the identical float operation
+    sequence as :func:`squared_distance` — and ``argmin`` returns the
+    first minimal index, so both paths yield the same assignments for
+    the same bits.
+    """
+    np = numpy_or_none()
+    if np is None or len(vectors) < 2:
+        return _assign_scalar(vectors, centroids)
+    columns = [np.array([v[d] for v in vectors]) for d in range(len(vectors[0]))]
+    distances = np.empty((len(centroids), len(vectors)))
+    for index, centroid in enumerate(centroids):
+        acc = np.zeros(len(vectors))
+        for d, column in enumerate(columns):
+            diff = column - centroid[d]
+            acc += diff * diff
+        distances[index] = acc
+    return [int(a) for a in np.argmin(distances, axis=0).tolist()]
+
+
+def _update(
+    vectors: Sequence[Vector], assignments: Sequence[int], k: int
+) -> List[Vector]:
+    """Per-cluster mean via fsum (exactly rounded, order-independent)."""
+    dimensions = len(vectors[0])
+    members: List[List[int]] = [[] for _ in range(k)]
+    for index, cluster in enumerate(assignments):
+        members[cluster].append(index)
+    centroids = []
+    for cluster in range(k):
+        rows = members[cluster]
+        centroids.append(
+            tuple(
+                math.fsum(vectors[row][d] for row in rows) / len(rows)
+                for d in range(dimensions)
+            )
+        )
+    return centroids
+
+
+def _reseed_empty(
+    vectors: Sequence[Vector],
+    centroids: Sequence[Vector],
+    assignments: List[int],
+    k: int,
+) -> None:
+    """Move the farthest-from-centroid point into each empty cluster."""
+    for cluster in range(k):
+        if cluster in assignments:
+            continue
+        farthest_index, farthest_distance = -1, -1.0
+        for index, vector in enumerate(vectors):
+            if assignments.count(assignments[index]) <= 1:
+                continue  # do not empty another singleton cluster
+            distance = squared_distance(vector, centroids[assignments[index]])
+            if distance > farthest_distance:
+                farthest_index, farthest_distance = index, distance
+        if farthest_index >= 0:
+            assignments[farthest_index] = cluster
+
+
+def _init_plus_plus(
+    vectors: Sequence[Vector], k: int, rng: random.Random
+) -> List[Vector]:
+    """Seeded k-means++ initialization (deterministic for a fixed seed)."""
+    centroids = [vectors[rng.randrange(len(vectors))]]
+    while len(centroids) < k:
+        distances = [
+            min(squared_distance(vector, centroid) for centroid in centroids)
+            for vector in vectors
+        ]
+        total = math.fsum(distances)
+        if total <= 0.0:
+            # Every point coincides with a centroid: any pick is as good.
+            pick = len(centroids) % len(vectors)
+        else:
+            target = rng.random() * total
+            cumulative = 0.0
+            pick = len(vectors) - 1
+            for index, distance in enumerate(distances):
+                cumulative += distance
+                if cumulative >= target:
+                    pick = index
+                    break
+        centroids.append(vectors[pick])
+    return centroids
+
+
+def kmeans(
+    vectors: Sequence[Sequence[float]],
+    k: int,
+    seed: int = 0,
+    max_iterations: int = 64,
+) -> KMeansResult:
+    """Cluster ``vectors`` into ``k`` groups, bit-reproducibly.
+
+    ``k`` is clamped to the number of vectors. The run converges when an
+    iteration leaves the assignments unchanged (guaranteed within
+    ``max_iterations`` for these scales; the loop is bounded anyway).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if not vectors:
+        return KMeansResult([], [], 0.0, 0)
+    vectors = [tuple(vector) for vector in vectors]
+    k = min(k, len(vectors))
+    rng = random.Random(seed)
+    centroids = _init_plus_plus(vectors, k, rng)
+
+    assignments: List[int] = []
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_assignments = _assign(vectors, centroids)
+        _reseed_empty(vectors, centroids, new_assignments, k)
+        if new_assignments == assignments:
+            break
+        assignments = new_assignments
+        centroids = _update(vectors, assignments, k)
+
+    inertia = math.fsum(
+        squared_distance(vector, centroids[cluster])
+        for vector, cluster in zip(vectors, assignments)
+    )
+    return KMeansResult(assignments, centroids, inertia, iterations)

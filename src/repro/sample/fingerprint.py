@@ -1,0 +1,450 @@
+"""Per-interval fingerprints over the outer temporal partition.
+
+The sampling pipeline (see :mod:`repro.sample`) fingerprints every outer
+temporal interval of a trace with the same features the workload
+characterization layer computes (:mod:`repro.workloads.characterize`:
+stride mix, burstiness, footprint, read fraction, ...), then clusters
+the fingerprint vectors and simulates only representative intervals.
+
+Interval semantics exactly mirror :mod:`repro.core.partition` — the
+profiler's temporal splits are the sampling units, so a representative
+interval's leaf models are literally a subset of the full profile's
+leaves:
+
+* ``request_count``: consecutive chunks of at most N requests;
+* ``cycle_count``: bins of N cycles aligned to the first timestamp,
+  empty bins skipped.
+
+Two equivalent drivers produce the intervals: :func:`interval_slices`
+for an in-memory trace, and :func:`iter_stream_intervals` for a stream
+of fixed-size blocks (e.g. from :func:`repro.stream.iter_blocks`) —
+the out-of-core path holds at most one open interval in memory and
+yields bit-identical intervals in the same order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from ..core.columnar import ColumnarTrace, as_columnar, numpy_or_none
+from ..core.hierarchy import TemporalLayer
+from ..core.trace import Trace
+from ..workloads.characterize import (
+    WorkloadCharacter,
+    _burstiness,
+    _stride_stats,
+    characterize,
+)
+
+__all__ = [
+    "FEATURE_NAMES",
+    "IntervalFingerprint",
+    "feature_vector",
+    "fingerprint_intervals",
+    "fingerprint_trace",
+    "interval_slices",
+    "iter_stream_intervals",
+]
+
+_INT64_MAX = 2**63 - 1
+_UINT64_MAX = 2**64 - 1
+
+#: The fingerprint dimensions, in vector order. Count-like features are
+#: log-compressed so clustering distances are scale-balanced; fractions
+#: and entropy are used as-is (all already O(1)).
+FEATURE_NAMES: Tuple[str, ...] = (
+    "log2_requests",
+    "read_fraction",
+    "log2_footprint_bytes",
+    "log2_mean_request_bytes",
+    "log2_burstiness",
+    "stride_entropy_bits",
+    "dominant_stride_fraction",
+    "log2_region_count",
+)
+
+
+def feature_vector(character: WorkloadCharacter) -> Tuple[float, ...]:
+    """The clustering vector of one interval's characterization."""
+    mean_bytes = (
+        character.total_bytes / character.requests if character.requests else 0.0
+    )
+    return (
+        math.log2(character.requests + 1),
+        character.read_fraction,
+        math.log2(character.footprint_bytes + 1),
+        math.log2(mean_bytes + 1.0),
+        math.log2(character.burstiness + 1.0),
+        character.stride_entropy_bits,
+        character.dominant_stride_fraction,
+        math.log2(character.region_count_4k + 1),
+    )
+
+
+class IntervalFingerprint:
+    """One outer temporal interval's identity and feature vector."""
+
+    __slots__ = ("index", "requests", "start_time", "character", "vector")
+
+    def __init__(
+        self,
+        index: int,
+        interval: ColumnarTrace,
+        character: WorkloadCharacter = None,
+    ):
+        self.index = index
+        self.requests = len(interval)
+        self.start_time = int(interval.timestamps[0])
+        self.character = character if character is not None else characterize(interval)
+        self.vector = feature_vector(self.character)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IntervalFingerprint(index={self.index}, requests={self.requests}, "
+            f"start_time={self.start_time})"
+        )
+
+
+def _interval_starts(columns: ColumnarTrace, layer: TemporalLayer) -> List[int]:
+    """Row offsets where a new outer interval begins (always includes 0)."""
+    count = len(columns)
+    if layer.kind == "request_count":
+        return list(range(0, count, layer.size))
+    if not columns.is_sorted():
+        raise ValueError("requests must be sorted by timestamp")
+    timestamps = columns.timestamps
+    origin = int(timestamps[0])
+    size = layer.size
+    np = numpy_or_none()
+    if np is not None and isinstance(timestamps, np.ndarray):
+        bins = (timestamps - np.uint64(origin)) // np.uint64(size)
+        cuts = np.flatnonzero(bins[1:] != bins[:-1]) + 1
+        return [0] + [int(cut) for cut in cuts.tolist()]
+    starts = [0]
+    previous_bin = 0
+    for position in range(1, count):
+        bin_index = (int(timestamps[position]) - origin) // size
+        if bin_index != previous_bin:
+            starts.append(position)
+            previous_bin = bin_index
+    return starts
+
+
+def interval_slices(
+    trace: Union[Trace, ColumnarTrace], layer: TemporalLayer
+) -> List[ColumnarTrace]:
+    """The outer temporal intervals of a trace, as column slices.
+
+    Matches :func:`repro.core.partition.partition_by_request_count` /
+    :func:`~repro.core.partition.partition_by_cycle_count` request for
+    request (empty cycle bins are skipped), which is what makes the
+    sampled profile's leaves a subset of the full profile's leaves.
+    """
+    columns = as_columnar(trace)
+    if not len(columns):
+        return []
+    starts = _interval_starts(columns, layer)
+    bounds = starts + [len(columns)]
+    return [columns[begin:end] for begin, end in zip(bounds, bounds[1:])]
+
+
+def fingerprint_intervals(
+    intervals: Iterable[ColumnarTrace],
+) -> List[IntervalFingerprint]:
+    """Fingerprint a sequence of intervals in order."""
+    return [
+        IntervalFingerprint(index, interval)
+        for index, interval in enumerate(intervals)
+    ]
+
+
+def fingerprint_trace(
+    trace: Union[Trace, ColumnarTrace], layer: TemporalLayer
+) -> Tuple[List[ColumnarTrace], List[IntervalFingerprint]]:
+    """Slice and fingerprint a whole trace in batched column passes.
+
+    Equivalent to ``(interval_slices(trace, layer),
+    fingerprint_intervals(...))`` — same intervals, bit-identical
+    fingerprints — but the numpy fast path characterizes *all* intervals
+    in a handful of whole-column segment reductions instead of one
+    numpy round-trip per interval, which is what keeps the sampled
+    profile build comfortably ahead of the full one even on many small
+    intervals. Falls back to the per-interval path without numpy or when
+    the exact-integer overflow guards trip.
+    """
+    columns = as_columnar(trace)
+    if not len(columns):
+        return [], []
+    starts = _interval_starts(columns, layer)
+    bounds = starts + [len(columns)]
+    slices = [columns[begin:end] for begin, end in zip(bounds, bounds[1:])]
+    np = numpy_or_none()
+    if np is not None and isinstance(columns.timestamps, np.ndarray):
+        characters = _characters_batched(np, columns, starts)
+        if characters is not None:
+            fingerprints = [
+                IntervalFingerprint(index, interval, character)
+                for index, (interval, character) in enumerate(
+                    zip(slices, characters)
+                )
+            ]
+            return slices, fingerprints
+    return slices, fingerprint_intervals(slices)
+
+
+def _sorted_by_segment(np, seg, values, segment_count: int):
+    """``(seg, values)`` sorted by segment then value.
+
+    When the value range and segment count pack into one int64 key
+    (``key = seg << bits | (value - min)``) a single-key sort replaces
+    the two-key lexsort — same ordering, roughly half the cost on the
+    trace sizes the sampler sees. Falls back to ``np.lexsort`` for wide
+    values.
+    """
+    if len(values):
+        low = int(values.min())
+        span = int(values.max()) - low
+        bits = max(span.bit_length(), 1)
+        if segment_count << bits <= _INT64_MAX:
+            shifted = values.astype(np.int64) - np.int64(low)
+            keys = (seg << np.int64(bits)) | shifted
+            keys.sort()
+            mask = np.int64((1 << bits) - 1)
+            return keys >> np.int64(bits), (keys & mask) + np.int64(low)
+    order = np.lexsort((values, seg))
+    return seg[order], values[order]
+
+
+def _segment_runs(np, seg, values, segment_count: int):
+    """Run starts of sorted ``(seg, value)`` pairs.
+
+    Returns ``(run_seg, run_value, run_count)`` with runs ordered by
+    segment then ascending value — the canonical order every
+    characterize path iterates unique values in.
+    """
+    seg_sorted, values_sorted = _sorted_by_segment(np, seg, values, segment_count)
+    new_run = np.ones(len(seg), dtype=bool)
+    if len(seg) > 1:
+        new_run[1:] = (seg_sorted[1:] != seg_sorted[:-1]) | (
+            values_sorted[1:] != values_sorted[:-1]
+        )
+    run_starts = np.flatnonzero(new_run)
+    run_bounds = np.concatenate([run_starts, [len(seg)]])
+    run_counts = run_bounds[1:] - run_bounds[:-1]
+    return seg_sorted[run_starts], values_sorted[run_starts], run_counts
+
+
+def _segment_pair_lists(np, seg, values, segment_count: int):
+    """Per-segment ``[(value, count), ...]`` lists, values ascending."""
+    pairs: List[List[Tuple[int, int]]] = [[] for _ in range(segment_count)]
+    if len(seg):
+        run_seg, run_value, run_count = _segment_runs(np, seg, values, segment_count)
+        for segment, value, count in zip(
+            run_seg.tolist(), run_value.tolist(), run_count.tolist()
+        ):
+            pairs[segment].append((value, count))
+    return pairs
+
+
+def _footprint_counts_per_segment(np, seg, addresses, segment_count: int):
+    """Per-segment distinct 64B-block and 4KB-region counts, one sort.
+
+    Sorting ``(seg, block)`` also sorts ``(seg, region)`` because
+    ``region == block // 64`` is monotone in ``block`` — both unique
+    counts come from the same ordering.
+    """
+    blocks = addresses // 64
+    seg_sorted, blocks_sorted = _sorted_by_segment(np, seg, blocks, segment_count)
+    regions_sorted = blocks_sorted // 64
+    seg_changed = np.ones(len(seg), dtype=bool)
+    if len(seg) > 1:
+        seg_changed[1:] = seg_sorted[1:] != seg_sorted[:-1]
+    block_run = seg_changed.copy()
+    region_run = seg_changed
+    if len(seg) > 1:
+        block_run[1:] |= blocks_sorted[1:] != blocks_sorted[:-1]
+        region_run[1:] |= regions_sorted[1:] != regions_sorted[:-1]
+    block_counts = np.bincount(seg_sorted[block_run], minlength=segment_count)
+    region_counts = np.bincount(seg_sorted[region_run], minlength=segment_count)
+    return block_counts, region_counts
+
+
+def _diff_segment_sums(np, diffs, lengths):
+    """Exact per-segment (count, Σd, Σd²) over within-segment diffs.
+
+    ``diffs`` must already exclude cross-segment positions; segment i
+    owns ``lengths[i] - 1`` of them, in order. Cumulative sums stay
+    exact because the caller guarantees the int64 magnitude guards.
+    """
+    counts = lengths - 1
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+    cumulative = np.concatenate([[0], np.cumsum(diffs)])
+    cumulative_sq = np.concatenate([[0], np.cumsum(diffs * diffs)])
+    sums = cumulative[offsets[1:]] - cumulative[offsets[:-1]]
+    sq_sums = cumulative_sq[offsets[1:]] - cumulative_sq[offsets[:-1]]
+    return counts.tolist(), sums.tolist(), sq_sums.tolist()
+
+
+def _characters_batched(np, columns: ColumnarTrace, starts: List[int]):
+    """Per-interval :class:`WorkloadCharacter` in whole-column passes.
+
+    Bit-identical to running :func:`repro.workloads.characterize.characterize`
+    on every interval slice: all float statistics derive from the same
+    exact integer sufficient statistics (segment sums via int64/uint64
+    reductions under conservative overflow guards) fed through the very
+    same float helpers (``_burstiness``, ``_stride_stats``) in the same
+    canonical orders. Returns ``None`` when a guard trips — callers fall
+    back to the per-interval path, which handles arbitrary magnitudes.
+    """
+    timestamps = columns.timestamps
+    addresses = columns.addresses
+    sizes = columns.sizes
+    ops = columns.ops
+    total = len(columns)
+    if int(timestamps.max()) > _INT64_MAX or int(addresses.max()) > _INT64_MAX:
+        return None
+    if total * int(sizes.max()) > _UINT64_MAX:
+        return None
+
+    segment_count = len(starts)
+    bounds = np.array(starts + [total], dtype=np.int64)
+    lengths = bounds[1:] - bounds[:-1]
+    seg = np.repeat(np.arange(segment_count, dtype=np.int64), lengths)
+
+    time_diffs = np.diff(timestamps.astype(np.int64))
+    addr_diffs = np.diff(addresses.astype(np.int64))
+    if len(time_diffs):
+        max_gap = int(np.abs(time_diffs).max())
+        if (
+            max_gap * max_gap > _INT64_MAX
+            or total * max_gap > _INT64_MAX
+            or total * max_gap * max_gap > _INT64_MAX
+        ):
+            return None
+
+    # Diff positions j relate rows j and j+1: within-segment iff both
+    # rows share a segment.
+    within = seg[1:] == seg[:-1] if total > 1 else np.zeros(0, dtype=bool)
+    diff_seg = seg[1:][within] if total > 1 else seg[:0]
+
+    gap_counts, gap_sums, gap_sq_sums = _diff_segment_sums(
+        np, time_diffs[within], lengths
+    )
+    stride_pairs = _segment_pair_lists(
+        np, diff_seg, addr_diffs[within], segment_count
+    )
+    size_pairs = _segment_pair_lists(np, seg, sizes.astype(np.int64), segment_count)
+
+    op_sums = np.add.reduceat(ops.astype(np.int64), bounds[:-1]).tolist()
+    byte_sums = np.add.reduceat(sizes.astype(np.uint64), bounds[:-1]).tolist()
+    time_max = np.maximum.reduceat(timestamps, bounds[:-1]).tolist()
+    time_min = np.minimum.reduceat(timestamps, bounds[:-1]).tolist()
+    block_counts, region_counts = _footprint_counts_per_segment(
+        np, seg, addresses, segment_count
+    )
+    block_counts = block_counts.tolist()
+    region_counts = region_counts.tolist()
+
+    characters = []
+    for index in range(segment_count):
+        requests = int(lengths[index])
+        entropy, dominant_stride, dominant_fraction = _stride_stats(
+            stride_pairs[index], requests - 1
+        )
+        characters.append(
+            WorkloadCharacter(
+                requests=requests,
+                read_fraction=(requests - op_sums[index]) / requests,
+                total_bytes=byte_sums[index],
+                duration_cycles=time_max[index] - time_min[index],
+                footprint_bytes=block_counts[index] * 64,
+                size_histogram=dict(size_pairs[index]),
+                burstiness=_burstiness(
+                    gap_counts[index], gap_sums[index], gap_sq_sums[index]
+                ),
+                stride_entropy_bits=entropy,
+                dominant_stride=dominant_stride,
+                dominant_stride_fraction=dominant_fraction,
+                region_count_4k=region_counts[index],
+            )
+        )
+    return characters
+
+
+def iter_stream_intervals(
+    blocks: Iterable[ColumnarTrace], layer: TemporalLayer
+) -> Iterator[Tuple[int, ColumnarTrace]]:
+    """Yield ``(index, interval)`` from a stream of column blocks.
+
+    The out-of-core twin of :func:`interval_slices`: blocks (any sizes,
+    e.g. from :func:`repro.stream.iter_blocks`) are segmented against
+    the same interval grid, buffering only the currently-open interval —
+    peak memory is O(interval), never O(trace). Yielded intervals are
+    bit-identical to the in-memory slices, in the same order.
+    """
+    open_parts: List[ColumnarTrace] = []
+    open_bin = -1
+    index = 0
+    origin = None
+    consumed = 0
+    last_timestamp = -1
+    for block in blocks:
+        if not len(block):
+            continue
+        if layer.kind == "cycle_count":
+            first = int(block.timestamps[0])
+            if first < last_timestamp or not block.is_sorted():
+                raise ValueError("requests must be sorted by timestamp")
+            last_timestamp = int(block.timestamps[len(block) - 1])
+            if origin is None:
+                origin = first
+        for begin, end, bin_index in _block_runs(block, layer, origin, consumed):
+            if bin_index != open_bin and open_parts:
+                yield index, ColumnarTrace.concat(open_parts)
+                index += 1
+                open_parts = []
+            open_bin = bin_index
+            open_parts.append(block[begin:end])
+        consumed += len(block)
+    if open_parts:
+        yield index, ColumnarTrace.concat(open_parts)
+
+
+def _block_runs(
+    block: ColumnarTrace, layer: TemporalLayer, origin, offset: int
+) -> List[Tuple[int, int, int]]:
+    """(begin, end, bin_index) runs of one block against the grid."""
+    count = len(block)
+    if layer.kind == "request_count":
+        size = layer.size
+        runs = []
+        position = 0
+        while position < count:
+            bin_index = (offset + position) // size
+            take = min(count - position, (bin_index + 1) * size - (offset + position))
+            runs.append((position, position + take, bin_index))
+            position += take
+        return runs
+    size = layer.size
+    timestamps = block.timestamps
+    np = numpy_or_none()
+    if np is not None and isinstance(timestamps, np.ndarray):
+        bins = (timestamps - np.uint64(origin)) // np.uint64(size)
+        cuts = np.flatnonzero(bins[1:] != bins[:-1]) + 1
+        starts = [0] + [int(cut) for cut in cuts.tolist()]
+        bounds = starts + [count]
+        return [
+            (begin, end, int(bins[begin]))
+            for begin, end in zip(bounds, bounds[1:])
+        ]
+    runs = []
+    begin = 0
+    current = (int(timestamps[0]) - origin) // size
+    for position in range(1, count):
+        bin_index = (int(timestamps[position]) - origin) // size
+        if bin_index != current:
+            runs.append((begin, position, current))
+            begin, current = position, bin_index
+    runs.append((begin, count, current))
+    return runs

@@ -99,6 +99,19 @@ def _active_backend() -> str:
     return active_backend()
 
 
+def _active_sampling() -> str:
+    """The live sampling configuration (``"off"`` or ``k=K:seed=S``).
+
+    Like :func:`_active_backend` this is read per key, not cached:
+    ``MOCKTAILS_SAMPLE_INTERVALS`` can change mid-process (CLI flags
+    set and restore it around a run), and a sampled estimate must never
+    alias the full pipeline's payload in the store.
+    """
+    from ..sample import sampling_fingerprint
+
+    return sampling_fingerprint()
+
+
 def cache_key(job: Any) -> str:
     """Stable hex cache key for one job dataclass."""
     if not dataclasses.is_dataclass(job):
@@ -107,6 +120,7 @@ def cache_key(job: Any) -> str:
         {
             "env": _environment_fingerprint(),
             "backend": _active_backend(),
+            "sampling": _active_sampling(),
             "kind": type(job).__name__,
             "fields": dataclasses.asdict(job),
         },

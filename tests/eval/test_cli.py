@@ -25,7 +25,7 @@ class TestEvalCLI:
     def test_experiment_registry_complete(self):
         # Every paper exhibit plus the extension studies.
         expected = {f"fig{i}" for i in list(range(2, 4)) + list(range(6, 18))}
-        expected |= {"table1", "ext-chargecache", "ext-soc"}
+        expected |= {"table1", "ext-chargecache", "ext-soc", "sampling"}
         assert set(EXPERIMENTS) == expected
 
     def test_run_cheap_experiment(self, capsys):

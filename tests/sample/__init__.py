@@ -1,0 +1,1 @@
+"""Tests for the statistical sampling subsystem (:mod:`repro.sample`)."""

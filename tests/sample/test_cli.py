@@ -1,0 +1,83 @@
+"""CLI surface of statistical sampling: ``quick sampling`` and ``stream``."""
+
+import json
+
+from repro.eval import experiments
+from repro.eval.__main__ import main
+from repro.workloads.registry import workload_trace
+
+
+def _clear_sampling_cache():
+    experiments._SAMPLING_CACHE.clear()
+
+
+class TestSamplingExperiment:
+    def test_quick_sampling_table(self, capsys):
+        _clear_sampling_cache()
+        assert main([
+            "quick", "sampling", "--requests", "1500",
+            "--sample-intervals", "2", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "=== sampling" in out
+        assert "geomean err" in out
+        assert "hevc1" in out
+
+    def test_json_out_rows_within_bound(self, tmp_path, capsys):
+        _clear_sampling_cache()
+        out_path = tmp_path / "sampling.json"
+        assert main([
+            "run", "sampling", "--requests", "1500",
+            "--sample-intervals", "2", "--no-cache",
+            "--json-out", str(out_path),
+        ]) == 0
+        data = json.loads(out_path.read_text())
+        rows = data["sampling"]
+        assert rows  # one entry per Table II workload
+        for name, row in rows.items():
+            assert row["within_bound"], f"{name} exceeded its bound"
+            assert row["k"] <= 2
+
+    def test_sampling_env_restored_after_run(self, capsys, monkeypatch):
+        import os
+
+        _clear_sampling_cache()
+        monkeypatch.delenv("MOCKTAILS_SAMPLE_INTERVALS", raising=False)
+        assert main([
+            "quick", "sampling", "--requests", "1500",
+            "--sample-intervals", "2", "--no-cache",
+        ]) == 0
+        capsys.readouterr()
+        assert "MOCKTAILS_SAMPLE_INTERVALS" not in os.environ
+
+    def test_exact_rows_marked(self, capsys):
+        # K larger than any interval count: every row is exact.
+        _clear_sampling_cache()
+        assert main([
+            "quick", "sampling", "--requests", "1500",
+            "--sample-intervals", "999", "--no-cache",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exact" in out
+
+
+class TestStreamSampling:
+    def test_stream_with_sampling(self, tmp_path, capsys):
+        path = tmp_path / "t.mtr"
+        workload_trace("hevc1", 3_000).save_binary(path)
+        assert main([
+            "stream", str(path), "--sample-intervals", "2",
+            "--block-requests", "512",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "sampled 2 of" in out
+        assert "error bound" in out
+
+    def test_stream_exact_when_k_covers(self, tmp_path, capsys):
+        path = tmp_path / "t.mtr"
+        workload_trace("hevc1", 3_000).save_binary(path)
+        assert main([
+            "stream", str(path), "--sample-intervals", "9999",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "exact (K covers every interval)" in out

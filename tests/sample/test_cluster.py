@@ -1,0 +1,102 @@
+"""Tests for the deterministic seeded k-means (:mod:`repro.sample.cluster`)."""
+
+import random
+
+import pytest
+
+from repro.sample.cluster import (
+    _assign,
+    _assign_scalar,
+    kmeans,
+    normalize,
+    squared_distance,
+)
+
+
+def _vectors(n, dims=4, seed=7):
+    rng = random.Random(seed)
+    return [tuple(rng.uniform(0.0, 10.0) for _ in range(dims)) for _ in range(n)]
+
+
+class TestNormalize:
+    def test_min_max_scaling(self):
+        scaled = normalize([(0.0, 10.0), (5.0, 20.0), (10.0, 30.0)])
+        assert scaled == [(0.0, 0.0), (0.5, 0.5), (1.0, 1.0)]
+
+    def test_constant_dimension_maps_to_zero(self):
+        scaled = normalize([(3.0, 1.0), (3.0, 2.0)])
+        assert [v[0] for v in scaled] == [0.0, 0.0]
+
+    def test_empty(self):
+        assert normalize([]) == []
+
+
+class TestKMeans:
+    def test_deterministic_across_runs(self):
+        vectors = normalize(_vectors(40))
+        first = kmeans(vectors, 5, seed=3)
+        second = kmeans(vectors, 5, seed=3)
+        assert first.assignments == second.assignments
+        assert first.centroids == second.centroids  # bitwise float equality
+        assert first.inertia == second.inertia
+
+    def test_seed_changes_init(self):
+        vectors = normalize(_vectors(60))
+        runs = {kmeans(vectors, 6, seed=s).inertia for s in range(8)}
+        # Different seeds may converge to different local optima; at
+        # minimum nothing crashes and inertia stays non-negative.
+        assert all(inertia >= 0.0 for inertia in runs)
+
+    def test_k_clamped_to_vector_count(self):
+        vectors = normalize(_vectors(3))
+        result = kmeans(vectors, 10, seed=0)
+        assert len(result.centroids) == 3
+        assert sorted(set(result.assignments)) == [0, 1, 2]
+
+    def test_identical_vectors(self):
+        vectors = [(0.5, 0.5)] * 8
+        result = kmeans(vectors, 3, seed=1)
+        assert result.inertia == 0.0
+        assert len(result.assignments) == 8
+
+    def test_single_vector(self):
+        result = kmeans([(1.0, 2.0)], 1, seed=0)
+        assert list(result.assignments) == [0]
+        assert list(result.centroids) == [(1.0, 2.0)]
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            kmeans([(0.0,)], 0, seed=0)
+
+    def test_tight_clusters_recovered(self):
+        # Two well-separated blobs must land in distinct clusters.
+        blob_a = [(0.0 + i * 0.01, 0.0) for i in range(10)]
+        blob_b = [(1.0 + i * 0.01, 1.0) for i in range(10)]
+        result = kmeans(blob_a + blob_b, 2, seed=0)
+        labels_a = set(result.assignments[:10])
+        labels_b = set(result.assignments[10:])
+        assert len(labels_a) == len(labels_b) == 1
+        assert labels_a != labels_b
+
+
+class TestAssign:
+    def test_numpy_matches_scalar(self):
+        vectors = normalize(_vectors(50, dims=8))
+        centroids = [vectors[3], vectors[17], vectors[41]]
+        assert _assign(vectors, centroids) == _assign_scalar(vectors, centroids)
+
+    def test_tie_goes_to_first_centroid(self):
+        # Equidistant point: scalar strict-< keeps the first centroid,
+        # and the numpy argmin path must agree.
+        vectors = [(0.5, 0.5)]
+        centroids = [(0.0, 0.0), (1.0, 1.0)]
+        assert _assign(vectors, centroids) == [0]
+        assert _assign_scalar(vectors, centroids) == [0]
+
+
+class TestSquaredDistance:
+    def test_basic(self):
+        assert squared_distance((0.0, 0.0), (3.0, 4.0)) == 25.0
+
+    def test_zero(self):
+        assert squared_distance((1.5, 2.5), (1.5, 2.5)) == 0.0

@@ -1,0 +1,143 @@
+"""End-to-end sampling fidelity: predicted-vs-full error honours the bound."""
+
+import pytest
+
+from repro.core.columnar import as_columnar
+from repro.core.hierarchy import two_level_rs, two_level_ts
+from repro.core.profiler import build_profile
+from repro.core.serialization import profile_to_dict
+from repro.core.trace import Trace
+from repro.eval import experiments
+from repro.eval.parallel import SampleJob, prewarm
+from repro.sample import (
+    build_sampled_profile,
+    sampled_profile_from_file,
+    sampling_comparison,
+)
+from repro.workloads.registry import available_workloads, workload_trace
+
+from ..conftest import req
+
+REQUESTS = 1_500
+INTERVAL = 50_000
+CONFIG = two_level_ts(cycles_per_interval=INTERVAL)
+
+
+def _clear_sampling_cache():
+    experiments._SAMPLING_CACHE.clear()
+
+
+class TestWithinBound:
+    @pytest.mark.parametrize("name", available_workloads())
+    def test_every_generator_within_bound(self, name):
+        # The headline acceptance criterion: for every workload
+        # generator the sampled estimate's Fig. 6/13/14 geomean error
+        # stays inside the plan's declared error bound.
+        trace = workload_trace(name, REQUESTS)
+        report = sampling_comparison(trace, CONFIG, k=2, seed=0, name=name)
+        assert report.within_bound, (
+            f"{name}: geomean error {report.geomean_error_percent:.2f}% "
+            f"exceeds bound {report.error_bound_percent:.2f}%"
+        )
+
+    def test_request_space_hierarchy(self):
+        # SPEC-style models are usually profiled with 2L-RS; the
+        # sampler must work with a request_count outer layer too.
+        trace = workload_trace("mcf", REQUESTS)
+        config = two_level_rs(requests_per_interval=200)
+        report = sampling_comparison(trace, config, k=2, seed=0, name="mcf")
+        assert not report.plan.exact
+        assert report.within_bound
+
+
+class TestExactContract:
+    def test_k_at_least_interval_count_byte_identical(self):
+        trace = workload_trace("hevc1", REQUESTS)
+        columns = as_columnar(trace)
+        full = build_profile(columns, CONFIG, name="hevc1")
+        sampled, plan = build_sampled_profile(
+            trace, CONFIG, k=10_000, name="hevc1"
+        )
+        assert plan.exact
+        assert profile_to_dict(sampled) == profile_to_dict(full)
+
+    def test_exact_report_has_zero_error(self):
+        trace = workload_trace("hevc1", REQUESTS)
+        report = sampling_comparison(trace, CONFIG, k=10_000, name="hevc1")
+        assert report.plan.exact
+        assert report.within_bound
+        for metric in report.metrics.values():
+            assert metric["predicted"] == metric["full"]
+
+    def test_single_interval_trace_is_exact(self):
+        # mcf's model emits a tight request burst: one cycle interval.
+        trace = Trace([req(i, 64 * (i % 32)) for i in range(200)])
+        report = sampling_comparison(trace, CONFIG, k=1, name="single")
+        assert report.plan.interval_count == 1
+        assert report.plan.exact
+
+    def test_constant_address_trace(self):
+        # Degenerate fingerprints (all-identical vectors) must not
+        # break clustering or weighting.
+        trace = Trace([req(i * INTERVAL // 4, 0x1000) for i in range(64)])
+        report = sampling_comparison(trace, CONFIG, k=2, name="constant")
+        assert report.plan.k >= 1
+        assert report.within_bound
+
+
+class TestDeterminism:
+    def test_two_runs_bit_identical(self):
+        trace = workload_trace("trex1", REQUESTS)
+        first = sampling_comparison(trace, CONFIG, k=2, seed=0, name="trex1")
+        second = sampling_comparison(trace, CONFIG, k=2, seed=0, name="trex1")
+        assert first.to_dict() == second.to_dict()
+
+    def test_sampled_profile_two_runs_identical(self):
+        trace = workload_trace("hevc2", REQUESTS)
+        first, plan_a = build_sampled_profile(trace, CONFIG, k=2, seed=0)
+        second, plan_b = build_sampled_profile(trace, CONFIG, k=2, seed=0)
+        assert plan_a == plan_b
+        assert profile_to_dict(first) == profile_to_dict(second)
+
+    def test_streaming_matches_in_memory(self, tmp_path):
+        trace = workload_trace("hevc1", REQUESTS)
+        path = tmp_path / "trace.mtr"
+        trace.save_binary(path)
+
+        in_memory, plan_mem = build_sampled_profile(trace, CONFIG, k=3, seed=0)
+        for block_requests in (128, 333, 10_000):
+            streamed, plan_stream = sampled_profile_from_file(
+                path, CONFIG, k=3, seed=0, block_requests=block_requests
+            )
+            assert plan_stream == plan_mem
+            assert profile_to_dict(streamed) == profile_to_dict(in_memory)
+
+
+class TestRunnerAndParallel:
+    def test_report_for_is_cached(self):
+        _clear_sampling_cache()
+        first = experiments.sampling_report_for("hevc1", REQUESTS, k=2)
+        second = experiments.sampling_report_for("hevc1", REQUESTS, k=2)
+        assert first is second  # cache hit returns the same payload
+
+    def test_prewarm_matches_serial(self):
+        _clear_sampling_cache()
+        serial = experiments.sampling_report_for("hevc1", REQUESTS, k=2)
+
+        _clear_sampling_cache()
+        executed = prewarm(
+            [SampleJob("hevc1", REQUESTS, k=2)], processes=2
+        )
+        assert executed == 1
+        warmed = experiments.sampling_report_for("hevc1", REQUESTS, k=2)
+        assert warmed == serial
+
+    def test_sampling_fidelity_runner(self):
+        _clear_sampling_cache()
+        results = experiments.sampling_fidelity(
+            REQUESTS, workloads=["hevc1", "mcf"], k=2
+        )
+        assert set(results) == {"hevc1", "mcf"}
+        for name, row in results.items():
+            assert row["name"] == name
+            assert row["within_bound"]

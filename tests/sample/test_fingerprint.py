@@ -1,0 +1,141 @@
+"""Tests for interval slicing and fingerprinting (:mod:`repro.sample.fingerprint`)."""
+
+import pytest
+
+from repro.core.columnar import as_columnar
+from repro.core.hierarchy import TemporalLayer
+from repro.core.partition import (
+    partition_by_cycle_count,
+    partition_by_request_count,
+)
+from repro.core.trace import Trace
+from repro.sample.fingerprint import (
+    FEATURE_NAMES,
+    IntervalFingerprint,
+    feature_vector,
+    fingerprint_intervals,
+    fingerprint_trace,
+    interval_slices,
+    iter_stream_intervals,
+)
+from repro.workloads.characterize import characterize
+from repro.workloads.registry import workload_trace
+
+from ..conftest import req
+
+
+def _as_requests(interval):
+    # ColumnarTrace slices and partition chunks both iterate requests.
+    return list(interval)
+
+
+class TestIntervalSlices:
+    def test_empty_trace(self):
+        assert interval_slices(Trace(), TemporalLayer("request_count", 10)) == []
+
+    def test_request_count_matches_partition(self):
+        trace = workload_trace("hevc1", 2_000)
+        layer = TemporalLayer("request_count", 128)
+        slices = interval_slices(trace, layer)
+        reference = partition_by_request_count(trace, 128)
+        assert len(slices) == len(reference)
+        for ours, theirs in zip(slices, reference):
+            assert _as_requests(ours) == _as_requests(theirs)
+
+    def test_cycle_count_matches_partition(self):
+        trace = workload_trace("manhattan", 2_000)
+        layer = TemporalLayer("cycle_count", 100_000)
+        slices = interval_slices(trace, layer)
+        reference = partition_by_cycle_count(trace, 100_000)
+        assert len(slices) == len(reference)
+        for ours, theirs in zip(slices, reference):
+            assert _as_requests(ours) == _as_requests(theirs)
+
+    def test_cycle_count_skips_empty_bins(self):
+        # Two dense bursts separated by a long idle gap: only two bins.
+        trace = Trace(
+            [req(i, 64 * i) for i in range(8)]
+            + [req(1_000_000 + i, 64 * i) for i in range(8)]
+        )
+        slices = interval_slices(trace, TemporalLayer("cycle_count", 100))
+        assert [len(s) for s in slices] == [8, 8]
+
+    def test_unsorted_cycle_trace_rejected(self):
+        trace = Trace([req(100, 0), req(0, 64)])
+        with pytest.raises(ValueError, match="sorted by timestamp"):
+            interval_slices(trace, TemporalLayer("cycle_count", 10))
+
+
+class TestFingerprints:
+    def test_vector_matches_feature_names(self):
+        trace = workload_trace("hevc1", 500)
+        fingerprint = IntervalFingerprint(0, as_columnar(trace))
+        assert len(fingerprint.vector) == len(FEATURE_NAMES)
+        assert fingerprint.vector == feature_vector(characterize(trace))
+
+    @pytest.mark.parametrize("name", ["hevc1", "manhattan", "fbc-linear1", "mcf"])
+    def test_batched_matches_per_interval(self, name):
+        # fingerprint_trace's whole-column fast path must be
+        # bit-identical to characterizing each interval on its own.
+        trace = workload_trace(name, 3_000)
+        layer = TemporalLayer("cycle_count", 50_000)
+        slices, fingerprints = fingerprint_trace(trace, layer)
+        reference = fingerprint_intervals(interval_slices(trace, layer))
+        assert len(fingerprints) == len(reference) == len(slices)
+        for ours, theirs in zip(fingerprints, reference):
+            assert ours.index == theirs.index
+            assert ours.requests == theirs.requests
+            assert ours.start_time == theirs.start_time
+            assert ours.vector == theirs.vector  # bitwise float equality
+
+    def test_batched_matches_per_interval_request_count(self):
+        trace = workload_trace("opencl1", 2_000)
+        layer = TemporalLayer("request_count", 100)
+        _, fingerprints = fingerprint_trace(trace, layer)
+        reference = fingerprint_intervals(interval_slices(trace, layer))
+        assert [fp.vector for fp in fingerprints] == [
+            fp.vector for fp in reference
+        ]
+
+    def test_single_request_intervals(self):
+        # One-request intervals have empty diff-space (no gaps/strides);
+        # the batched path must not choke on empty segments.
+        trace = Trace([req(i * 1_000, 64 * i, "R" if i % 2 else "W") for i in range(7)])
+        layer = TemporalLayer("request_count", 1)
+        _, fingerprints = fingerprint_trace(trace, layer)
+        reference = fingerprint_intervals(interval_slices(trace, layer))
+        assert [fp.vector for fp in fingerprints] == [
+            fp.vector for fp in reference
+        ]
+
+
+class TestStreamIntervals:
+    @pytest.mark.parametrize("block_requests", [64, 333, 1024])
+    def test_stream_matches_in_memory_request_count(self, block_requests):
+        trace = workload_trace("mcf", 2_000)
+        layer = TemporalLayer("request_count", 150)
+        expected = interval_slices(trace, layer)
+        blocks = self._blocks(trace, block_requests)
+        streamed = list(iter_stream_intervals(iter(blocks), layer))
+        assert [index for index, _ in streamed] == list(range(len(expected)))
+        for (_, ours), theirs in zip(streamed, expected):
+            assert _as_requests(ours) == _as_requests(theirs)
+
+    @pytest.mark.parametrize("block_requests", [64, 333, 1024])
+    def test_stream_matches_in_memory_cycle_count(self, block_requests):
+        trace = workload_trace("hevc1", 2_000)
+        layer = TemporalLayer("cycle_count", 50_000)
+        expected = interval_slices(trace, layer)
+        blocks = self._blocks(trace, block_requests)
+        streamed = list(iter_stream_intervals(iter(blocks), layer))
+        assert len(streamed) == len(expected)
+        for (_, ours), theirs in zip(streamed, expected):
+            assert _as_requests(ours) == _as_requests(theirs)
+
+    @staticmethod
+    def _blocks(trace, block_requests):
+        columns = as_columnar(trace)
+        return [
+            columns[start : start + block_requests]
+            for start in range(0, len(columns), block_requests)
+        ]

@@ -1,0 +1,158 @@
+"""Tests for sampling plans (:mod:`repro.sample.plan`)."""
+
+import pytest
+
+from repro import obs
+from repro.core.hierarchy import TemporalLayer
+from repro.sample import (
+    build_plan,
+    configured_sample_intervals,
+    configured_sample_seed,
+    default_sample_k,
+    error_bound_percent,
+    sampling_fingerprint,
+    set_sampling,
+)
+from repro.sample.fingerprint import fingerprint_trace
+from repro.sample.plan import ERROR_BOUND_FLOOR_PERCENT, ERROR_BOUND_SCALE
+from repro.workloads.registry import workload_trace
+
+
+def _fingerprints(name="hevc1", requests=3_000, interval=50_000):
+    _, fingerprints = fingerprint_trace(
+        workload_trace(name, requests), TemporalLayer("cycle_count", interval)
+    )
+    return fingerprints
+
+
+class TestBuildPlan:
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            build_plan(_fingerprints(), 0)
+
+    def test_empty_fingerprints_exact(self):
+        plan = build_plan([], 3)
+        assert plan.exact
+        assert plan.interval_count == 0
+        assert plan.representatives == ()
+
+    def test_k_at_least_interval_count_is_exact(self):
+        fingerprints = _fingerprints()
+        n = len(fingerprints)
+        for k in (n, n + 1, n * 10):
+            plan = build_plan(fingerprints, k)
+            assert plan.exact
+            assert plan.k == n
+            assert plan.representatives == tuple(range(n))
+            assert plan.weights == (1.0,) * n
+            assert plan.error_bound_percent == 0.0
+
+    def test_sampled_plan_shape(self):
+        fingerprints = _fingerprints()
+        plan = build_plan(fingerprints, 3, seed=0)
+        assert not plan.exact
+        assert 1 <= plan.k <= 3
+        assert len(plan.representatives) == plan.k
+        assert list(plan.representatives) == sorted(plan.representatives)
+        assert all(w >= 1.0 for w in plan.weights)
+        assert len(plan.assignments) == len(fingerprints)
+
+    def test_weights_reconstruct_total_requests(self):
+        fingerprints = _fingerprints()
+        plan = build_plan(fingerprints, 3, seed=0)
+        total = sum(fp.requests for fp in fingerprints)
+        assert plan.total_requests == total
+        reconstructed = sum(
+            w * fingerprints[rep].requests
+            for rep, w in zip(plan.representatives, plan.weights)
+        )
+        assert reconstructed == pytest.approx(total)
+
+    def test_representative_belongs_to_its_cluster(self):
+        fingerprints = _fingerprints()
+        plan = build_plan(fingerprints, 4, seed=1)
+        for rep, size in zip(plan.representatives, plan.cluster_sizes):
+            cluster = plan.assignments[rep]
+            members = [i for i, c in enumerate(plan.assignments) if c == cluster]
+            assert rep in members
+            assert len(members) == size
+
+    def test_deterministic(self):
+        fingerprints = _fingerprints()
+        assert build_plan(fingerprints, 3, seed=5) == build_plan(
+            fingerprints, 3, seed=5
+        )
+
+    def test_bound_formula(self):
+        fingerprints = _fingerprints()
+        plan = build_plan(fingerprints, 2, seed=0)
+        assert plan.error_bound_percent == error_bound_percent(plan.dispersion)
+        assert plan.error_bound_percent == (
+            ERROR_BOUND_FLOOR_PERCENT + ERROR_BOUND_SCALE * plan.dispersion
+        )
+
+    def test_obs_counters(self):
+        fingerprints = _fingerprints()
+        registry = obs.enable()
+        try:
+            plan = build_plan(fingerprints, 3, seed=0)
+            seen = registry.counter("sample.intervals.seen").value
+            selected = registry.counter("sample.intervals.selected").value
+            assert seen == len(fingerprints)
+            assert selected == len(plan.representatives)
+        finally:
+            obs.disable()
+
+
+class TestDefaultK:
+    def test_ten_percent_rounded_up(self):
+        assert default_sample_k(1) == 1
+        assert default_sample_k(10) == 1
+        assert default_sample_k(11) == 2
+        assert default_sample_k(27) == 3
+        assert default_sample_k(100) == 10
+
+    def test_never_zero(self):
+        assert default_sample_k(0) == 1
+
+
+class TestEnvConfig:
+    def test_round_trip(self, monkeypatch):
+        monkeypatch.delenv("MOCKTAILS_SAMPLE_INTERVALS", raising=False)
+        monkeypatch.delenv("MOCKTAILS_SAMPLE_SEED", raising=False)
+        assert configured_sample_intervals() is None
+        assert configured_sample_seed() == 0
+        assert sampling_fingerprint() == "off"
+
+        set_sampling(5, seed=9)
+        assert configured_sample_intervals() == 5
+        assert configured_sample_seed() == 9
+        assert sampling_fingerprint() == "k=5:seed=9"
+
+        set_sampling(None)
+        assert configured_sample_intervals() is None
+        assert sampling_fingerprint() == "off"
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            set_sampling(0)
+        monkeypatch.setenv("MOCKTAILS_SAMPLE_INTERVALS", "banana")
+        with pytest.raises(ValueError):
+            configured_sample_intervals()
+        monkeypatch.setenv("MOCKTAILS_SAMPLE_INTERVALS", "-2")
+        with pytest.raises(ValueError):
+            configured_sample_intervals()
+
+    def test_sampling_key_in_memo_cache_key(self, monkeypatch):
+        from repro.eval.parallel import DramJob
+        from repro.store.memo import cache_key
+
+        job = DramJob(name="hevc1", num_requests=1_000)
+        monkeypatch.delenv("MOCKTAILS_SAMPLE_INTERVALS", raising=False)
+        off = cache_key(job)
+        set_sampling(3, seed=0)
+        try:
+            on = cache_key(job)
+        finally:
+            set_sampling(None)
+        assert off != on

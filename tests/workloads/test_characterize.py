@@ -72,3 +72,55 @@ class TestCLIIntegration:
         out = capsys.readouterr().out
         assert "requests:          1,000" in out
         assert "burstiness" in out
+
+
+class TestBackendParity:
+    """characterize() accepts either backend and is bit-identical on both."""
+
+    @pytest.mark.parametrize("name", ["hevc1", "manhattan", "fbc-tiled1", "mcf"])
+    def test_columnar_matches_trace(self, name):
+        from repro.core.columnar import ColumnarTrace
+
+        trace = workload_trace(name, 2_000)
+        from_rows = characterize(trace)
+        from_columns = characterize(ColumnarTrace.from_trace(trace))
+        # Every float derives from the same exact-integer sufficient
+        # statistics, so the equality here is bitwise, not approximate.
+        assert from_columns == from_rows
+
+    def test_columnar_slice_accepted(self):
+        from repro.core.columnar import ColumnarTrace
+
+        trace = workload_trace("hevc1", 1_000)
+        columns = ColumnarTrace.from_trace(trace)
+        window = characterize(columns[100:400])
+        assert window.requests == 300
+
+    def test_columnar_duration_property(self):
+        # Regression: ColumnarTrace.duration mirrors Trace.duration,
+        # including the empty-trace 0 convention.
+        from repro.core.columnar import ColumnarTrace
+
+        trace = workload_trace("hevc1", 500)
+        columns = ColumnarTrace.from_trace(trace)
+        assert columns.duration == trace.duration
+        assert ColumnarTrace.from_trace(Trace()).duration == 0
+
+
+class TestZeroDurationConvention:
+    def test_rate_zero_when_single_timestamp(self):
+        trace = Trace([req(42, 64 * i) for i in range(5)])
+        character = characterize(trace)
+        assert character.duration_cycles == 0
+        assert character.mean_request_rate == 0.0
+
+    def test_format_renders_not_applicable(self):
+        trace = Trace([req(42, 64 * i) for i in range(5)])
+        text = format_character(characterize(trace))
+        assert "n/a (zero-cycle duration)" in text
+        assert "duration:          0 cycles" in text
+
+    def test_single_request_trace(self):
+        character = characterize(Trace([req(7, 0x1000)]))
+        assert character.mean_request_rate == 0.0
+        assert character.burstiness == 0.0
