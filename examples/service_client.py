@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Drive a Mocktails job-queue service from a client.
+
+Start a server in one terminal::
+
+    python -m repro.eval serve --port 8642 --jobs 4
+
+then run this against it::
+
+    python examples/service_client.py --port 8642
+
+With no server listening (or no arguments at all) the example
+self-hosts: it starts an in-process server on an ephemeral port, runs
+the same session against it, and shuts it down — so the script works
+out of the box.
+
+The client profiles a workload, synthesizes a clone, runs the DRAM
+evaluation trio and a sampling-fidelity report — four job kinds over one
+connection — then submits the profile job a second time to show the
+result coming back memoized instead of recomputed. Each submission is
+one JSON line on the socket; the server streams back an ack, optional
+progress events and exactly one terminal result or error per job (see
+DESIGN.md, "Service & engine").
+"""
+
+import argparse
+import os
+
+from repro.service import ServiceClient, ServiceError
+
+WORKLOAD = "hevc1"
+
+
+def _fmt(value) -> str:
+    if isinstance(value, dict):
+        return "{" + ", ".join(f"{k}: {_fmt(v)}" for k, v in sorted(value.items())) + "}"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def show(label: str, response: dict) -> None:
+    payload = response["payload"]
+    source = response["source"]
+    print(f"\n{label} (job {response['job_id']}, {source}):")
+    for key in sorted(payload):
+        print(f"  {key:22} {_fmt(payload[key])}")
+
+
+def self_hosted_server():
+    """An in-process server on an ephemeral port; returns (port, stop)."""
+    import asyncio
+    import threading
+
+    from repro import store
+    from repro.engine import Scheduler
+    from repro.service import JobServer
+
+    store.configure()  # default cache dir, same as `python -m repro.eval`
+    scheduler = Scheduler(workers=2, backend="thread")
+    server = JobServer(scheduler, port=0)
+    ready = threading.Event()
+    state = {}
+
+    async def main() -> None:
+        await server.start()
+        state["loop"] = asyncio.get_running_loop()
+        ready.set()
+        await server.run()
+
+    thread = threading.Thread(target=lambda: asyncio.run(main()), daemon=True)
+    thread.start()
+    if not ready.wait(10):
+        raise SystemExit("self-hosted server did not start")
+
+    def stop() -> None:
+        state["loop"].call_soon_threadsafe(server.request_stop)
+        thread.join(10)
+        scheduler.close(cancel_pending=True)
+        store.deactivate()
+
+    return server.port, stop
+
+
+def run_session(client: ServiceClient, requests: int) -> None:
+    if not client.ping():
+        raise SystemExit("server did not answer ping")
+    scale = {"name": WORKLOAD, "num_requests": requests}
+
+    show("profile", client.submit("profile", scale))
+    show("synthesize", client.submit("synthesize", scale))
+    show(
+        "evaluate",
+        client.submit(
+            "evaluate",
+            scale,
+            events=True,
+            on_event=lambda event: print(f"  [job {event['job_id']} {event['state']}]"),
+        ),
+    )
+    show("sample", client.submit("sample", dict(scale, k=4)))
+
+    # Same job again: the engine already memoized it, so the second
+    # answer comes straight from the store — byte-identical payload.
+    again = client.submit("profile", scale)
+    print(f"\nprofile again: source={again['source']}")
+
+    try:
+        client.submit("profile", {"name": "no-such-workload"})
+    except ServiceError as error:
+        print(f"bad request rejected as expected: {error.code}")
+
+    stats = client.stats()
+    print(f"\nengine tally: {stats['engine']['tally']}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8642)
+    parser.add_argument("--unix", default=None, help="unix socket path instead of TCP")
+    parser.add_argument(
+        "--requests", type=int,
+        default=int(os.environ.get("EXAMPLE_REQUESTS", "2000")),
+    )
+    # parse_known_args: tolerate being launched under a test harness.
+    args, _ = parser.parse_known_args()
+
+    stop = None
+    try:
+        try:
+            client = ServiceClient(host=args.host, port=args.port, unix_path=args.unix)
+        except OSError:
+            print(f"no server at {args.host}:{args.port}; self-hosting one")
+            port, stop = self_hosted_server()
+            client = ServiceClient(host="127.0.0.1", port=port)
+        with client:
+            run_session(client, args.requests)
+    finally:
+        if stop is not None:
+            stop()
+
+
+if __name__ == "__main__":
+    main()

@@ -26,6 +26,7 @@ def _load_bench(path):
     _check_schema4_fields(path, data)
     _check_schema5_fields(path, data)
     _check_schema6_fields(path, data)
+    _check_schema7_fields(path, data)
     return data
 
 
@@ -107,6 +108,36 @@ def _check_schema6_fields(path, data):
     if missing:
         print(f"error: {path} (schema {schema}) is missing required sampling "
               f"bench entries: {', '.join(missing)}; "
+              "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
+        raise SystemExit(2)
+
+
+#: Snapshot fields introduced with the job-queue service (schema 7):
+#: the client-storm timings (cold store, then the same storm warm) and
+#: the exactly-once/dedupe accounting of the engine underneath it.
+_SCHEMA7_TIMINGS = ("service_storm_cold", "service_storm_warm")
+_SCHEMA7_FIELDS = (
+    "storm_clients",
+    "storm_unique_jobs",
+    "storm_unique_computes",
+    "storm_exactly_once",
+    "storm_dedupe_hit_rate",
+    "storm_cold_jobs_per_sec",
+    "storm_warm_jobs_per_sec",
+)
+
+
+def _check_schema7_fields(path, data):
+    """Fail loudly when a schema>=7 snapshot lacks the service entries."""
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema < 7:
+        return  # pre-service snapshot: nothing to require
+    timings = data["timings_seconds"]
+    missing = [key for key in _SCHEMA7_TIMINGS if key not in timings]
+    missing += [f"top-level '{key}'" for key in _SCHEMA7_FIELDS if key not in data]
+    if missing:
+        print(f"error: {path} (schema {schema}) is missing required service "
+              f"storm entries: {', '.join(missing)}; "
               "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
         raise SystemExit(2)
 

@@ -1,0 +1,183 @@
+"""Service smoke: a live job-queue server under 50 concurrent clients.
+
+Starts ``python -m repro.eval serve`` as a real subprocess over a fresh
+cache directory, storms it with concurrent clients submitting profile +
+evaluate jobs, and proves four service contracts end to end:
+
+* exactly-once — the engine executed each unique job once, no matter
+  how many clients asked for it (asserted on the scheduler tallies);
+* byte-identity — ``quick fig6`` served warm from the store the service
+  populated is byte-identical to a direct ``--no-cache`` run, and the
+  warm run simulated nothing;
+* no orphaned workers — every pool worker PID the server reported is
+  gone after a clean SIGTERM shutdown;
+* no leaked lockfiles — the store's ``locks/`` directory is empty.
+
+Usage: PYTHONPATH=src python scripts/service_smoke.py [--clients 50]
+"""
+
+import argparse
+import dataclasses
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.eval.parallel import jobs_for  # noqa: E402
+from repro.service import ServiceClient, storm  # noqa: E402
+
+
+def fail(message):
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def start_server(cache_dir, jobs):
+    """Launch ``repro.eval serve`` on an ephemeral port; return (proc, port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.eval", "serve",
+         "--host", "127.0.0.1", "--port", "0",
+         "--cache-dir", cache_dir, "--jobs", str(jobs)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO,
+    )
+    line = proc.stdout.readline().strip()
+    if not line.startswith("listening on "):
+        proc.kill()
+        rest = proc.stdout.read()
+        fail(f"server did not announce an endpoint: {line!r}\n{rest}")
+    port = int(line.rsplit(":", 1)[1])
+    print(f"server up: {line} (pid {proc.pid})")
+    return proc, port
+
+
+def build_submissions(clients, requests):
+    """Round-robin profile + evaluate jobs over ``clients`` clients."""
+    evaluate = [("evaluate", dataclasses.asdict(job))
+                for job in jobs_for("fig6", requests)]
+    profile = [("profile", {"name": params["name"], "num_requests": requests})
+               for _, params in evaluate]
+    submissions = [
+        [profile[index % len(profile)], evaluate[index % len(evaluate)]]
+        for index in range(clients)
+    ]
+    unique = {(kind, tuple(sorted(params.items())))
+              for client in submissions for kind, params in client}
+    return submissions, len(unique)
+
+
+def run_cli(arguments):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    subprocess.run(
+        [sys.executable, "-m", "repro.eval"] + arguments,
+        check=True, env=env, cwd=REPO, stdout=subprocess.DEVNULL,
+    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=50,
+                        help="concurrent storm clients (default 50)")
+    parser.add_argument("--requests", type=int, default=2_000,
+                        help="requests per trace, matching 'quick' (default 2000)")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="server worker processes (default: server's own)")
+    args = parser.parse_args(argv)
+
+    workdir = tempfile.mkdtemp(prefix="repro-service-smoke-")
+    cache_dir = os.path.join(workdir, "cache")
+    proc, port = start_server(cache_dir, args.jobs or min(os.cpu_count() or 1, 8))
+    try:
+        submissions, unique = build_submissions(args.clients, args.requests)
+        total = sum(len(client) for client in submissions)
+        print(f"storming: {args.clients} clients, {total} submissions, "
+              f"{unique} unique jobs")
+        responses = storm("127.0.0.1", port, submissions,
+                          concurrency=args.clients)
+        flat = [response for client in responses for response in client]
+        bad = [r for r in flat if r.get("type") != "result"]
+        if bad:
+            fail(f"{len(bad)}/{total} submissions did not resolve: {bad[:3]}")
+
+        with ServiceClient(port=port) as client:
+            stats = client.stats()
+        tally = stats["engine"]["tally"]
+        worker_pids = stats["worker_pids"]
+        print(f"engine tally: {json.dumps(tally, sort_keys=True)}")
+        if tally["executed"] != unique:
+            fail(f"exactly-once violated: {tally['executed']} executions "
+                 f"for {unique} unique jobs")
+        if tally["submitted"] + tally["deduped"] != total:
+            fail(f"admission accounting off: submitted={tally['submitted']} "
+                 f"deduped={tally['deduped']} for {total} submissions")
+        if not worker_pids:
+            fail("server reported no pool workers after the storm")
+
+        proc.send_signal(signal.SIGTERM)
+        tail, _ = proc.communicate(timeout=30)
+        if proc.returncode != 0:
+            fail(f"server exited with {proc.returncode}:\n{tail}")
+        print("server shut down cleanly")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    deadline = time.monotonic() + 10
+    orphans = list(worker_pids)
+    while orphans and time.monotonic() < deadline:
+        for pid in list(orphans):
+            try:
+                os.kill(pid, 0)
+            except (ProcessLookupError, PermissionError):
+                orphans.remove(pid)
+        if orphans:
+            time.sleep(0.2)
+    if orphans:
+        fail(f"orphaned workers survived shutdown: {orphans}")
+    print(f"no orphaned workers ({len(worker_pids)} pool pids reaped)")
+
+    lock_dir = os.path.join(cache_dir, "locks")
+    leaked = sorted(os.listdir(lock_dir)) if os.path.isdir(lock_dir) else []
+    if leaked:
+        fail(f"leaked lockfiles: {leaked}")
+    print("no leaked lockfiles")
+
+    warm = os.path.join(workdir, "warm.json")
+    direct = os.path.join(workdir, "direct.json")
+    manifest = os.path.join(workdir, "warm-manifest.json")
+    run_cli(["quick", "fig6", "--requests", str(args.requests),
+             "--cache-dir", cache_dir, "--json-out", warm,
+             "--metrics-out", manifest])
+    run_cli(["quick", "fig6", "--requests", str(args.requests),
+             "--no-cache", "--json-out", direct])
+    with open(warm, "rb") as handle:
+        warm_bytes = handle.read()
+    with open(direct, "rb") as handle:
+        direct_bytes = handle.read()
+    if warm_bytes != direct_bytes:
+        fail("warm-from-service output differs from direct CLI output")
+    with open(manifest) as handle:
+        counters = json.load(handle)["metrics"]["counters"]
+    hits = counters.get("store.memo.hits", 0)
+    computed = counters.get("eval.runs.computed", 0)
+    if hits < 1 or computed != 0:
+        fail(f"warm run was not served by the service-populated store "
+             f"(hits={hits}, computed={computed})")
+    print(f"byte-identical with direct CLI output "
+          f"({len(warm_bytes)} bytes, {hits} store hits, 0 recomputes)")
+    print("service smoke: all contracts held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,422 @@
+"""Single-flight job scheduler: bounded queue, worker pool, retries.
+
+This is the long-running half of :mod:`repro.engine` — the piece the
+service front end (:mod:`repro.service`) submits to. Contracts:
+
+* **Backpressure.** The submit queue is bounded (``queue_limit``);
+  :meth:`Scheduler.submit` never blocks — a full queue raises
+  :class:`QueueFull` so callers (the server) can reject with a clear
+  response instead of stalling every client behind a burst.
+* **Single-flight.** Identical jobs — same canonical cache key, via
+  :func:`repro.store.memo.cache_key` — dedupe onto one computation:
+  in-process through the ``_inflight`` map (late submitters get the
+  same :class:`JobHandle`), and across processes through the store's
+  per-key lockfiles (:mod:`repro.store.locks`), exactly the protocol
+  ``prewarm`` uses.
+* **Crash containment.** A worker process dying mid-job (OOM kill,
+  segfault, ``kill -9``) breaks the process pool; the scheduler
+  rebuilds the pool and retries the job once (``retries``), then marks
+  it FAILED. Handles always reach a terminal state — a client waiting
+  on a crashed job gets an error, never a hang.
+* **Observability.** Always-on plain-int tallies (for ``stats()``)
+  mirrored into :mod:`repro.obs` counters/events when a registry is
+  active; queue depth and in-flight gauges ride the
+  :class:`repro.obs.QueueGauges` pair captured at construction.
+
+The job lifecycle is a small state machine::
+
+    submit -> QUEUED -> RUNNING -> DONE
+                 |          |-----> RUNNING (retry once, pool rebuilt)
+                 |          `-----> FAILED
+                 `(queue full: rejected, never enqueued)
+
+Payloads arrive from three sources, recorded on the handle: computed
+(this scheduler ran it), memoized (the cross-run store had it) or
+deduped (another in-flight submission of the same key computed it).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from concurrent.futures import BrokenExecutor
+from typing import Any, Dict, List, Optional
+
+from .. import obs, store
+from .jobs import execute_job, install, job_type_of
+from .pool import default_processes, make_pool
+
+#: Job lifecycle states (wire-visible, so plain strings).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+_TERMINAL = (DONE, FAILED)
+
+
+class QueueFull(RuntimeError):
+    """The scheduler's bounded queue rejected a submission."""
+
+
+class JobFailed(RuntimeError):
+    """Raised by :meth:`JobHandle.result` for a FAILED job."""
+
+
+class JobHandle:
+    """One submitted job's lifecycle, shared by every duplicate submitter."""
+
+    __slots__ = (
+        "job", "key", "job_id", "state", "attempts", "waiters", "source",
+        "error", "_payload", "_done", "_lock", "_listeners",
+    )
+
+    def __init__(self, job: Any, key: str, job_id: int):
+        self.job = job
+        self.key = key
+        self.job_id = job_id
+        self.state = QUEUED
+        self.attempts = 0
+        self.waiters = 1
+        self.source: Optional[str] = None
+        self.error: Optional[str] = None
+        self._payload: Any = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._listeners: List[Any] = []
+
+    def subscribe(self, listener) -> None:
+        """Call ``listener(handle, state)`` on every later transition.
+
+        A listener attached after the job reached a terminal state is
+        fired immediately with that state — late subscribers never hang.
+        """
+        fire = None
+        with self._lock:
+            if self.state in _TERMINAL:
+                fire = self.state
+            else:
+                self._listeners.append(listener)
+        if fire is not None:
+            listener(self, fire)
+
+    def _transition(self, state: str) -> None:
+        with self._lock:
+            self.state = state
+            listeners = list(self._listeners)
+            if state in _TERMINAL:
+                self._listeners.clear()
+        for listener in listeners:
+            listener(self, state)
+        if state in _TERMINAL:
+            self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._done.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """The payload; raises :class:`JobFailed` for a failed job."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"job {self.job_id} still {self.state}")
+        if self.state == FAILED:
+            raise JobFailed(self.error or f"job {self.job_id} failed")
+        return self._payload
+
+
+_STOP = object()
+
+_TALLY_KEYS = (
+    "submitted", "deduped", "executed", "memoized", "failed", "retried",
+    "rejected",
+)
+
+
+class Scheduler:
+    """Bounded single-flight scheduler over the shared worker pool."""
+
+    __slots__ = (
+        "workers", "queue_limit", "backend", "retries", "tally",
+        "_queue", "_inflight", "_state_lock", "_threads", "_pool",
+        "_pool_lock", "_pool_generation", "_closed", "_ids", "_gauges",
+    )
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        queue_limit: int = 64,
+        backend: str = "process",
+        retries: int = 1,
+    ):
+        if backend not in ("process", "thread"):
+            raise ValueError(f"backend must be 'process' or 'thread', got {backend!r}")
+        self.workers = default_processes() if workers is None else max(1, workers)
+        self.queue_limit = queue_limit
+        self.backend = backend
+        self.retries = retries
+        self.tally: Dict[str, int] = {key: 0 for key in _TALLY_KEYS}
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, queue_limit))
+        self._inflight: Dict[str, JobHandle] = {}
+        self._state_lock = threading.Lock()
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._pool_generation = 0
+        self._closed = False
+        self._ids = itertools.count(1)
+        self._gauges = obs.queue_gauges("engine")
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"engine-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # -- instrumentation -----------------------------------------------------
+
+    def _count(self, key: str) -> None:
+        self.tally[key] += 1
+        registry = obs.active()
+        if registry is not None:
+            registry.counter(f"engine.jobs.{key}").inc()
+
+    def _event(self, event_type: str, handle: JobHandle, **fields: object) -> None:
+        registry = obs.active()
+        if registry is not None:
+            registry.event(
+                event_type,
+                job_id=handle.job_id,
+                kind=type(handle.job).__name__,
+                key=handle.key[:16],
+                **fields,
+            )
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, job: Any) -> JobHandle:
+        """Enqueue ``job`` (or join the identical in-flight one).
+
+        Raises :class:`QueueFull` when the bounded queue is at capacity
+        and :class:`TypeError` for unregistered job types. Never blocks.
+        """
+        job_type_of(job)  # fail fast on unregistered types
+        if self._closed:
+            raise RuntimeError("scheduler is closed")
+        key = store.cache_key(job)
+        with self._state_lock:
+            existing = self._inflight.get(key)
+            if existing is None:
+                handle = JobHandle(job, key, next(self._ids))
+                self._inflight[key] = handle
+            else:
+                existing.waiters += 1
+        if existing is not None:
+            self._count("deduped")
+            self._event("engine.job.deduped", existing)
+            return existing
+        try:
+            self._queue.put_nowait(handle)
+        except queue.Full:
+            with self._state_lock:
+                self._inflight.pop(key, None)
+            self._count("rejected")
+            raise QueueFull(
+                f"queue limit {self.queue_limit} reached; retry later"
+            ) from None
+        self._count("submitted")
+        if self._gauges is not None:
+            self._gauges.enqueued()
+        self._event("engine.job.queued", handle)
+        return handle
+
+    # -- worker side ---------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            handle = self._queue.get()
+            if handle is _STOP:
+                return
+            self._run(handle)
+
+    def _run(self, handle: JobHandle) -> None:
+        handle._transition(RUNNING)
+        if self._gauges is not None:
+            self._gauges.started()
+        self._event("engine.job.start", handle)
+        timer = obs.job_timer(f"engine.job.{type(handle.job).__name__}")
+        try:
+            if timer is None:
+                payload, source = self._execute(handle)
+            else:
+                with timer:
+                    payload, source = self._execute(handle)
+        except Exception as error:  # terminal: every failure path lands here
+            self._finish(handle, None, None, error)
+        else:
+            self._finish(handle, payload, source, None)
+
+    def _finish(
+        self,
+        handle: JobHandle,
+        payload: Any,
+        source: Optional[str],
+        error: Optional[Exception],
+        ran: bool = True,
+    ) -> None:
+        with self._state_lock:
+            self._inflight.pop(handle.key, None)
+        if self._gauges is not None:
+            # A cancelled handle never reached RUNNING: it leaves the
+            # queue gauge, not the inflight gauge.
+            if ran:
+                self._gauges.finished()
+            else:
+                self._gauges.dequeued()
+        if error is not None:
+            handle.error = f"{type(error).__name__}: {error}"
+            self._count("failed")
+            self._event("engine.job.failed", handle, error=handle.error)
+            handle._transition(FAILED)
+            return
+        install(handle.job, payload)
+        handle._payload = payload
+        handle.source = source
+        self._count(source)
+        self._event("engine.job.finish", handle, source=source)
+        handle._transition(DONE)
+
+    def _execute(self, handle: JobHandle):
+        """Compute or fetch the payload; returns ``(payload, source)``.
+
+        ``source`` feeds the tallies: ``"executed"`` for payloads this
+        scheduler computed, ``"memoized"`` for cross-run store hits.
+        """
+        job = handle.job
+        memo = store.active_memo()
+        if memo is None:
+            return self._compute_with_retry(handle), "executed"
+        payload = memo.fetch(job)
+        if payload is not None:
+            return payload, "memoized"
+        lock = memo.lock(job)
+        if lock.acquire(block=False):
+            try:
+                payload = self._compute_with_retry(handle)
+                memo.store(job, payload)
+            finally:
+                lock.release()
+            return payload, "executed"
+        # Another process holds the compute lock: wait for its result
+        # instead of duplicating the work (cross-process single-flight).
+        lock.wait_released()
+        payload = memo.fetch(job)
+        if payload is not None:
+            return payload, "memoized"
+        # The other holder died or failed; compute under the lock so yet
+        # another waiter does not duplicate the work.
+        with memo.lock(job):
+            payload = memo.fetch(job)
+            if payload is None:
+                payload = self._compute_with_retry(handle)
+                memo.store(job, payload)
+                return payload, "executed"
+        return payload, "memoized"
+
+    def _compute_with_retry(self, handle: JobHandle) -> Any:
+        while True:
+            handle.attempts += 1
+            generation = self._pool_generation
+            try:
+                if self.backend == "thread":
+                    return execute_job(handle.job)[1]
+                future = self._ensure_pool().submit(execute_job, handle.job)
+                return future.result()[1]
+            except BrokenExecutor as error:
+                # A worker died mid-job (kill -9, OOM, segfault). The
+                # pool is unusable for everyone; rebuild it once per
+                # break and retry this job up to ``retries`` times.
+                self._rebuild_pool(generation)
+                if handle.attempts > self.retries:
+                    raise JobFailed(
+                        f"worker crashed {handle.attempts} times running "
+                        f"{type(handle.job).__name__} (retries exhausted): {error}"
+                    ) from error
+                self._count("retried")
+                self._event("engine.job.retry", handle, attempts=handle.attempts)
+
+    def _ensure_pool(self):
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = make_pool(self.workers)
+            return self._pool
+
+    def _rebuild_pool(self, seen_generation: int) -> None:
+        with self._pool_lock:
+            if self._pool_generation != seen_generation:
+                return  # another thread already replaced this pool
+            broken, self._pool = self._pool, None
+            self._pool_generation += 1
+        if broken is not None:
+            broken.shutdown(wait=False)
+
+    # -- inspection / shutdown -----------------------------------------------
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live pool worker processes (empty for thread backend)."""
+        with self._pool_lock:
+            pool = self._pool
+        if pool is None:
+            return []
+        return sorted(getattr(pool, "_processes", {}) or {})
+
+    def stats(self) -> dict:
+        with self._state_lock:
+            inflight = len(self._inflight)
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "queued": self._queue.qsize(),
+            "inflight": inflight,
+            "pool_generation": self._pool_generation,
+            "tally": dict(self.tally),
+        }
+
+    def close(self, cancel_pending: bool = False) -> None:
+        """Stop the workers and the pool.
+
+        Running jobs finish first (their clients get results); with
+        ``cancel_pending`` still-queued handles fail with a shutdown
+        error instead of waiting for a worker.
+        """
+        self._closed = True
+        if cancel_pending:
+            while True:
+                try:
+                    handle = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if handle is _STOP:
+                    continue
+                self._finish(
+                    handle, None, None, JobFailed("scheduler shut down"),
+                    ran=False,
+                )
+        for _ in self._threads:
+            self._queue.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close(cancel_pending=True)

@@ -1,20 +1,19 @@
-"""Process-pool fan-out for the experiment runners.
+"""Experiment-side client of the shared job engine (:mod:`repro.engine`).
 
-The expensive experiments are embarrassingly parallel: Figs. 6-13 run
-one independent baseline/McC/STM simulation trio per (workload,
-interval), and Figs. 14-17 sweep 23 independent SPEC-like benchmarks.
-This module fans those unit jobs out across worker processes and merges
-the results back into the caches the figure runners read
-(:mod:`repro.eval.comparison` and :mod:`repro.eval.experiments`), so a
-subsequent figure call computes nothing — it only aggregates.
+The job model that used to live here — the ``DramJob``/``SpecJob``/
+``SizeJob``/``SampleJob`` dataclasses, ``execute_job``, the pool
+construction and the ``prewarm`` fan-out with its per-key lock protocol
+— moved to :mod:`repro.engine` so the asyncio service
+(:mod:`repro.service`) and the experiment runners share one scheduler
+substrate. This module keeps the experiment-specific half: mapping an
+experiment name to its unit-job list (:func:`jobs_for`) and the
+prewarm-then-aggregate convenience (:func:`run_experiment`).
 
-Determinism: every job carries its seeds explicitly and the workload
-generators derive their RNG streams from stable (crc32) name hashes, so
-a worker process reproduces exactly the simulation the serial path
-would have run. Figure results after a parallel prewarm are therefore
-bit-identical to serial execution — the aggregation code is literally
-the same, only the cache-fill order differs (and every cache is keyed,
-never order-dependent).
+Everything previously importable from here still is — the job types,
+``execute_job``, ``prewarm``, ``make_pool``, ``default_processes`` are
+re-exported — and results are bit-identical to the pre-refactor module:
+the execution, installation and locking code is the same code, called
+through the engine's job-type registry.
 
 Usage::
 
@@ -30,275 +29,44 @@ or, end to end::
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence
 
-from .. import obs, store
+from ..engine import (
+    DramJob,
+    Job,
+    SampleJob,
+    SizeJob,
+    SpecJob,
+    default_processes,
+    execute_job,
+    make_pool,
+    prewarm,
+)
 from ..workloads.registry import TABLE_II_WORKLOADS
 from ..workloads.spec import FIG15_BENCHMARKS, SPEC_BENCHMARKS
-from . import comparison, experiments
+from . import experiments
 from .comparison import DEFAULT_INTERVAL, DEFAULT_REQUESTS
 
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "DEFAULT_REQUESTS",
+    "DramJob",
+    "JOB_BUILDERS",
+    "Job",
+    "SampleJob",
+    "SizeJob",
+    "SpecJob",
+    "default_processes",
+    "execute_job",
+    "jobs_for",
+    "make_pool",
+    "prewarm",
+    "run_experiment",
+]
 
-@dataclass(frozen=True)
-class DramJob:
-    """One baseline/McC(/STM) DRAM simulation trio (Figs. 6-13)."""
-
-    name: str
-    num_requests: int = DEFAULT_REQUESTS
-    seed: int = 0
-    interval: int = DEFAULT_INTERVAL
-    include_stm: bool = True
-
-
-@dataclass(frozen=True)
-class SpecJob:
-    """Baseline + three synthetic traces for one SPEC-like benchmark
-    (Figs. 14-16)."""
-
-    benchmark: str
-    num_requests: int = DEFAULT_REQUESTS
-    seed: int = 0
-
-
-@dataclass(frozen=True)
-class SizeJob:
-    """Trace/profile on-disk size measurement for one benchmark (Fig. 17)."""
-
-    benchmark: str
-    num_requests: int = DEFAULT_REQUESTS
-
-
-@dataclass(frozen=True)
-class SampleJob:
-    """One sampled-vs-full fidelity report (repro.sample estimator)."""
-
-    name: str
-    num_requests: int = DEFAULT_REQUESTS
-    seed: int = 0
-    interval: int = DEFAULT_INTERVAL
-    k: Optional[int] = None
-    sample_seed: int = 0
-
-
-Job = Union[DramJob, SpecJob, SizeJob, SampleJob]
-
-
-def execute_job(job: Job) -> Tuple[Job, object]:
-    """Run one job (in whatever process this is) and return its payload."""
-    if isinstance(job, DramJob):
-        payload = comparison.dram_comparison(
-            job.name,
-            job.num_requests,
-            seed=job.seed,
-            interval=job.interval,
-            include_stm=job.include_stm,
-        )
-    elif isinstance(job, SpecJob):
-        payload = experiments.spec_synthetics(job.benchmark, job.num_requests, job.seed)
-    elif isinstance(job, SizeJob):
-        payload = experiments.spec_size_record(job.benchmark, job.num_requests)
-    elif isinstance(job, SampleJob):
-        payload = experiments.sampling_report_for(
-            job.name,
-            job.num_requests,
-            seed=job.seed,
-            interval=job.interval,
-            k=job.k,
-            sample_seed=job.sample_seed,
-        )
-    else:
-        raise TypeError(f"unknown job type: {job!r}")
-    return job, payload
-
-
-def _install(job: Job, payload: object) -> None:
-    """Merge one job result into the cache its figure runner reads."""
-    if isinstance(job, DramJob):
-        key = (job.name, job.num_requests, job.seed, job.interval, job.include_stm, None)
-        comparison._run_cache[key] = payload
-    elif isinstance(job, SpecJob):
-        experiments._SPEC_SYNTH_CACHE[(job.benchmark, job.num_requests, job.seed)] = payload
-    elif isinstance(job, SizeJob):
-        experiments._SPEC_SIZE_CACHE[(job.benchmark, job.num_requests)] = payload
-    elif isinstance(job, SampleJob):
-        experiments._SAMPLING_CACHE[_sample_key(job)] = payload
-    else:  # pragma: no cover - guarded in execute_job
-        raise TypeError(f"unknown job type: {job!r}")
-
-
-def _sample_key(job: "SampleJob") -> Tuple:
-    return (job.name, job.num_requests, job.seed, job.interval, job.k, job.sample_seed)
-
-
-def default_processes() -> int:
-    """Worker count when none is given: all cores, capped at 8."""
-    return min(os.cpu_count() or 1, 8)
-
-
-def _worker_init() -> None:
-    # Workers must not inherit the parent's registry/sink: their metrics
-    # would die with the process and a forked JSONL file handle would
-    # interleave with the parent's stream. The parent emits heartbeat
-    # events as worker results arrive instead.
-    obs.disable()
-
-
-def make_pool(processes: int) -> ProcessPoolExecutor:
-    """A worker pool with the repo's standard setup (fork-preferred,
-    observability disabled in workers). Shared with the streaming
-    profiler's shard fan-out (:mod:`repro.stream.parallel`)."""
-    # fork (where available) keeps workers cheap; spawn works too because
-    # jobs and payloads are plain picklable dataclasses.
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
-    return ProcessPoolExecutor(
-        max_workers=processes, mp_context=context, initializer=_worker_init
-    )
-
-
+# Kept for the streaming profiler's shard fan-out, which historically
+# imported the pool factory under this name.
 _make_pool = make_pool
-
-
-def _fetch_memoized(jobs: List[Job], memo) -> List[Job]:
-    """Install disk-memoized results; returns the jobs still to compute."""
-    registry = obs.active()
-    remaining = []
-    for job in jobs:
-        payload = memo.fetch(job)
-        if payload is None:
-            remaining.append(job)
-        else:
-            _install(job, payload)
-            if registry is not None:
-                registry.counter("eval.jobs.memoized").inc()
-    return remaining
-
-
-def _partition_by_lock(todo: List[Job], memo) -> Tuple[List[Tuple[Job, object]], List[Job]]:
-    """Try to claim each job's compute lock without blocking.
-
-    Returns ``(claimed, contended)``: jobs whose lock we now hold (we
-    compute them) and jobs another process is already computing (we wait
-    for its result instead of duplicating the work).
-    """
-    claimed: List[Tuple[Job, object]] = []
-    contended: List[Job] = []
-    for job in todo:
-        lock = memo.lock(job)
-        if lock.acquire(block=False):
-            claimed.append((job, lock))
-        else:
-            contended.append(job)
-    return claimed, contended
-
-
-def _execute_and_install(todo: List[Job], processes: int, memo) -> None:
-    """Run ``todo`` (serially or via the pool), installing and memoizing."""
-    registry = obs.active()
-    serial = processes <= 1 or len(todo) == 1
-    if registry is not None:
-        registry.counter("eval.jobs.executed").inc(len(todo))
-        registry.event(
-            "prewarm.start",
-            total=len(todo),
-            processes=1 if serial else min(processes, len(todo)),
-        )
-    if serial:
-        results = map(execute_job, todo)
-    else:
-        pool = _make_pool(min(processes, len(todo)))
-        results = pool.map(execute_job, todo)
-    try:
-        completed = 0
-        for job, payload in results:
-            _install(job, payload)
-            if memo is not None:
-                memo.store(job, payload)
-            completed += 1
-            if registry is not None:
-                registry.event(
-                    "worker.heartbeat",
-                    completed=completed,
-                    total=len(todo),
-                    job=type(job).__name__,
-                )
-    finally:
-        if not serial:
-            pool.shutdown()
-    if registry is not None:
-        registry.event("prewarm.finish", total=len(todo))
-
-
-def prewarm(jobs: Sequence[Job], processes: Optional[int] = None) -> int:
-    """Execute ``jobs`` and merge the results into the runner caches.
-
-    With ``processes`` <= 1 the jobs run serially in this process (still
-    warming the caches, so the figure call afterwards is identical
-    either way). Returns the number of jobs actually executed — jobs
-    whose results are already in the in-process caches, memoized on
-    disk (:func:`repro.store.active_memo`), or computed concurrently by
-    another process holding the per-key lock are skipped.
-    """
-    jobs = list(dict.fromkeys(jobs))
-    todo = [job for job in jobs if not _is_cached(job)]
-    registry = obs.active()
-    if registry is not None:
-        registry.counter("eval.jobs.cached").inc(len(jobs) - len(todo))
-    memo = store.active_memo()
-    if todo and memo is not None:
-        todo = _fetch_memoized(todo, memo)
-    if not todo:
-        return 0
-    processes = default_processes() if processes is None else processes
-
-    if memo is None:
-        _execute_and_install(todo, processes, None)
-        return len(todo)
-
-    # Per-key lock protocol: claim what we can, compute only that, and
-    # wait-then-fetch what a concurrent run is already computing.
-    claimed, contended = _partition_by_lock(todo, memo)
-    executed = 0
-    try:
-        if claimed:
-            _execute_and_install([job for job, _ in claimed], processes, memo)
-            executed += len(claimed)
-    finally:
-        for _, lock in claimed:
-            lock.release()
-    for job in contended:
-        memo.lock(job).wait_released()
-        payload = memo.fetch(job)
-        if payload is not None:
-            _install(job, payload)
-            continue
-        # The other holder died or failed: compute it ourselves, under
-        # the lock so yet another waiter doesn't duplicate the work.
-        with memo.lock(job):
-            payload = memo.fetch(job)
-            if payload is None:
-                _execute_and_install([job], 1, memo)
-                executed += 1
-            else:
-                _install(job, payload)
-    return executed
-
-
-def _is_cached(job: Job) -> bool:
-    if isinstance(job, DramJob):
-        key = (job.name, job.num_requests, job.seed, job.interval, job.include_stm, None)
-        return key in comparison._run_cache
-    if isinstance(job, SpecJob):
-        return (job.benchmark, job.num_requests, job.seed) in experiments._SPEC_SYNTH_CACHE
-    if isinstance(job, SizeJob):
-        return (job.benchmark, job.num_requests) in experiments._SPEC_SIZE_CACHE
-    if isinstance(job, SampleJob):
-        return _sample_key(job) in experiments._SAMPLING_CACHE
-    return False
 
 
 # ---------------------------------------------------------------------------

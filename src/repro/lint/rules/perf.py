@@ -26,6 +26,10 @@ HOT_PATH_MODULES: Tuple[Tuple[str, ...], ...] = (
     ("obs", "registry.py"),
     ("sample", "fingerprint.py"),
     ("sample", "cluster.py"),
+    ("engine", "scheduler.py"),
+    ("service", "protocol.py"),
+    ("service", "server.py"),
+    ("service", "client.py"),
 )
 
 _ENUM_BASES = {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag"}

@@ -35,10 +35,14 @@ from .registry import (
     Counter,
     Gauge,
     Histogram,
+    JobTimer,
     MetricsRegistry,
+    QueueGauges,
     active,
     disable,
     enable,
+    job_timer,
+    queue_gauges,
 )
 
 __all__ = [
@@ -46,16 +50,20 @@ __all__ = [
     "EventSink",
     "Gauge",
     "Histogram",
+    "JobTimer",
     "JsonlEventSink",
     "MemoryEventSink",
     "MetricsRegistry",
     "PeakMemoryTracker",
+    "QueueGauges",
     "active",
     "build_manifest",
     "disable",
     "enable",
     "host_info",
+    "job_timer",
     "measure_peak_memory",
+    "queue_gauges",
     "wall_time",
     "write_manifest",
 ]

@@ -1,0 +1,56 @@
+"""``repro.service`` — Mocktails-as-a-service.
+
+A stdlib-only asyncio job-queue server (and its clients) over the shared
+job engine: clients submit ``profile`` / ``synthesize`` / ``evaluate`` /
+``sample`` jobs as newline-delimited JSON on a TCP or unix socket, the
+:class:`JobServer` admits them through per-client quotas and the
+engine's bounded queue, the :class:`repro.engine.Scheduler` single-
+flights duplicates onto one computation, and terminal responses stream
+back per correlation id. Start one with::
+
+    python -m repro.eval serve --port 8642 --jobs 4
+
+and drive it with :class:`ServiceClient` (see
+``examples/service_client.py``) or any ``nc``-grade tool::
+
+    {"op": "submit", "id": 1, "kind": "profile", "params": {"name": "trex1"}}
+
+Protocol details live in :mod:`repro.service.protocol`; the full wire
+and lifecycle contract is documented in DESIGN.md ("Service & engine").
+"""
+
+from .client import ServiceClient, ServiceError, storm, storm_async
+from .protocol import (
+    BAD_REQUEST,
+    ERROR_CODES,
+    JOB_FAILED,
+    MAX_LINE_BYTES,
+    PROTOCOL_ERROR,
+    QUEUE_FULL,
+    QUOTA_EXCEEDED,
+    SHUTTING_DOWN,
+    ProtocolError,
+    decode_line,
+    encode_message,
+)
+from .server import ClientSession, JobServer
+
+__all__ = [
+    "BAD_REQUEST",
+    "ClientSession",
+    "ERROR_CODES",
+    "JOB_FAILED",
+    "JobServer",
+    "MAX_LINE_BYTES",
+    "PROTOCOL_ERROR",
+    "ProtocolError",
+    "QUEUE_FULL",
+    "QUOTA_EXCEEDED",
+    "SHUTTING_DOWN",
+    "ServiceClient",
+    "ServiceError",
+    "decode_line",
+    "encode_message",
+    "storm",
+    "storm_async",
+]

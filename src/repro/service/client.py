@@ -1,0 +1,197 @@
+"""Clients for the job-queue service.
+
+:class:`ServiceClient` is the blocking, stdlib-socket client — what a
+script, a test or the example program uses to drive a server one request
+at a time (interleaved submissions on one connection work too: responses
+carry the caller's correlation ids).
+
+:func:`storm` is the load-generation client behind the benchmark and the
+CI smoke test: N logical clients, each its own connection submitting its
+own job list, multiplexed on one asyncio loop with a concurrency bound
+so a thousand-client storm doesn't need a thousand simultaneous sockets.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from . import protocol
+
+
+class ServiceError(RuntimeError):
+    """A structured error response from the server."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking NDJSON client for one connection to the job server."""
+
+    __slots__ = ("_sock", "_reader", "_ids")
+
+    def __init__(
+        self,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
+        unix_path: Optional[str] = None,
+        timeout: Optional[float] = 600.0,
+    ):
+        if unix_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(unix_path)
+        else:
+            self._sock = socket.create_connection(
+                (host or "127.0.0.1", port), timeout=timeout
+            )
+        self._reader = self._sock.makefile("rb")
+        self._ids = 0
+
+    def close(self) -> None:
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request primitives --------------------------------------------------
+
+    def send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(protocol.encode_message(message))
+
+    def read_response(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return protocol.decode_line(line)
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        self.send({"op": "ping"})
+        return self.read_response().get("type") == "pong"
+
+    def stats(self) -> Dict[str, Any]:
+        self.send({"op": "stats"})
+        response = self.read_response()
+        if response.get("type") != "stats":
+            raise ServiceError(
+                response.get("code", "protocol-error"),
+                str(response.get("message", response)),
+            )
+        return response
+
+    def submit(
+        self,
+        kind: str,
+        params: Optional[Dict[str, Any]] = None,
+        events: bool = False,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Submit one job and block until its terminal response.
+
+        Returns the ``result`` message (``payload``/``source``/
+        ``job_id``); raises :class:`ServiceError` on any rejection or
+        job failure, with the server's error code on ``.code``.
+        """
+        self._ids += 1
+        request_id = self._ids
+        request: Dict[str, Any] = {"op": "submit", "id": request_id, "kind": kind}
+        if params:
+            request["params"] = params
+        if events:
+            request["events"] = True
+        self.send(request)
+        while True:
+            response = self.read_response()
+            if response.get("id") != request_id:
+                continue  # response to an earlier interleaved request
+            response_type = response.get("type")
+            if response_type == "result":
+                return response
+            if response_type == "error":
+                raise ServiceError(
+                    response.get("code", "job-failed"),
+                    str(response.get("message", "job failed")),
+                )
+            if response_type == "event" and on_event is not None:
+                on_event(response)
+            # "ack" and unwatched events fall through to the next line.
+
+
+# ---------------------------------------------------------------------------
+# Storm load generation (benchmark + smoke test)
+# ---------------------------------------------------------------------------
+
+
+async def _storm_client(
+    semaphore: "asyncio.Semaphore",
+    host: str,
+    port: int,
+    submissions: Sequence[Tuple[str, Dict[str, Any]]],
+) -> List[Dict[str, Any]]:
+    """One logical client: connect, submit all, await all, disconnect."""
+    async with semaphore:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            for index, (kind, params) in enumerate(submissions):
+                request: Dict[str, Any] = {"op": "submit", "id": index, "kind": kind}
+                if params:
+                    request["params"] = params
+                writer.write(protocol.encode_message(request))
+            await writer.drain()
+            terminal: Dict[int, Dict[str, Any]] = {}
+            while len(terminal) < len(submissions):
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError("server closed mid-storm")
+                response = protocol.decode_line(line)
+                if response.get("type") in ("result", "error"):
+                    terminal[response.get("id")] = response
+            return [terminal[index] for index in range(len(submissions))]
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def storm_async(
+    host: str,
+    port: int,
+    clients: Sequence[Sequence[Tuple[str, Dict[str, Any]]]],
+    concurrency: int = 128,
+) -> List[List[Dict[str, Any]]]:
+    """Run every client's submission list; returns per-client responses.
+
+    ``concurrency`` bounds simultaneous connections (file descriptors),
+    not total clients — a 1000-client storm holds at most that many
+    sockets open at once while still making 1000 distinct connections.
+    """
+    semaphore = asyncio.Semaphore(concurrency)
+    return list(
+        await asyncio.gather(
+            *(
+                _storm_client(semaphore, host, port, submissions)
+                for submissions in clients
+            )
+        )
+    )
+
+
+def storm(
+    host: str,
+    port: int,
+    clients: Sequence[Sequence[Tuple[str, Dict[str, Any]]]],
+    concurrency: int = 128,
+) -> List[List[Dict[str, Any]]]:
+    """Blocking wrapper around :func:`storm_async` (own event loop)."""
+    return asyncio.run(storm_async(host, port, clients, concurrency=concurrency))

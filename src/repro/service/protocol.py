@@ -1,0 +1,140 @@
+"""Wire protocol for the job-queue service: newline-delimited JSON.
+
+One request or response per line, UTF-8, ``\\n``-terminated. The framing
+is deliberately primitive — any language with a socket and a JSON parser
+is a client — and every message is a flat JSON object with a ``type``
+(responses) or ``op`` (requests) discriminator.
+
+Requests::
+
+    {"op": "submit", "id": 7, "kind": "evaluate",
+     "params": {"name": "trex1", "num_requests": 2000}, "events": true}
+    {"op": "ping"}
+    {"op": "stats"}
+
+Responses::
+
+    {"type": "ack",    "id": 7, "job_id": 12, "state": "queued",
+     "deduped": false}
+    {"type": "event",  "id": 7, "job_id": 12, "state": "running"}
+    {"type": "result", "id": 7, "job_id": 12, "state": "done",
+     "source": "executed", "payload": {...}}
+    {"type": "error",  "id": 7, "code": "queue-full", "message": "..."}
+    {"type": "pong"}
+    {"type": "stats",  "server": {...}, "engine": {...}}
+
+``id`` is an opaque client-chosen correlation value echoed on every
+response to that request, so one connection can interleave submissions.
+Exactly one terminal response (``result`` or ``error``) arrives per
+``submit``; ``event`` responses only flow when the submit asked for
+``"events": true``.
+
+Error codes (:data:`ERROR_CODES`) are the service's whole failure
+vocabulary — clients branch on ``code``, never on message text.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: One line (one message) may not exceed this many bytes on the wire.
+MAX_LINE_BYTES = 1 << 20
+
+#: Request was malformed or named an impossible job (unknown kind,
+#: unknown workload, bad parameter type).
+BAD_REQUEST = "bad-request"
+#: The engine's bounded queue is at capacity; retry later.
+QUEUE_FULL = "queue-full"
+#: This connection has too many unfinished submissions outstanding.
+QUOTA_EXCEEDED = "quota-exceeded"
+#: The job ran and failed (worker crash with retries exhausted, or the
+#: computation raised).
+JOB_FAILED = "job-failed"
+#: The line was not a JSON object / exceeded the line limit / had no
+#: recognizable ``op``.
+PROTOCOL_ERROR = "protocol-error"
+#: The server is draining; the job was not (fully) processed.
+SHUTTING_DOWN = "shutting-down"
+
+ERROR_CODES = (
+    BAD_REQUEST,
+    JOB_FAILED,
+    PROTOCOL_ERROR,
+    QUEUE_FULL,
+    QUOTA_EXCEEDED,
+    SHUTTING_DOWN,
+)
+
+
+class ProtocolError(ValueError):
+    """A line that cannot be parsed into a protocol message."""
+
+
+def encode_message(message: Dict[str, Any]) -> bytes:
+    """One message as its wire line (compact JSON + newline)."""
+    return (
+        json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8")
+        + b"\n"
+    )
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    """Parse one wire line; raises :class:`ProtocolError` on junk."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(f"line exceeds {MAX_LINE_BYTES} bytes")
+    try:
+        message = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"invalid JSON: {error}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"expected a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+# ---------------------------------------------------------------------------
+# Response builders (the server's side of the vocabulary)
+# ---------------------------------------------------------------------------
+
+
+def ack_response(
+    request_id: Any, job_id: int, state: str, deduped: bool
+) -> Dict[str, Any]:
+    return {
+        "type": "ack",
+        "id": request_id,
+        "job_id": job_id,
+        "state": state,
+        "deduped": deduped,
+    }
+
+
+def event_response(request_id: Any, job_id: int, state: str) -> Dict[str, Any]:
+    return {"type": "event", "id": request_id, "job_id": job_id, "state": state}
+
+
+def result_response(
+    request_id: Any, job_id: int, source: Optional[str], payload: Dict[str, Any]
+) -> Dict[str, Any]:
+    return {
+        "type": "result",
+        "id": request_id,
+        "job_id": job_id,
+        "state": "done",
+        "source": source,
+        "payload": payload,
+    }
+
+
+def error_response(
+    code: str, message: str, request_id: Any = None, job_id: Optional[int] = None
+) -> Dict[str, Any]:
+    assert code in ERROR_CODES, code
+    response: Dict[str, Any] = {"type": "error", "code": code, "message": message}
+    if request_id is not None:
+        response["id"] = request_id
+    if job_id is not None:
+        response["job_id"] = job_id
+    return response

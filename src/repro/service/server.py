@@ -1,0 +1,378 @@
+"""Asyncio job-queue server: the network face of :mod:`repro.engine`.
+
+One event-loop thread owns every connection; the engine's worker threads
+(and their process pool) do the actual computing. The two sides meet at
+exactly one seam: scheduler listeners — which fire on engine worker
+threads — hop back onto the loop with ``call_soon_threadsafe``, and from
+there every per-connection write funnels through that connection's
+outbox queue, so wire lines never interleave mid-message.
+
+Admission control happens *before* a job touches the engine, in order:
+
+1. **Quota** — each connection may have at most ``client_quota``
+   unfinished submissions (``quota-exceeded``);
+2. **Validation** — the kind/params must build a real job via
+   :func:`repro.engine.job_from_wire` (``bad-request``);
+3. **Backpressure** — the engine's bounded queue may reject
+   (``queue-full``).
+
+Each rejection is a structured error on the wire, never a dropped
+connection. Past admission, the contract is: exactly one terminal
+response per submit — a ``result`` when the job lands DONE, a
+``job-failed`` error when it lands FAILED (including after a
+worker-crash retry) — so a well-behaved client can always just read
+until its correlation id resolves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import itertools
+import os
+from typing import Any, Dict, List, Optional, Set
+
+from ..engine import (
+    DONE,
+    FAILED,
+    JobValidationError,
+    QueueFull,
+    Scheduler,
+    wire_payload,
+)
+from ..engine.jobs import job_from_wire
+from . import protocol
+
+#: Outbox sentinel: flush everything queued before it, then stop writing.
+_CLOSE = object()
+
+_TALLY_KEYS = (
+    "connections", "submitted", "completed", "failed",
+    "rejected_quota", "rejected_queue_full", "rejected_bad_request",
+)
+
+
+class ClientSession:
+    """Loop-thread state for one connection: outbox + quota accounting."""
+
+    __slots__ = ("client_id", "outbox", "outstanding", "closed")
+
+    def __init__(self, client_id: int):
+        self.client_id = client_id
+        self.outbox: "asyncio.Queue" = asyncio.Queue()
+        self.outstanding = 0
+        self.closed = False
+
+    def send(self, message: Any) -> None:
+        """Queue one response; silently dropped once the client is gone."""
+        if not self.closed:
+            self.outbox.put_nowait(message)
+
+
+class JobServer:
+    """NDJSON front end over one :class:`repro.engine.Scheduler`."""
+
+    __slots__ = (
+        "scheduler", "client_quota", "host", "port", "unix_path", "tally",
+        "_servers", "_loop", "_client_tasks", "_ids", "_stopping",
+    )
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        host: Optional[str] = "127.0.0.1",
+        port: Optional[int] = 0,
+        unix_path: Optional[str] = None,
+        client_quota: int = 16,
+    ):
+        if port is None and unix_path is None:
+            raise ValueError("need a TCP port and/or a unix socket path")
+        self.scheduler = scheduler
+        self.client_quota = max(1, client_quota)
+        self.host = host
+        self.port = port
+        self.unix_path = unix_path
+        self.tally: Dict[str, int] = {key: 0 for key in _TALLY_KEYS}
+        self._servers: List[Any] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._client_tasks: Set["asyncio.Task"] = set()
+        self._ids = itertools.count(1)
+        self._stopping: Optional[asyncio.Event] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listeners; resolves ``port`` 0 to the real port."""
+        self._loop = asyncio.get_running_loop()
+        self._stopping = asyncio.Event()
+        # The +2 leaves room for the newline when enforcing the protocol
+        # line limit through the stream reader itself.
+        limit = protocol.MAX_LINE_BYTES + 2
+        if self.port is not None:
+            server = await asyncio.start_server(
+                self._handle_client, self.host, self.port, limit=limit
+            )
+            self.port = server.sockets[0].getsockname()[1]
+            self._servers.append(server)
+        if self.unix_path is not None:
+            server = await asyncio.start_unix_server(
+                self._handle_client, path=self.unix_path, limit=limit
+            )
+            self._servers.append(server)
+
+    def endpoints(self) -> List[str]:
+        addresses = []
+        if self.port is not None and self._servers:
+            addresses.append(f"{self.host}:{self.port}")
+        if self.unix_path is not None:
+            addresses.append(f"unix:{self.unix_path}")
+        return addresses
+
+    def request_stop(self) -> None:
+        """Signal-handler-safe shutdown trigger (must run on the loop)."""
+        if self._stopping is not None:
+            self._stopping.set()
+
+    async def run(self) -> None:
+        """Start, serve until :meth:`request_stop`, then close."""
+        if not self._servers:
+            await self.start()
+        await self._stopping.wait()
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop accepting, drop live connections, leave the scheduler up.
+
+        The scheduler belongs to the caller (it may be shared); in-flight
+        jobs keep computing into the store, their disconnected clients
+        simply never hear back.
+        """
+        if self._stopping is not None:
+            self._stopping.set()
+        for server in self._servers:
+            server.close()
+        for server in self._servers:
+            await server.wait_closed()
+        self._servers = []
+        for task in list(self._client_tasks):
+            task.cancel()
+        if self._client_tasks:
+            await asyncio.gather(*self._client_tasks, return_exceptions=True)
+        self._client_tasks.clear()
+        if self.unix_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.unix_path)
+
+    def stats(self) -> dict:
+        """Server-level tallies plus the engine's own stats."""
+        return {
+            "server": {
+                "client_quota": self.client_quota,
+                "open_connections": len(self._client_tasks),
+                "tally": dict(self.tally),
+            },
+            "engine": self.scheduler.stats(),
+            "worker_pids": self.scheduler.worker_pids(),
+        }
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_client(self, reader, writer) -> None:
+        session = ClientSession(next(self._ids))
+        self.tally["connections"] += 1
+        task = asyncio.current_task()
+        self._client_tasks.add(task)
+        writer_task = self._loop.create_task(self._drain_outbox(session, writer))
+        try:
+            await self._read_loop(session, reader)
+        except asyncio.CancelledError:
+            pass  # server shutdown dropped this connection; flush and close
+        finally:
+            session.outbox.put_nowait(_CLOSE)
+            session.closed = True
+            try:
+                await writer_task
+            finally:
+                writer.close()
+                with contextlib.suppress(OSError):
+                    await writer.wait_closed()
+                self._client_tasks.discard(task)
+
+    async def _read_loop(self, session: ClientSession, reader) -> None:
+        while True:
+            try:
+                line = await reader.readline()
+            except ValueError:
+                # Stream limit exceeded: the line can't be framed, and
+                # the reader has lost sync — report and hang up.
+                session.send(
+                    protocol.error_response(
+                        protocol.PROTOCOL_ERROR,
+                        f"line exceeds {protocol.MAX_LINE_BYTES} bytes",
+                    )
+                )
+                return
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return
+            if line.strip() == b"":
+                continue
+            try:
+                message = protocol.decode_line(line)
+            except protocol.ProtocolError as error:
+                session.send(
+                    protocol.error_response(protocol.PROTOCOL_ERROR, str(error))
+                )
+                continue
+            self._dispatch(session, message)
+
+    async def _drain_outbox(self, session: ClientSession, writer) -> None:
+        while True:
+            message = await session.outbox.get()
+            if message is _CLOSE:
+                return
+            try:
+                writer.write(protocol.encode_message(message))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Client went away mid-write; stop writing and let the
+                # read loop observe EOF. Closing the session turns any
+                # still-pending scheduler callbacks into no-ops.
+                session.closed = True
+                return
+
+    # -- request dispatch (loop thread) --------------------------------------
+
+    def _dispatch(self, session: ClientSession, message: dict) -> None:
+        op = message.get("op")
+        if op == "submit":
+            self._submit(session, message)
+        elif op == "ping":
+            session.send({"type": "pong"})
+        elif op == "stats":
+            stats = self.stats()
+            stats["type"] = "stats"
+            session.send(stats)
+        else:
+            session.send(
+                protocol.error_response(
+                    protocol.PROTOCOL_ERROR,
+                    f"unknown op {op!r} (expected submit/ping/stats)",
+                    message.get("id"),
+                )
+            )
+
+    def _submit(self, session: ClientSession, message: dict) -> None:
+        request_id = message.get("id")
+        if self._stopping.is_set():
+            session.send(
+                protocol.error_response(
+                    protocol.SHUTTING_DOWN, "server is shutting down", request_id
+                )
+            )
+            return
+        if session.outstanding >= self.client_quota:
+            self.tally["rejected_quota"] += 1
+            session.send(
+                protocol.error_response(
+                    protocol.QUOTA_EXCEEDED,
+                    f"quota of {self.client_quota} outstanding jobs per "
+                    "connection reached; wait for results",
+                    request_id,
+                )
+            )
+            return
+        try:
+            kind = message.get("kind")
+            if not isinstance(kind, str):
+                raise JobValidationError("missing or non-string 'kind'")
+            params = message.get("params", {})
+            if not isinstance(params, dict):
+                raise JobValidationError("'params' must be a JSON object")
+            job = job_from_wire(kind, params)
+        except JobValidationError as error:
+            self.tally["rejected_bad_request"] += 1
+            session.send(
+                protocol.error_response(protocol.BAD_REQUEST, str(error), request_id)
+            )
+            return
+        try:
+            handle = self.scheduler.submit(job)
+        except QueueFull as error:
+            self.tally["rejected_queue_full"] += 1
+            session.send(
+                protocol.error_response(protocol.QUEUE_FULL, str(error), request_id)
+            )
+            return
+        self.tally["submitted"] += 1
+        session.outstanding += 1
+        session.send(
+            protocol.ack_response(
+                request_id, handle.job_id, handle.state, handle.waiters > 1
+            )
+        )
+        want_events = bool(message.get("events"))
+        loop = self._loop
+
+        def listener(job_handle, state):
+            # Fires on an engine worker thread (or inline on the loop
+            # thread for an already-terminal deduped handle): hop onto
+            # the loop before touching any session state.
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                loop.call_soon_threadsafe(
+                    self._on_job_transition,
+                    session,
+                    request_id,
+                    job_handle,
+                    state,
+                    want_events,
+                )
+
+        handle.subscribe(listener)
+
+    def _on_job_transition(
+        self,
+        session: ClientSession,
+        request_id: Any,
+        handle,
+        state: str,
+        want_events: bool,
+    ) -> None:
+        if state == DONE:
+            session.outstanding -= 1
+            self.tally["completed"] += 1
+            try:
+                payload = wire_payload(handle.job, handle.result())
+            except Exception as error:
+                # A wire-summary bug must degrade to a structured error,
+                # never a client waiting forever on a vanished result.
+                session.send(
+                    protocol.error_response(
+                        protocol.JOB_FAILED,
+                        f"result serialization failed: {error}",
+                        request_id,
+                        handle.job_id,
+                    )
+                )
+                return
+            session.send(
+                protocol.result_response(
+                    request_id, handle.job_id, handle.source, payload
+                )
+            )
+        elif state == FAILED:
+            session.outstanding -= 1
+            self.tally["failed"] += 1
+            session.send(
+                protocol.error_response(
+                    protocol.JOB_FAILED,
+                    handle.error or "job failed",
+                    request_id,
+                    handle.job_id,
+                )
+            )
+        elif want_events:
+            session.send(
+                protocol.event_response(request_id, handle.job_id, state)
+            )

@@ -1,0 +1,244 @@
+"""Scheduler contracts: backpressure, dedupe, lifecycle, containment.
+
+These tests drive the scheduler with purpose-built tiny job types (an
+echo, a gated slow job, an always-raiser) registered on the engine's
+own extension point, so every timing-sensitive scenario is
+deterministic: a "running" job is one blocked on an Event the test
+holds, not one that happens to be slow.
+"""
+
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro import obs
+from repro.engine import (
+    DONE,
+    FAILED,
+    QUEUED,
+    JobFailed,
+    QueueFull,
+    Scheduler,
+    register_job_type,
+)
+
+_GATES: Dict[str, threading.Event] = {}
+
+
+@dataclass(frozen=True)
+class EchoJob:
+    value: int
+
+
+@dataclass(frozen=True)
+class GatedJob:
+    gate: str
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class BoomJob:
+    reason: str
+
+
+register_job_type(EchoJob, executor=lambda job: job.value * 2)
+register_job_type(GatedJob, executor=lambda job: (_GATES[job.gate].wait(10), job.value)[1])
+register_job_type(BoomJob, executor=lambda job: (_ for _ in ()).throw(ValueError(job.reason)))
+
+
+@pytest.fixture
+def scheduler():
+    with Scheduler(workers=2, backend="thread", queue_limit=4) as sched:
+        yield sched
+
+
+def _gate(name: str) -> threading.Event:
+    event = _GATES[name] = threading.Event()
+    return event
+
+
+# ---------------------------------------------------------------------------
+# Happy path + dedupe
+# ---------------------------------------------------------------------------
+
+
+def test_submit_computes_and_resolves(scheduler):
+    handle = scheduler.submit(EchoJob(21))
+    assert handle.result(timeout=10) == 42
+    assert handle.state == DONE
+    assert handle.source == "executed"
+    assert scheduler.tally["submitted"] == 1
+
+
+def test_identical_inflight_jobs_share_one_handle(scheduler):
+    gate = _gate("dedupe")
+    try:
+        first = scheduler.submit(GatedJob("dedupe", 7))
+        duplicates = [scheduler.submit(GatedJob("dedupe", 7)) for _ in range(5)]
+        assert all(handle is first for handle in duplicates)
+        assert first.waiters == 6
+    finally:
+        gate.set()
+    assert first.result(timeout=10) == 7
+    assert scheduler.tally["deduped"] == 5
+    assert scheduler.tally["executed"] == 1
+
+
+def test_different_jobs_do_not_dedupe(scheduler):
+    first = scheduler.submit(EchoJob(1))
+    second = scheduler.submit(EchoJob(2))
+    assert first is not second
+    assert first.result(timeout=10) == 2
+    assert second.result(timeout=10) == 4
+
+
+def test_unregistered_job_type_fails_fast(scheduler):
+    with pytest.raises(TypeError):
+        scheduler.submit(object())
+
+
+# ---------------------------------------------------------------------------
+# Backpressure
+# ---------------------------------------------------------------------------
+
+
+def test_full_queue_rejects_without_blocking():
+    gate = _gate("full")
+    try:
+        with Scheduler(workers=1, backend="thread", queue_limit=1) as sched:
+            running = sched.submit(GatedJob("full", 0))
+            # Wait until the single worker has actually picked it up, so
+            # the queue slot below is deterministically free.
+            deadline = threading.Event()
+            running.subscribe(lambda _h, state: deadline.set())
+            assert deadline.wait(10)
+
+            queued = sched.submit(GatedJob("full", 1))
+            assert queued.state == QUEUED
+            with pytest.raises(QueueFull):
+                sched.submit(GatedJob("full", 2))
+            assert sched.tally["rejected"] == 1
+
+            gate.set()
+            assert running.result(timeout=10) == 0
+            assert queued.result(timeout=10) == 1
+    finally:
+        gate.set()
+
+
+def test_rejected_key_can_be_resubmitted():
+    gate = _gate("resubmit")
+    try:
+        with Scheduler(workers=1, backend="thread", queue_limit=1) as sched:
+            running = sched.submit(GatedJob("resubmit", 0))
+            started = threading.Event()
+            running.subscribe(lambda _h, state: started.set())
+            assert started.wait(10)
+            queued = sched.submit(GatedJob("resubmit", 1))
+            with pytest.raises(QueueFull):
+                sched.submit(GatedJob("resubmit", 2))
+            gate.set()
+            assert queued.result(timeout=10) == 1  # queue drained
+            # The rejection removed the key from the in-flight map, so a
+            # later submit computes rather than joining a ghost handle.
+            retry = sched.submit(GatedJob("resubmit", 2))
+            assert retry.result(timeout=10) == 2
+    finally:
+        gate.set()
+
+
+# ---------------------------------------------------------------------------
+# Failure + shutdown
+# ---------------------------------------------------------------------------
+
+
+def test_raising_executor_lands_failed(scheduler):
+    handle = scheduler.submit(BoomJob("kaput"))
+    assert handle.wait(10)
+    assert handle.state == FAILED
+    with pytest.raises(JobFailed, match="kaput"):
+        handle.result()
+    assert scheduler.tally["failed"] == 1
+
+
+def test_failed_job_notifies_subscribers(scheduler):
+    states = []
+    handle = scheduler.submit(BoomJob("observed"))
+    handle.wait(10)
+    handle.subscribe(lambda _h, state: states.append(state))
+    # Late subscription to a terminal handle fires immediately.
+    assert states == [FAILED]
+
+
+def test_close_cancels_pending_jobs():
+    gate = _gate("close")
+    sched = Scheduler(workers=1, backend="thread", queue_limit=4)
+    try:
+        running = sched.submit(GatedJob("close", 0))
+        started = threading.Event()
+        running.subscribe(lambda _h, state: started.set())
+        assert started.wait(10)
+        pending = sched.submit(GatedJob("close", 1))
+    finally:
+        gate.set()
+    sched.close(cancel_pending=True)
+    assert running.state == DONE  # in-flight work finishes
+    assert pending.state == FAILED  # queued work is cancelled
+    with pytest.raises(JobFailed, match="shut down"):
+        pending.result()
+    with pytest.raises(RuntimeError):
+        sched.submit(EchoJob(1))
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+def test_counters_gauges_and_events_track_lifecycle():
+    sink = obs.MemoryEventSink()
+    obs.enable(sink)
+    try:
+        with Scheduler(workers=2, backend="thread", queue_limit=8) as sched:
+            handles = [sched.submit(EchoJob(n)) for n in range(3)]
+            handles.append(sched.submit(EchoJob(0)))  # may dedupe or re-run
+            for handle in handles:
+                handle.wait(10)
+            snapshot = obs.active().snapshot()
+        counters = snapshot["counters"]
+        assert counters["engine.jobs.submitted"] >= 3
+        assert counters["engine.jobs.submitted"] + counters.get(
+            "engine.jobs.deduped", 0
+        ) == 4
+        assert snapshot["gauges"]["engine.queue_depth"] == 0
+        assert snapshot["gauges"]["engine.inflight"] == 0
+        assert snapshot["histograms"]["engine.job.EchoJob.seconds"]["count"] >= 3
+        types = [record["type"] for record in sink.events]
+        assert "engine.job.queued" in types
+        assert "engine.job.start" in types
+        assert "engine.job.finish" in types
+    finally:
+        obs.disable()
+
+
+def test_scheduler_is_zero_cost_without_registry():
+    assert obs.active() is None
+    with Scheduler(workers=1, backend="thread") as sched:
+        assert sched._gauges is None
+        handle = sched.submit(EchoJob(5))
+        assert handle.result(timeout=10) == 10
+    assert sched.tally["executed"] == 1  # plain-int tally is always on
+
+
+def test_stats_shape(scheduler):
+    scheduler.submit(EchoJob(9)).wait(10)
+    stats = scheduler.stats()
+    assert stats["backend"] == "thread"
+    assert stats["workers"] == 2
+    assert stats["queue_limit"] == 4
+    assert set(stats["tally"]) == {
+        "submitted", "deduped", "executed", "memoized", "failed",
+        "retried", "rejected",
+    }

@@ -1,0 +1,192 @@
+"""Concurrent single-flight: identical jobs compute exactly once.
+
+Three layers of the guarantee:
+
+* in-process — N threads racing ``submit`` on the same job join one
+  handle and one computation (asserted via obs counters);
+* cross-run — a second scheduler over the same store serves the payload
+  memoized, never recomputing (asserted via the memo hit/miss tally);
+* crash containment — a worker SIGKILLed mid-compute breaks the process
+  pool; the scheduler rebuilds it, retries once, and the job still
+  completes (or lands FAILED when the job is a deterministic killer).
+"""
+
+import os
+import signal
+import threading
+from dataclasses import dataclass
+
+import pytest
+
+from repro import obs, store
+from repro.engine import (
+    DONE,
+    FAILED,
+    JobFailed,
+    ProfileJob,
+    Scheduler,
+    register_job_type,
+)
+
+REQUESTS = 400
+THREADS = 12
+
+
+@dataclass(frozen=True)
+class KillOnceJob:
+    """SIGKILLs its worker process unless its sentinel file exists."""
+
+    sentinel: str
+
+
+@dataclass(frozen=True)
+class KillAlwaysJob:
+    """SIGKILLs its worker process every single time."""
+
+    token: str
+
+
+def _kill_once(job: KillOnceJob) -> str:
+    if not os.path.exists(job.sentinel):
+        with open(job.sentinel, "x"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return "survived"
+
+
+def _kill_always(job: KillAlwaysJob) -> str:
+    os.kill(os.getpid(), signal.SIGKILL)
+    return "unreachable"  # pragma: no cover
+
+
+register_job_type(KillOnceJob, executor=_kill_once)
+register_job_type(KillAlwaysJob, executor=_kill_always)
+
+
+@pytest.fixture
+def memo(tmp_path):
+    memo = store.configure(str(tmp_path / "cache"))
+    yield memo
+    store.deactivate()
+
+
+# ---------------------------------------------------------------------------
+# N concurrent submitters, one computation
+# ---------------------------------------------------------------------------
+
+
+def test_thread_storm_computes_identical_job_exactly_once(memo):
+    obs.enable()
+    try:
+        with Scheduler(workers=4, backend="thread", queue_limit=32) as sched:
+            job = ProfileJob("trex1", REQUESTS)
+            barrier = threading.Barrier(THREADS)
+            handles = [None] * THREADS
+
+            def submitter(slot: int) -> None:
+                barrier.wait()  # maximize submit-time contention
+                handles[slot] = sched.submit(job)
+
+            threads = [
+                threading.Thread(target=submitter, args=(slot,))
+                for slot in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            payloads = {id(handle.result(timeout=60)) for handle in handles}
+            assert len(payloads) == 1  # every submitter got the same object
+            assert len({handle.job_id for handle in handles}) == 1
+
+            counters = obs.active().snapshot()["counters"]
+            assert counters["engine.jobs.submitted"] == 1
+            assert counters["engine.jobs.deduped"] == THREADS - 1
+            assert counters["engine.jobs.executed"] == 1
+            assert sched.tally["executed"] == 1
+            assert sched.tally["deduped"] == THREADS - 1
+        # Exactly one store round trip: the one computation missed, then
+        # stored; nothing ever needed a second fetch.
+        assert memo.misses == 1
+        assert memo.hits == 0
+    finally:
+        obs.disable()
+
+
+def test_second_scheduler_serves_from_store_not_recompute(memo):
+    job = ProfileJob("hevc1", REQUESTS)
+    with Scheduler(workers=2, backend="thread") as first:
+        payload = first.submit(job).result(timeout=60)
+        assert first.tally["executed"] == 1
+    with Scheduler(workers=2, backend="thread") as second:
+        handle = second.submit(job)
+        assert handle.result(timeout=60) == payload
+        assert handle.source == "memoized"
+        assert second.tally["executed"] == 0
+        assert second.tally["memoized"] == 1
+    assert memo.hits == 1
+    assert memo.misses == 1
+
+
+def test_concurrent_schedulers_single_flight_through_lockfiles(memo):
+    """Two engines over one store: the per-key lockfile protocol makes
+    them compute at most once between them."""
+    job = ProfileJob("fbc-linear1", REQUESTS)
+    with Scheduler(workers=2, backend="thread") as a:
+        with Scheduler(workers=2, backend="thread") as b:
+            handle_a = a.submit(job)
+            handle_b = b.submit(job)
+            payload_a = handle_a.result(timeout=60)
+            payload_b = handle_b.result(timeout=60)
+    assert payload_a == payload_b
+    assert a.tally["executed"] + b.tally["executed"] == 1
+    assert a.tally["memoized"] + b.tally["memoized"] == 1
+    # No lockfiles left behind either way.
+    lock_dir = os.path.join(memo.root, "locks")
+    assert not os.path.isdir(lock_dir) or os.listdir(lock_dir) == []
+
+
+# ---------------------------------------------------------------------------
+# Kill-mid-compute: crash containment + retry
+# ---------------------------------------------------------------------------
+
+
+def test_killed_worker_retries_once_and_succeeds(tmp_path):
+    obs.enable()
+    try:
+        with Scheduler(workers=1, backend="process", queue_limit=8) as sched:
+            job = KillOnceJob(str(tmp_path / "first-attempt-done"))
+            handle = sched.submit(job)
+            assert handle.result(timeout=60) == "survived"
+            assert handle.state == DONE
+            assert handle.attempts == 2
+            assert sched.tally["retried"] == 1
+            assert sched.stats()["pool_generation"] >= 1
+            counters = obs.active().snapshot()["counters"]
+            assert counters["engine.jobs.retried"] == 1
+            assert counters["engine.jobs.executed"] == 1
+    finally:
+        obs.disable()
+
+
+def test_deterministic_killer_lands_failed_not_hung(tmp_path):
+    with Scheduler(workers=1, backend="process", queue_limit=8, retries=1) as sched:
+        handle = sched.submit(KillAlwaysJob("die"))
+        assert handle.wait(timeout=60)  # terminal, never hangs
+        assert handle.state == FAILED
+        assert handle.attempts == 2  # original + one retry
+        with pytest.raises(JobFailed, match="crashed"):
+            handle.result()
+        assert sched.tally["failed"] == 1
+
+
+def test_killed_worker_retry_still_single_flights_duplicates(tmp_path):
+    with Scheduler(workers=1, backend="process", queue_limit=8) as sched:
+        job = KillOnceJob(str(tmp_path / "dup-sentinel"))
+        first = sched.submit(job)
+        duplicate = sched.submit(job)
+        assert duplicate is first
+        assert first.result(timeout=60) == "survived"
+        assert sched.tally["deduped"] == 1
+        assert sched.tally["executed"] == 1

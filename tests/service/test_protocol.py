@@ -1,0 +1,66 @@
+"""Wire protocol framing: encode/decode round trips and rejection."""
+
+import pytest
+
+from repro.service import protocol
+
+
+def test_encode_decode_round_trip():
+    message = {"op": "submit", "id": 3, "kind": "profile", "params": {"name": "x"}}
+    line = protocol.encode_message(message)
+    assert line.endswith(b"\n")
+    assert line.count(b"\n") == 1
+    assert protocol.decode_line(line) == message
+
+
+def test_encoding_is_canonical():
+    # Key order does not leak into the wire bytes.
+    a = protocol.encode_message({"op": "ping", "id": 1})
+    b = protocol.encode_message({"id": 1, "op": "ping"})
+    assert a == b
+
+
+@pytest.mark.parametrize(
+    "line",
+    [b"not json\n", b"[1, 2, 3]\n", b'"just a string"\n', b"42\n"],
+)
+def test_decode_rejects_non_objects(line):
+    with pytest.raises(protocol.ProtocolError):
+        protocol.decode_line(line)
+
+
+def test_decode_rejects_oversized_lines():
+    blob = b'{"op": "submit", "pad": "' + b"x" * protocol.MAX_LINE_BYTES + b'"}\n'
+    with pytest.raises(protocol.ProtocolError, match="exceeds"):
+        protocol.decode_line(blob)
+
+
+def test_error_response_shape():
+    response = protocol.error_response(protocol.QUEUE_FULL, "busy", 9, job_id=4)
+    assert response == {
+        "type": "error",
+        "code": "queue-full",
+        "message": "busy",
+        "id": 9,
+        "job_id": 4,
+    }
+    minimal = protocol.error_response(protocol.BAD_REQUEST, "nope")
+    assert "id" not in minimal and "job_id" not in minimal
+
+
+def test_error_codes_are_the_whole_vocabulary():
+    assert set(protocol.ERROR_CODES) == {
+        "bad-request", "job-failed", "protocol-error",
+        "queue-full", "quota-exceeded", "shutting-down",
+    }
+
+
+def test_result_and_ack_and_event_builders():
+    ack = protocol.ack_response(1, 10, "queued", deduped=True)
+    assert ack["type"] == "ack" and ack["deduped"] is True
+    event = protocol.event_response(1, 10, "running")
+    assert event == {"type": "event", "id": 1, "job_id": 10, "state": "running"}
+    result = protocol.result_response(1, 10, "memoized", {"k": 1})
+    assert result["state"] == "done"
+    assert result["source"] == "memoized"
+    assert result["payload"] == {"k": 1}

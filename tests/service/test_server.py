@@ -1,0 +1,344 @@
+"""End-to-end service tests: a real server on a real socket.
+
+The server's event loop runs in a background thread; the tests drive it
+with the blocking :class:`ServiceClient` (plus raw sockets for the
+protocol-abuse cases) exactly like an external process would.
+Timing-sensitive scenarios (quota, queue-full, dedupe) use gated job
+kinds that block on an Event the test controls, so "the worker is busy"
+is a fact, not a hope.
+"""
+
+import asyncio
+import contextlib
+import threading
+from dataclasses import dataclass
+from typing import Dict
+
+import pytest
+
+from repro.engine import Scheduler, register_job_type
+from repro.service import (
+    JobServer,
+    ServiceClient,
+    ServiceError,
+    protocol,
+    storm,
+)
+
+_GATES: Dict[str, threading.Event] = {}
+
+
+@dataclass(frozen=True)
+class SlowWireJob:
+    gate: str
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class BoomWireJob:
+    reason: str
+
+
+register_job_type(
+    SlowWireJob,
+    executor=lambda job: (_GATES[job.gate].wait(10), job.value)[1],
+    wire_kind="test-slow",
+    wire_summary=lambda job, payload: {"value": payload},
+)
+register_job_type(
+    BoomWireJob,
+    executor=lambda job: (_ for _ in ()).throw(ValueError(job.reason)),
+    wire_kind="test-boom",
+)
+
+
+def _gate(name: str) -> threading.Event:
+    event = _GATES[name] = threading.Event()
+    return event
+
+
+@contextlib.contextmanager
+def running_server(
+    workers: int = 2, queue_limit: int = 16, client_quota: int = 8, **server_kw
+):
+    """A live server (own loop thread) over a thread-backend scheduler."""
+    scheduler = Scheduler(workers=workers, backend="thread", queue_limit=queue_limit)
+    server = JobServer(scheduler, port=0, client_quota=client_quota, **server_kw)
+    ready = threading.Event()
+    state: Dict[str, object] = {}
+
+    async def main() -> None:
+        await server.start()
+        state["loop"] = asyncio.get_running_loop()
+        ready.set()
+        await server.run()
+
+    thread = threading.Thread(target=lambda: asyncio.run(main()), daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not start"
+    try:
+        yield server
+    finally:
+        state["loop"].call_soon_threadsafe(server.request_stop)
+        thread.join(10)
+        assert not thread.is_alive(), "server loop did not shut down"
+        scheduler.close(cancel_pending=True)
+
+
+REQUESTS = 400
+SCALE = {"name": "trex1", "num_requests": REQUESTS}
+
+
+# ---------------------------------------------------------------------------
+# Basic request/response
+# ---------------------------------------------------------------------------
+
+
+def test_ping_and_stats():
+    with running_server() as server:
+        with ServiceClient(port=server.port) as client:
+            assert client.ping()
+            stats = client.stats()
+            assert stats["server"]["client_quota"] == 8
+            assert stats["engine"]["backend"] == "thread"
+            assert stats["engine"]["tally"]["submitted"] == 0
+
+
+def test_submit_profile_returns_result():
+    with running_server() as server:
+        with ServiceClient(port=server.port) as client:
+            response = client.submit("profile", SCALE)
+            assert response["state"] == "done"
+            assert response["source"] == "executed"
+            payload = response["payload"]
+            assert payload["name"] == "trex1"
+            assert payload["profiled_requests"] == REQUESTS
+            assert len(payload["sha256"]) == 64
+
+
+def test_submit_streams_progress_events():
+    with running_server() as server:
+        with ServiceClient(port=server.port) as client:
+            states = []
+            response = client.submit(
+                "synthesize", SCALE, events=True,
+                on_event=lambda event: states.append(event["state"]),
+            )
+            assert response["state"] == "done"
+            assert "running" in states
+
+
+def test_one_connection_interleaves_submissions():
+    gate = _gate("interleave")
+    try:
+        with running_server() as server:
+            with ServiceClient(port=server.port) as client:
+                # Submit a slow job, then a fast one, without waiting.
+                client.send({"op": "submit", "id": 1, "kind": "test-slow",
+                             "params": {"gate": "interleave", "value": 11}})
+                client.send({"op": "submit", "id": 2, "kind": "test-slow",
+                             "params": {"gate": "interleave", "value": 22}})
+                acks = [client.read_response(), client.read_response()]
+                assert [ack["type"] for ack in acks] == ["ack", "ack"]
+                gate.set()
+                results = {}
+                while len(results) < 2:
+                    response = client.read_response()
+                    if response["type"] == "result":
+                        results[response["id"]] = response["payload"]["value"]
+                assert results == {1: 11, 2: 22}
+    finally:
+        gate.set()
+
+
+# ---------------------------------------------------------------------------
+# Rejections: every admission failure is a structured error
+# ---------------------------------------------------------------------------
+
+
+def test_bad_requests_are_rejected_not_fatal():
+    with running_server() as server:
+        with ServiceClient(port=server.port) as client:
+            for kind, params in [
+                ("no-such-kind", {}),
+                ("profile", {"name": "no-such-workload"}),
+                ("profile", {"name": "trex1", "bogus": 1}),
+                ("profile", {"name": "trex1", "num_requests": -1}),
+            ]:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.submit(kind, params)
+                assert excinfo.value.code == protocol.BAD_REQUEST
+            # The connection survived all four rejections.
+            assert client.ping()
+            assert client.stats()["server"]["tally"]["rejected_bad_request"] == 4
+
+
+def test_client_quota_rejects_excess_outstanding():
+    gate = _gate("quota")
+    try:
+        with running_server(client_quota=1) as server:
+            with ServiceClient(port=server.port) as client:
+                client.send({"op": "submit", "id": 1, "kind": "test-slow",
+                             "params": {"gate": "quota"}})
+                assert client.read_response()["type"] == "ack"
+                client.send({"op": "submit", "id": 2, "kind": "test-slow",
+                             "params": {"gate": "quota", "value": 1}})
+                rejection = client.read_response()
+                assert rejection["type"] == "error"
+                assert rejection["code"] == protocol.QUOTA_EXCEEDED
+                assert rejection["id"] == 2
+                gate.set()
+                result = client.read_response()
+                assert result["type"] == "result" and result["id"] == 1
+                # Quota freed: the same submission is now admitted.
+                assert client.submit(
+                    "test-slow", {"gate": "quota", "value": 1}
+                )["payload"]["value"] == 1
+    finally:
+        gate.set()
+
+
+def test_engine_backpressure_surfaces_as_queue_full():
+    gate = _gate("backpressure")
+    try:
+        with running_server(workers=1, queue_limit=1) as server:
+            with ServiceClient(port=server.port) as client:
+                client.send({"op": "submit", "id": 1, "kind": "test-slow",
+                             "params": {"gate": "backpressure"}, "events": True})
+                assert client.read_response()["type"] == "ack"
+                # Wait for the single worker to pick job 1 up, so job 2
+                # deterministically occupies the one queue slot.
+                while True:
+                    response = client.read_response()
+                    if response["type"] == "event" and response["state"] == "running":
+                        break
+                client.send({"op": "submit", "id": 2, "kind": "test-slow",
+                             "params": {"gate": "backpressure", "value": 2}})
+                assert client.read_response()["type"] == "ack"
+                client.send({"op": "submit", "id": 3, "kind": "test-slow",
+                             "params": {"gate": "backpressure", "value": 3}})
+                rejection = client.read_response()
+                assert rejection["type"] == "error"
+                assert rejection["code"] == protocol.QUEUE_FULL
+                gate.set()
+                results = set()
+                while len(results) < 2:
+                    response = client.read_response()
+                    if response["type"] == "result":
+                        results.add(response["id"])
+                assert results == {1, 2}
+    finally:
+        gate.set()
+
+
+def test_failing_job_reports_job_failed_never_hangs():
+    with running_server() as server:
+        with ServiceClient(port=server.port) as client:
+            with pytest.raises(ServiceError) as excinfo:
+                client.submit("test-boom", {"reason": "exploded"})
+            assert excinfo.value.code == protocol.JOB_FAILED
+            assert "exploded" in str(excinfo.value)
+            assert client.ping()  # connection survives the job failure
+
+
+def test_protocol_junk_gets_structured_error():
+    with running_server() as server:
+        with ServiceClient(port=server.port) as client:
+            client._sock.sendall(b"this is not json\n")
+            response = client.read_response()
+            assert response["type"] == "error"
+            assert response["code"] == protocol.PROTOCOL_ERROR
+            client._sock.sendall(b'{"op": "dance"}\n')
+            response = client.read_response()
+            assert response["code"] == protocol.PROTOCOL_ERROR
+            assert "unknown op" in response["message"]
+            assert client.ping()  # still in sync
+
+
+# ---------------------------------------------------------------------------
+# Single-flight across connections + storm helper
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_jobs_across_connections_compute_once():
+    gate = _gate("crossconn")
+    try:
+        with running_server() as server:
+            with ServiceClient(port=server.port) as first:
+                with ServiceClient(port=server.port) as second:
+                    first.send({"op": "submit", "id": 1, "kind": "test-slow",
+                                "params": {"gate": "crossconn", "value": 5}})
+                    ack_one = first.read_response()
+                    assert ack_one["deduped"] is False
+                    second.send({"op": "submit", "id": 1, "kind": "test-slow",
+                                 "params": {"gate": "crossconn", "value": 5}})
+                    ack_two = second.read_response()
+                    assert ack_two["deduped"] is True
+                    assert ack_two["job_id"] == ack_one["job_id"]
+                    gate.set()
+                    assert first.read_response()["payload"]["value"] == 5
+                    assert second.read_response()["payload"]["value"] == 5
+                    tally = first.stats()["engine"]["tally"]
+                    assert tally["executed"] == 1
+                    assert tally["deduped"] == 1
+    finally:
+        gate.set()
+
+
+def test_storm_helper_drives_many_clients(tmp_path):
+    from repro import store
+
+    store.configure(str(tmp_path / "cache"))
+    try:
+        with running_server(queue_limit=64) as server:
+            submissions = [[("profile", SCALE)] for _ in range(20)]
+            responses = storm("127.0.0.1", server.port, submissions, concurrency=8)
+            assert len(responses) == 20
+            assert all(r[0]["type"] == "result" for r in responses)
+            digests = {r[0]["payload"]["sha256"] for r in responses}
+            assert len(digests) == 1
+            with ServiceClient(port=server.port) as client:
+                tally = client.stats()["engine"]["tally"]
+                # 20 identical jobs, one execution: late duplicates join
+                # in flight or read the payload back from the store.
+                assert tally["executed"] == 1
+                assert tally["submitted"] + tally["deduped"] == 20
+                assert tally["memoized"] == tally["submitted"] - 1
+    finally:
+        store.deactivate()
+
+
+# ---------------------------------------------------------------------------
+# Unix socket
+# ---------------------------------------------------------------------------
+
+
+def test_unix_socket_endpoint(tmp_path):
+    path = str(tmp_path / "repro.sock")
+    scheduler = Scheduler(workers=1, backend="thread")
+    server = JobServer(scheduler, port=None, unix_path=path)
+    ready = threading.Event()
+    state: Dict[str, object] = {}
+
+    async def main() -> None:
+        await server.start()
+        state["loop"] = asyncio.get_running_loop()
+        ready.set()
+        await server.run()
+
+    thread = threading.Thread(target=lambda: asyncio.run(main()), daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    try:
+        assert server.endpoints() == [f"unix:{path}"]
+        with ServiceClient(unix_path=path) as client:
+            assert client.ping()
+            response = client.submit("profile", SCALE)
+            assert response["payload"]["profiled_requests"] == REQUESTS
+    finally:
+        state["loop"].call_soon_threadsafe(server.request_stop)
+        thread.join(10)
+        scheduler.close(cancel_pending=True)
+    import os
+
+    assert not os.path.exists(path)  # socket file cleaned up on close
