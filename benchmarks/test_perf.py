@@ -411,6 +411,32 @@ def test_perf_snapshot(bench_jobs, capsys):
             else None
         )
 
+        # -- whole-program lint: cold parse vs warm incremental cache ------
+        # The two-phase engine re-parses nothing on a warm run: every
+        # per-file analysis must come back from the content-hash cache
+        # (only the project-phase conc rules recompute).
+        from repro.lint.cache import LintCache
+        from repro.lint.engine import lint_project
+
+        lint_target = str(Path(__file__).resolve().parent.parent / "src" / "repro")
+        with tempfile.TemporaryDirectory(prefix="repro-bench-lint-") as lint_dir:
+            lint_cache = LintCache(Path(lint_dir))
+            cold_report, timings["lint_full"] = _timed(
+                lambda: lint_project([lint_target], cache=lint_cache)
+            )
+            warm_report, timings["lint_warm"] = _timed(
+                lambda: lint_project([lint_target], cache=lint_cache)
+            )
+        lint_files = cold_report.files
+        assert cold_report.cache_misses == lint_files
+        assert warm_report.cache_hits == lint_files, (
+            f"warm lint re-parsed files: {warm_report.cache_misses} misses"
+        )
+        assert warm_report.cache_misses == 0
+        assert [f.to_dict() for f in warm_report.findings] == [
+            f.to_dict() for f in cold_report.findings
+        ], "warm lint findings differ from cold"
+
         serial_total = sum(timings[f"{name}_serial"] for name in runners)
         timings["figures_serial_total"] = serial_total
         speedup = None
@@ -420,7 +446,7 @@ def test_perf_snapshot(bench_jobs, capsys):
             speedup = serial_total / parallel_total if parallel_total else None
 
         snapshot = {
-            "schema": 7,
+            "schema": 8,
             "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "host": {
                 "cpus": cpus,
@@ -483,6 +509,13 @@ def test_perf_snapshot(bench_jobs, capsys):
             "storm_dedupe_hit_rate": round(storm_dedupe_hit_rate, 4),
             "storm_cold_jobs_per_sec": storm_cold_jobs_per_sec,
             "storm_warm_jobs_per_sec": storm_warm_jobs_per_sec,
+            # Whole-program lint (repro.lint, schema 8): full src/repro
+            # wall time cold vs warm through the incremental per-file
+            # cache; a warm run re-parses nothing.
+            "lint_files": lint_files,
+            "lint_full_wall_seconds": round(timings["lint_full"], 4),
+            "lint_warm_wall_seconds": round(timings["lint_warm"], 4),
+            "lint_cache_hits_warm": warm_report.cache_hits,
             "timings_seconds": {key: round(value, 4) for key, value in timings.items()},
         }
         RESULT_PATH.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")

@@ -27,6 +27,7 @@ def _load_bench(path):
     _check_schema5_fields(path, data)
     _check_schema6_fields(path, data)
     _check_schema7_fields(path, data)
+    _check_schema8_fields(path, data)
     return data
 
 
@@ -138,6 +139,34 @@ def _check_schema7_fields(path, data):
     if missing:
         print(f"error: {path} (schema {schema}) is missing required service "
               f"storm entries: {', '.join(missing)}; "
+              "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
+        raise SystemExit(2)
+
+
+#: Snapshot fields introduced with the two-phase lint engine (schema 8):
+#: full-repo lint wall time cold vs warm through the incremental
+#: per-file cache, and the warm run's hit count (must equal the file
+#: count — a warm lint re-parses nothing).
+_SCHEMA8_TIMINGS = ("lint_full", "lint_warm")
+_SCHEMA8_FIELDS = (
+    "lint_files",
+    "lint_full_wall_seconds",
+    "lint_warm_wall_seconds",
+    "lint_cache_hits_warm",
+)
+
+
+def _check_schema8_fields(path, data):
+    """Fail loudly when a schema>=8 snapshot lacks the lint entries."""
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema < 8:
+        return  # pre-lint-bench snapshot: nothing to require
+    timings = data["timings_seconds"]
+    missing = [key for key in _SCHEMA8_TIMINGS if key not in timings]
+    missing += [f"top-level '{key}'" for key in _SCHEMA8_FIELDS if key not in data]
+    if missing:
+        print(f"error: {path} (schema {schema}) is missing required lint "
+              f"bench entries: {', '.join(missing)}; "
               "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
         raise SystemExit(2)
 

@@ -13,7 +13,14 @@ evaluate jobs, and proves four service contracts end to end:
   gone after a clean SIGTERM shutdown;
 * no leaked lockfiles — the store's ``locks/`` directory is empty.
 
-Usage: PYTHONPATH=src python scripts/service_smoke.py [--clients 50]
+With ``--sanitize`` the server additionally runs the concurrency
+sanitizers (``--lock-order-check`` plus the event-loop stall monitor);
+the server exits nonzero on any lock-order violation or loop stall, and
+the byte-identity leg then doubles as the proof that sanitized serving
+changes nothing: the store populated by the *sanitized* server must be
+byte-identical to a direct unsanitized ``--no-cache`` run.
+
+Usage: PYTHONPATH=src python scripts/service_smoke.py [--clients 50] [--sanitize]
 """
 
 import argparse
@@ -38,14 +45,15 @@ def fail(message):
     raise SystemExit(1)
 
 
-def start_server(cache_dir, jobs):
+def start_server(cache_dir, jobs, extra_args=()):
     """Launch ``repro.eval serve`` on an ephemeral port; return (proc, port)."""
     env = dict(os.environ)
     env["PYTHONPATH"] = os.path.join(REPO, "src")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.eval", "serve",
          "--host", "127.0.0.1", "--port", "0",
-         "--cache-dir", cache_dir, "--jobs", str(jobs)],
+         "--cache-dir", cache_dir, "--jobs", str(jobs),
+         *extra_args],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env, cwd=REPO,
     )
@@ -91,11 +99,24 @@ def main(argv=None):
                         help="requests per trace, matching 'quick' (default 2000)")
     parser.add_argument("--jobs", type=int, default=0,
                         help="server worker processes (default: server's own)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run the server under the lock-order checker "
+                             "and event-loop stall monitor; any violation "
+                             "or stall fails the smoke")
+    parser.add_argument("--stall-threshold-ms", type=float, default=500.0,
+                        help="loop-stall threshold for --sanitize "
+                             "(default 500 ms; generous for noisy CI hosts)")
     args = parser.parse_args(argv)
 
+    sanitizer_args = []
+    if args.sanitize:
+        sanitizer_args = ["--lock-order-check",
+                          "--stall-threshold-ms", str(args.stall_threshold_ms)]
     workdir = tempfile.mkdtemp(prefix="repro-service-smoke-")
     cache_dir = os.path.join(workdir, "cache")
-    proc, port = start_server(cache_dir, args.jobs or min(os.cpu_count() or 1, 8))
+    proc, port = start_server(cache_dir,
+                              args.jobs or min(os.cpu_count() or 1, 8),
+                              sanitizer_args)
     try:
         submissions, unique = build_submissions(args.clients, args.requests)
         total = sum(len(client) for client in submissions)
@@ -126,6 +147,13 @@ def main(argv=None):
         tail, _ = proc.communicate(timeout=30)
         if proc.returncode != 0:
             fail(f"server exited with {proc.returncode}:\n{tail}")
+        if args.sanitize:
+            reports = [line for line in tail.splitlines()
+                       if line.startswith(("lock-order:", "loop-stalls:"))]
+            if len(reports) != 2:
+                fail(f"sanitizer reports missing from server output:\n{tail}")
+            for line in reports:
+                print(f"server {line}")
         print("server shut down cleanly")
     finally:
         if proc.poll() is None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
+from typing import Optional
 
 
 def default_processes() -> int:
@@ -25,13 +26,28 @@ def _worker_init() -> None:
     obs.disable()
 
 
-def make_pool(processes: int) -> ProcessPoolExecutor:
-    """A worker pool with the repo's standard setup (fork-preferred,
-    observability disabled in workers)."""
-    # fork (where available) keeps workers cheap; spawn works too because
-    # jobs and payloads are plain picklable dataclasses.
+def make_pool(
+    processes: int, start_method: Optional[str] = None
+) -> ProcessPoolExecutor:
+    """A worker pool with the repo's standard setup (observability
+    disabled in workers).
+
+    ``start_method=None`` keeps the historical fork-preferred default —
+    right for pools built from a single-threaded main (stream shards,
+    prewarm). Multi-threaded callers (the scheduler) must pass
+    ``"forkserver"`` or ``"spawn"``: forking a threaded process copies
+    lock state mid-flight and the child can deadlock on first acquire.
+    An unavailable requested method falls back to ``spawn``, which every
+    platform supports.
+    """
     methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    if start_method is None:
+        # fork (where available) keeps workers cheap; spawn works too
+        # because jobs and payloads are plain picklable dataclasses.
+        chosen = "fork" if "fork" in methods else "spawn"
+    else:
+        chosen = start_method if start_method in methods else "spawn"
+    context = multiprocessing.get_context(chosen)
     return ProcessPoolExecutor(
         max_workers=processes, mp_context=context, initializer=_worker_init
     )

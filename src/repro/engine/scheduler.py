@@ -33,6 +33,19 @@ The job lifecycle is a small state machine::
 Payloads arrive from three sources, recorded on the handle: computed
 (this scheduler ran it), memoized (the cross-run store had it) or
 deduped (another in-flight submission of the same key computed it).
+
+Lock-ordering contract (checked by ``conc-lock-order`` and, at runtime,
+by the opt-in lock-order sanitizer in :mod:`repro.lint.sanitize`):
+
+* The scheduler's three locks — ``_state_lock`` (inflight map),
+  ``_pool_lock`` (pool lifecycle), ``_tally_lock`` (tallies) — are
+  *leaves*: never acquire any other lock, call back into user code, or
+  touch the store while holding one.
+* ``JobHandle._lock`` is also a leaf; listeners are invoked after it is
+  released, so a listener may safely submit, subscribe or lock.
+* The store's per-key :class:`~repro.store.locks.FileLock` is the
+  *outermost* level: it is only taken with no in-process lock held
+  (``_execute``), and the in-process locks above may be taken under it.
 """
 
 from __future__ import annotations
@@ -107,10 +120,13 @@ class JobHandle:
             listeners = list(self._listeners)
             if state in _TERMINAL:
                 self._listeners.clear()
+                # Inside the lock so a late subscriber that observes a
+                # terminal state can rely on the event being set: every
+                # listener invocation (direct or via subscribe) happens
+                # after the handle is safely readable without blocking.
+                self._done.set()
         for listener in listeners:
             listener(self, state)
-        if state in _TERMINAL:
-            self._done.set()
 
     def done(self) -> bool:
         return self._done.is_set()
@@ -122,6 +138,23 @@ class JobHandle:
         """The payload; raises :class:`JobFailed` for a failed job."""
         if not self._done.wait(timeout):
             raise TimeoutError(f"job {self.job_id} still {self.state}")
+        if self.state == FAILED:
+            raise JobFailed(self.error or f"job {self.job_id} failed")
+        return self._payload
+
+    def result_nowait(self) -> Any:
+        """The payload of an already-terminal handle, without blocking.
+
+        For event-loop callers: listeners fire only after the handle is
+        terminal (see :meth:`_transition`), so inside a transition
+        callback this never raises — and never parks the loop the way
+        ``result()``'s ``Event.wait`` would.
+        """
+        if not self._done.is_set():
+            raise RuntimeError(
+                f"job {self.job_id} still {self.state}; "
+                "result_nowait() requires a terminal handle"
+            )
         if self.state == FAILED:
             raise JobFailed(self.error or f"job {self.job_id} failed")
         return self._payload
@@ -140,8 +173,9 @@ class Scheduler:
 
     __slots__ = (
         "workers", "queue_limit", "backend", "retries", "tally",
-        "_queue", "_inflight", "_state_lock", "_threads", "_pool",
-        "_pool_lock", "_pool_generation", "_closed", "_ids", "_gauges",
+        "_queue", "_inflight", "_state_lock", "_tally_lock", "_threads",
+        "_pool", "_pool_lock", "_pool_generation", "_closed", "_ids",
+        "_gauges",
     )
 
     def __init__(
@@ -161,6 +195,7 @@ class Scheduler:
         self._queue: "queue.Queue" = queue.Queue(maxsize=max(1, queue_limit))
         self._inflight: Dict[str, JobHandle] = {}
         self._state_lock = threading.Lock()
+        self._tally_lock = threading.Lock()
         self._pool = None
         self._pool_lock = threading.Lock()
         self._pool_generation = 0
@@ -179,7 +214,12 @@ class Scheduler:
     # -- instrumentation -----------------------------------------------------
 
     def _count(self, key: str) -> None:
-        self.tally[key] += 1
+        # Worker threads and the submitting thread tally concurrently;
+        # ``+=`` on a dict slot is a read-modify-write that drops counts
+        # when preempted. The obs counter is locked internally, so it
+        # stays outside this leaf lock.
+        with self._tally_lock:
+            self.tally[key] += 1
         registry = obs.active()
         if registry is not None:
             registry.counter(f"engine.jobs.{key}").inc()
@@ -351,7 +391,13 @@ class Scheduler:
     def _ensure_pool(self):
         with self._pool_lock:
             if self._pool is None:
-                self._pool = make_pool(self.workers)
+                # The pool is (re)built lazily from a *worker thread*,
+                # after this scheduler has already started its own
+                # threads — forking here would snapshot locks held by
+                # sibling threads into the children (deadlock on first
+                # contended acquire). forkserver forks from a clean
+                # single-threaded daemon instead.
+                self._pool = make_pool(self.workers, start_method="forkserver")
             return self._pool
 
     def _rebuild_pool(self, seen_generation: int) -> None:
@@ -376,6 +422,8 @@ class Scheduler:
     def stats(self) -> dict:
         with self._state_lock:
             inflight = len(self._inflight)
+        with self._tally_lock:
+            tally = dict(self.tally)
         return {
             "backend": self.backend,
             "workers": self.workers,
@@ -383,7 +431,7 @@ class Scheduler:
             "queued": self._queue.qsize(),
             "inflight": inflight,
             "pool_generation": self._pool_generation,
-            "tally": dict(self.tally),
+            "tally": tally,
         }
 
     def close(self, cancel_pending: bool = False) -> None:

@@ -401,11 +401,22 @@ def run_serve_command(args) -> int:
     import signal
 
     from ..engine import Scheduler
+    from ..lint import sanitize as lint_sanitize
     from ..service import JobServer
 
     port = args.port
     if port is None and args.unix is None:
         port = 0  # TCP on an ephemeral port; the real one is printed
+    lock_checker = None
+    if args.lock_order_check:
+        # Before the scheduler exists, so every FileLock acquisition of
+        # this process lands in the observed acquisition graph.
+        lock_checker = lint_sanitize.enable_lock_order_check()
+    stall_monitor = None
+    if args.stall_threshold_ms is not None:
+        stall_monitor = lint_sanitize.LoopStallMonitor(
+            threshold=args.stall_threshold_ms / 1000.0
+        )
     memo = None
     if not args.no_cache:
         memo = store.configure(args.cache_dir)
@@ -430,8 +441,15 @@ def run_serve_command(args) -> int:
                 loop.add_signal_handler(signum, server.request_stop)
             except NotImplementedError:  # pragma: no cover - non-unix loops
                 pass
-        await server.run()
+        if stall_monitor is not None:
+            stall_monitor.start(loop)
+        try:
+            await server.run()
+        finally:
+            if stall_monitor is not None:
+                stall_monitor.stop()
 
+    sanitizer_failed = False
     try:
         asyncio.run(_serve())
     finally:
@@ -442,8 +460,32 @@ def run_serve_command(args) -> int:
                 flush=True,
             )
             store.deactivate()
+        if lock_checker is not None:
+            report = lock_checker.report()
+            print(
+                f"lock-order: {report['acquisitions']} acquisitions, "
+                f"{report['edges']} edges, "
+                f"{len(report['violations'])} violations",
+                flush=True,
+            )
+            for violation in report["violations"]:
+                print(f"lock-order violation: {violation}", flush=True)
+                sanitizer_failed = True
+            lint_sanitize.disable_lock_order_check()
+        if stall_monitor is not None:
+            report = stall_monitor.report()
+            print(
+                f"loop-stalls: {len(report['stalls'])} stalls over "
+                f"{report['ticks']} ticks (max lag "
+                f"{report['max_lag_seconds'] * 1000.0:.1f} ms, threshold "
+                f"{report['threshold_seconds'] * 1000.0:.1f} ms)",
+                flush=True,
+            )
+            for lag in report["stalls"]:
+                print(f"loop stall: {lag * 1000.0:.1f} ms", flush=True)
+                sanitizer_failed = True
     print("server stopped", flush=True)
-    return 0
+    return 1 if sanitizer_failed else 0
 
 
 def main(argv=None) -> int:
@@ -605,6 +647,17 @@ def main(argv=None) -> int:
     serve.add_argument(
         "--no-cache", action="store_true",
         help="disable the cross-run result cache for this server")
+    serve.add_argument(
+        "--lock-order-check", action="store_true",
+        help="run the lock-order sanitizer: record every observed lock "
+             "acquisition, report ordering cycles at shutdown and exit "
+             "nonzero on any violation (observation-only; results are "
+             "byte-identical)")
+    serve.add_argument(
+        "--stall-threshold-ms", type=float, default=None, metavar="MS",
+        help="run the event-loop stall monitor: report any callback that "
+             "delays the loop heartbeat by more than MS milliseconds and "
+             "exit nonzero if stalls occurred (observation-only)")
 
     cache = sub.add_parser(
         "cache", help="inspect and maintain the cross-run result cache"

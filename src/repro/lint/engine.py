@@ -3,9 +3,19 @@
 The linter enforces the repo's reproducibility invariants (seeded RNG
 only, no ambient wall clock in simulation paths, atomic artifact writes,
 ordered iteration before serialization, ``__slots__`` on hot-path
-classes). Every rule is a small AST pass registered here; the engine
-parses each file once, hands the tree to every selected rule, then
-applies per-line suppressions.
+classes) plus the whole-program concurrency contracts of the engine and
+service layer. The drive is two-phase:
+
+1. **Per-file** — each file is parsed once; the per-file rules run over
+   the tree and a :class:`~repro.lint.graph.ModuleSummary` is extracted
+   for the project phase. Everything produced here depends only on the
+   file's own bytes, so :class:`FileAnalysis` is what the incremental
+   cache persists — a warm run re-parses only changed files.
+2. **Project** — the summaries are joined into a
+   :class:`~repro.lint.graph.ProjectGraph` and the
+   :class:`ProjectRule` subclasses (the ``conc-*`` family) run over the
+   resolved call graph. Project findings are recomputed every run; only
+   the per-file extraction is cached.
 
 Suppressions
 ------------
@@ -14,9 +24,14 @@ A finding on line N is silenced by a comment on that line::
     handle = path.open("w")  # lint: ignore[io-atomic-write]
 
 Several ids may be listed (``# lint: ignore[a, b]``); a bare
-``# lint: ignore`` silences every rule on the line. Suppressions that
-silence nothing are themselves reported (``lint-unused-suppression``),
-so stale exemptions cannot linger after the underlying code is fixed.
+``# lint: ignore`` silences every rule on the line. Matching is
+anchored to *statement spans*, not single lines: a finding attributed
+to a decorated function's ``def`` line can be suppressed on the
+decorator line (or anywhere else in the statement's header), and a
+multi-line call can carry its suppression on any of its lines.
+Suppressions that silence nothing are themselves reported
+(``lint-unused-suppression``), so stale exemptions cannot linger after
+the underlying code is fixed.
 """
 
 from __future__ import annotations
@@ -28,6 +43,12 @@ import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Type
+
+from .graph import ModuleSummary, ProjectGraph, build_project, extract_summary
+
+#: Bumped when analysis semantics change; part of the cache key, so a
+#: new engine never reuses summaries produced by an old one.
+ENGINE_VERSION = 2
 
 #: Rule id reported for stale suppression comments.
 UNUSED_SUPPRESSION = "lint-unused-suppression"
@@ -64,7 +85,7 @@ class Finding:
 
 @dataclass
 class LintContext:
-    """Everything a rule needs to inspect one file."""
+    """Everything a per-file rule needs to inspect one file."""
 
     path: str
     tree: ast.AST
@@ -104,6 +125,37 @@ class Rule:
         raise NotImplementedError
 
 
+@dataclass
+class ProjectLintContext:
+    """Everything a project rule needs: the resolved call graph."""
+
+    graph: ProjectGraph
+    findings: List[Finding] = field(default_factory=list)
+
+    def report(self, path: str, line: int, col: int,
+               rule_id: str, message: str) -> None:
+        self.findings.append(
+            Finding(path=path, line=line, col=col,
+                    rule_id=rule_id, message=message)
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that runs once over the whole project graph.
+
+    Subclasses implement :meth:`check_project`; the per-file ``check``
+    is a no-op so a mixed registry can be driven uniformly.
+    """
+
+    def check(self, context: LintContext) -> None:
+        return None
+
+    def check_project(
+        self, context: ProjectLintContext
+    ) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Type[Rule]] = {}
 
 
@@ -122,6 +174,12 @@ def all_rules() -> Dict[str, Type[Rule]]:
     from . import rules  # noqa: F401  (registration side effect)
 
     return dict(_REGISTRY)
+
+
+def rule_fingerprint() -> str:
+    """Identity of the rule set + engine, part of the lint cache key."""
+    names = ",".join(sorted(all_rules()))
+    return f"engine={ENGINE_VERSION};rules={names}"
 
 
 def _module_parts(path: str) -> Tuple[str, ...]:
@@ -154,21 +212,251 @@ def _parse_suppressions(source: str) -> Dict[int, Optional[Set[str]]]:
     return suppressions
 
 
+def _statement_spans(tree: ast.AST) -> List[Tuple[int, int]]:
+    """Line spans suppressions anchor over (see module docstring).
+
+    ``def``/``class`` statements span from their first decorator line
+    through the end of the header (the line before the body starts);
+    every other statement spans its own lines. Only multi-line spans
+    are kept — single-line statements already match exactly.
+    """
+    spans: List[Tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            start = node.lineno
+            for decorator in node.decorator_list:
+                start = min(start, decorator.lineno)
+            body_start = node.body[0].lineno if node.body else node.lineno
+            end = max(node.lineno, body_start - 1)
+        else:
+            start = node.lineno
+            end = getattr(node, "end_lineno", None) or node.lineno
+        if end > start:
+            spans.append((start, end))
+    return sorted(spans)
+
+
+def _span_lookup(spans: Sequence[Tuple[int, int]]) -> Dict[int, Tuple[int, int]]:
+    """Line -> smallest enclosing span (innermost statement wins)."""
+    lookup: Dict[int, Tuple[int, int]] = {}
+    for start, end in spans:
+        for line in range(start, end + 1):
+            current = lookup.get(line)
+            if current is None or (end - start) < (current[1] - current[0]):
+                lookup[line] = (start, end)
+    return lookup
+
+
+@dataclass
+class FileAnalysis:
+    """The cacheable product of the per-file phase for one file."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    summary: Optional[ModuleSummary] = None
+    suppressions: Dict[int, Optional[Set[str]]] = field(default_factory=dict)
+    spans: List[Tuple[int, int]] = field(default_factory=list)
+    syntax_error: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "findings": [f.to_dict() for f in self.findings],
+            "summary": self.summary.to_dict() if self.summary else None,
+            "suppressions": {
+                str(line): (None if ids is None else sorted(ids))
+                for line, ids in self.suppressions.items()
+            },
+            "spans": [list(span) for span in self.spans],
+            "syntax_error": self.syntax_error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FileAnalysis":
+        return cls(
+            path=data["path"],
+            findings=[
+                Finding(
+                    path=f["path"], line=f["line"], col=f["col"],
+                    rule_id=f["rule"], message=f["message"],
+                )
+                for f in data["findings"]
+            ],
+            summary=(
+                ModuleSummary.from_dict(data["summary"])
+                if data["summary"] else None
+            ),
+            suppressions={
+                int(line): (None if ids is None else set(ids))
+                for line, ids in data["suppressions"].items()
+            },
+            spans=[tuple(span) for span in data["spans"]],
+            syntax_error=data["syntax_error"],
+        )
+
+
+@dataclass
+class LintReport:
+    """Findings plus the cache tally for a :func:`lint_project` run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+def _expand_selectors(
+    selectors: Sequence[str], registry: Dict[str, Type[Rule]]
+) -> List[str]:
+    """Expand family prefixes (``conc`` -> every ``conc-*`` rule)."""
+    expanded: List[str] = []
+    unknown: List[str] = []
+    for selector in selectors:
+        if selector in registry or selector == UNUSED_SUPPRESSION:
+            expanded.append(selector)
+            continue
+        family = sorted(
+            rule_id for rule_id in registry
+            if rule_id.startswith(selector + "-")
+        )
+        if family:
+            expanded.extend(family)
+        else:
+            unknown.append(selector)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return expanded
+
+
 def _select_rules(
     select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
 ) -> List[Rule]:
     registry = all_rules()
-    unknown = [
-        rule_id
-        for rule_id in list(select or []) + list(ignore or [])
-        if rule_id not in registry and rule_id != UNUSED_SUPPRESSION
-    ]
-    if unknown:
-        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-    chosen = list(select) if select else list(registry)
+    chosen = (
+        _expand_selectors(select, registry) if select else list(registry)
+    )
     if ignore:
-        chosen = [rule_id for rule_id in chosen if rule_id not in set(ignore)]
+        dropped = set(_expand_selectors(ignore, registry))
+        chosen = [rule_id for rule_id in chosen if rule_id not in dropped]
     return [registry[rule_id]() for rule_id in chosen if rule_id in registry]
+
+
+def _analyze_file(source: str, path: str) -> FileAnalysis:
+    """Run the per-file phase for one file (parse, rules, extraction).
+
+    Every registered per-file rule runs regardless of ``--select`` so
+    the analysis is selection-independent — the cache can serve any
+    later selection from the same entry; filtering happens at report
+    time.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return FileAnalysis(
+            path=path,
+            findings=[
+                Finding(
+                    path=path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1),
+                    rule_id=SYNTAX_ERROR,
+                    message=f"file does not parse: {error.msg}",
+                )
+            ],
+            syntax_error=True,
+        )
+    context = LintContext(
+        path=path, tree=tree, source=source, module_parts=_module_parts(path)
+    )
+    for rule_class in all_rules().values():
+        if not issubclass(rule_class, ProjectRule):
+            rule_class().check(context)
+    return FileAnalysis(
+        path=path,
+        findings=context.findings,
+        summary=extract_summary(tree, path),
+        suppressions=_parse_suppressions(source),
+        spans=_statement_spans(tree),
+    )
+
+
+def _run_project_rules(
+    analyses: Sequence[FileAnalysis], rules: Sequence[Rule]
+) -> List[Finding]:
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    if not project_rules:
+        return []
+    summaries = [a.summary for a in analyses if a.summary is not None]
+    context = ProjectLintContext(graph=build_project(summaries))
+    for rule in project_rules:
+        rule.check_project(context)
+    return context.findings
+
+
+def _apply_suppressions(
+    analysis: FileAnalysis,
+    findings: Sequence[Finding],
+    check_unused: bool,
+) -> List[Finding]:
+    """Filter one file's findings through its suppression table."""
+    lookup = _span_lookup(analysis.spans)
+    used_lines: Set[int] = set()
+    kept: List[Finding] = []
+    for finding in findings:
+        candidates = [finding.line]
+        span = lookup.get(finding.line)
+        if span is not None:
+            candidates.extend(
+                line for line in range(span[0], span[1] + 1)
+                if line != finding.line
+            )
+        matched: Optional[int] = None
+        for candidate in candidates:
+            if candidate not in analysis.suppressions:
+                continue
+            allowed = analysis.suppressions[candidate]
+            if allowed is None or finding.rule_id in allowed:
+                matched = candidate
+                break
+        if matched is not None:
+            used_lines.add(matched)
+        else:
+            kept.append(finding)
+    if check_unused:
+        for line in sorted(set(analysis.suppressions) - used_lines):
+            ids = analysis.suppressions[line]
+            label = "all rules" if ids is None else ", ".join(sorted(ids))
+            kept.append(
+                Finding(
+                    path=analysis.path,
+                    line=line,
+                    col=1,
+                    rule_id=UNUSED_SUPPRESSION,
+                    message=f"suppression ({label}) matches no finding; remove it",
+                )
+            )
+    return kept
+
+
+def _check_unused(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> bool:
+    return (
+        select is None or UNUSED_SUPPRESSION in select
+    ) and UNUSED_SUPPRESSION not in set(ignore or [])
+
+
+def _selected_file_findings(
+    analysis: FileAnalysis, rules: Sequence[Rule]
+) -> List[Finding]:
+    """The analysis' findings narrowed to the selected per-file rules."""
+    wanted = {
+        rule.rule_id for rule in rules if not isinstance(rule, ProjectRule)
+    }
+    wanted.add(SYNTAX_ERROR)
+    return [f for f in analysis.findings if f.rule_id in wanted]
 
 
 def lint_source(
@@ -177,53 +465,20 @@ def lint_source(
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
 ) -> List[Finding]:
-    """Lint one file's contents; returns sorted findings."""
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        return [
-            Finding(
-                path=path,
-                line=error.lineno or 1,
-                col=(error.offset or 1),
-                rule_id=SYNTAX_ERROR,
-                message=f"file does not parse: {error.msg}",
-            )
-        ]
+    """Lint one file's contents; returns sorted findings.
 
-    context = LintContext(
-        path=path, tree=tree, source=source, module_parts=_module_parts(path)
+    Project rules run too, over the one-file project — cross-file
+    resolution is unavailable but same-file concurrency hazards (and
+    the rule fixtures) are checked exactly as in a full run.
+    """
+    rules = _select_rules(select, ignore)
+    analysis = _analyze_file(source, path)
+    findings = _selected_file_findings(analysis, rules)
+    if not analysis.syntax_error:
+        findings.extend(_run_project_rules([analysis], rules))
+    return sorted(
+        _apply_suppressions(analysis, findings, _check_unused(select, ignore))
     )
-    for rule in _select_rules(select, ignore):
-        rule.check(context)
-
-    suppressions = _parse_suppressions(source)
-    used_lines: Set[int] = set()
-    kept: List[Finding] = []
-    for finding in context.findings:
-        allowed = suppressions.get(finding.line, ())
-        if allowed is None or (allowed and finding.rule_id in allowed):
-            used_lines.add(finding.line)
-        else:
-            kept.append(finding)
-
-    check_unused = (
-        select is None or UNUSED_SUPPRESSION in select
-    ) and UNUSED_SUPPRESSION not in set(ignore or [])
-    if check_unused:
-        for line in sorted(set(suppressions) - used_lines):
-            ids = suppressions[line]
-            label = "all rules" if ids is None else ", ".join(sorted(ids))
-            kept.append(
-                Finding(
-                    path=path,
-                    line=line,
-                    col=1,
-                    rule_id=UNUSED_SUPPRESSION,
-                    message=f"suppression ({label}) matches no finding; remove it",
-                )
-            )
-    return sorted(kept)
 
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:
@@ -240,16 +495,58 @@ def iter_python_files(paths: Iterable[str]) -> List[Path]:
     return sorted(seen)
 
 
+def lint_project(
+    paths: Iterable[str],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+    cache: Optional["LintCache"] = None,
+) -> LintReport:
+    """Two-phase lint of every ``.py`` file under ``paths``.
+
+    With a :class:`~repro.lint.cache.LintCache`, per-file analyses are
+    looked up by (content sha, rule fingerprint) and only missing files
+    are parsed; the report carries the hit/miss tally.
+    """
+    rules = _select_rules(select, ignore)
+    analyses: List[FileAnalysis] = []
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        path = file_path.as_posix()
+        analysis: Optional[FileAnalysis] = None
+        if cache is not None:
+            analysis = cache.get(path, source)
+        if analysis is None:
+            analysis = _analyze_file(source, path)
+            report.cache_misses += 1
+            if cache is not None and not analysis.syntax_error:
+                cache.put(path, source, analysis)
+        else:
+            report.cache_hits += 1
+        analyses.append(analysis)
+    report.files = len(analyses)
+
+    project_findings = _run_project_rules(analyses, rules)
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in project_findings:
+        by_path.setdefault(finding.path, []).append(finding)
+
+    check_unused = _check_unused(select, ignore)
+    for analysis in analyses:
+        findings = _selected_file_findings(analysis, rules)
+        findings.extend(by_path.get(analysis.path, []))
+        report.findings.extend(
+            _apply_suppressions(analysis, findings, check_unused)
+        )
+    report.findings.sort()
+    return report
+
+
 def lint_paths(
     paths: Iterable[str],
     select: Optional[Sequence[str]] = None,
     ignore: Optional[Sequence[str]] = None,
+    cache: Optional["LintCache"] = None,
 ) -> List[Finding]:
     """Lint every ``.py`` file under ``paths``; returns sorted findings."""
-    findings: List[Finding] = []
-    for file_path in iter_python_files(paths):
-        source = file_path.read_text(encoding="utf-8")
-        findings.extend(
-            lint_source(source, path=file_path.as_posix(), select=select, ignore=ignore)
-        )
-    return sorted(findings)
+    return lint_project(paths, select=select, ignore=ignore, cache=cache).findings

@@ -1,0 +1,1448 @@
+"""Whole-program symbol table and call graph for the ``conc-*`` rules.
+
+The per-file rules in :mod:`repro.lint.rules` see one AST at a time;
+the concurrency hazards introduced by the engine/service layer (a
+blocking call reached *from* a coroutine, an attribute mutated from
+*both* the event loop and a worker thread, a lock acquired in two
+different orders in two different modules) are properties of paths
+through the program, not of any single file. This module builds the
+project view those rules need, in two stages that mirror the lint
+engine's two-phase drive:
+
+1. **Extraction** (:func:`extract_summary`) — one pass over a file's
+   AST producing a :class:`ModuleSummary`: functions with their call
+   sites (and the lock set lexically held at each), lock acquisitions,
+   attribute mutations, awaits-under-lock, direct uses of blocking
+   primitives, thread/executor targets and event-loop callback
+   registrations, plus classes with their lock attributes and inferred
+   attribute types, and the module's import alias table. Summaries are
+   plain data (``to_dict``/``from_dict``) so the incremental lint cache
+   can persist them and warm runs skip re-parsing entirely.
+
+2. **Resolution** (:class:`ProjectGraph`) — joins every summary into a
+   project-wide symbol table, resolves call references through import
+   aliases, re-export chains and the symbolic type layer, and computes
+   the derived sets the rules consume: functions reachable from the
+   event loop, functions reachable from worker threads, and the
+   transitive may-block set seeded from a table of known blocking
+   primitives.
+
+Types are **symbolic expressions**, not resolved names: extraction
+records ``registry = obs.active()`` as the string ``obs.active()`` and
+``registry.counter(name)`` as ``obs.active().counter()`` — a dotted
+path whose trailing ``()`` means "the return type of calling this".
+Calls whose final segment is Capitalised collapse to the class itself
+(``Scheduler()`` has type ``Scheduler``, ``threading.Event()`` has type
+``threading.Event``), so constructor results match the blocking tables
+at extraction time. Everything else is resolved only in the project
+phase (:meth:`ProjectGraph.resolve_type_expr`) by chaining return
+annotations through the full symbol table. This split is what keeps
+per-file summaries *cache-pure*: a summary depends on its own file's
+bytes alone, so the incremental cache can persist it without tracking
+cross-file invalidation.
+
+Approximations (deliberate, documented in DESIGN.md):
+
+* Unresolved ``x.meth()`` calls fall back to conservative edges to
+  *every* project method named ``meth`` — but only when ``meth`` is not
+  a ubiquitous protocol/builtin name (``get``, ``put``, ``close``, …);
+  for those names the fallback would connect unrelated code and drown
+  the rules in noise, so they resolve only through the type layer.
+* Plain ``threading.Lock`` acquisition is *not* treated as blocking by
+  ``conc-blocking-in-async`` (bounded critical sections; the lock-order
+  and shared-state rules police lock usage instead), and neither are
+  ``.write``/``.flush`` on already-open handles (the event-sink path is
+  loop-legal by design: one line, flushed, no seeks).
+* Locks are tracked while held via ``with`` blocks; a bare
+  ``.acquire()`` records an acquisition edge but does not extend the
+  lexically-held set over the statements that follow.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+# -- blocking-primitive tables ----------------------------------------------
+
+#: Calls to these bare names block (or may block) the calling thread.
+BLOCKING_NAME_CALLS: Set[str] = {"open", "input"}
+
+#: ``module.function`` calls that block the calling thread.
+BLOCKING_MODULE_CALLS: Set[Tuple[str, str]] = {
+    ("time", "sleep"),
+    ("os", "system"),
+    ("os", "waitpid"),
+    ("select", "select"),
+    ("socket", "create_connection"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_call"),
+    ("subprocess", "check_output"),
+    ("shutil", "copyfile"),
+    ("shutil", "copytree"),
+    ("shutil", "rmtree"),
+}
+
+#: Method names that block regardless of receiver type (no common
+#: non-blocking builtin shares them).
+BLOCKING_METHODS_ANY: Set[str] = {
+    "read_text", "read_bytes", "write_text", "write_bytes",
+    "recv", "recvfrom", "accept", "sendall",
+}
+
+#: ``(receiver type, method)`` pairs that block; receiver types are the
+#: dotted names produced by the extraction-time type inference.
+BLOCKING_TYPED_METHODS: Set[Tuple[str, str]] = {
+    ("threading.Event", "wait"),
+    ("threading.Thread", "join"),
+    ("threading.Condition", "wait"),
+    ("queue.Queue", "get"),
+    ("queue.Queue", "put"),
+    ("queue.Queue", "join"),
+}
+
+#: Callables whose construction yields a lock object (with/acquire).
+_LOCK_FACTORY_NAMES = {"Lock", "RLock", "FileLock", "make_lock"}
+
+#: Builtin/protocol method names excluded from the conservative
+#: dynamic-dispatch fallback (see module docstring).
+COMMON_METHOD_NAMES: Set[str] = {
+    "add", "append", "clear", "close", "copy", "count", "decode",
+    "discard", "emit", "encode", "extend", "find", "flush", "format",
+    "get", "index", "insert", "items", "join", "keys", "lower", "open",
+    "pop", "popitem", "put", "read", "readline", "readlines", "remove",
+    "replace", "run", "send", "set", "setdefault", "sort", "split",
+    "start", "startswith", "stop", "strip", "update", "upper", "values",
+    "write", "writelines",
+}
+
+#: Event-loop callback registrars: (method name, callback arg index).
+_LOOP_CALLBACK_REGISTRARS: Dict[str, int] = {
+    "call_soon": 0,
+    "call_soon_threadsafe": 0,
+    "call_later": 1,
+    "call_at": 1,
+    "add_signal_handler": 1,
+}
+
+#: Executor-hop registrars: (method name, target arg index). The target
+#: runs on a worker (thread or process), never on the caller's context.
+_EXECUTOR_REGISTRARS: Dict[str, int] = {
+    "submit": 0,
+    "run_in_executor": 1,
+    "to_thread": 0,
+}
+
+#: Calls that create a process pool (checked by conc-fork-after-threads).
+_POOL_FACTORY_NAMES = {"ProcessPoolExecutor", "Pool", "make_pool"}
+
+_SAFE_START_METHODS = {"spawn", "forkserver"}
+
+
+# -- summary data model ------------------------------------------------------
+
+
+@dataclass
+class CallSite:
+    """One call expression inside a function body."""
+
+    ref: Tuple[str, ...]        #: raw reference, see ``_ref_of``
+    line: int
+    col: int
+    held: Tuple[str, ...]       #: lock ids lexically held at the call
+    hop: bool = False           #: target escapes to another execution context
+    awaited: bool = False       #: call is directly awaited
+    recv_type: str = ""         #: dotted receiver type when inferable
+
+    def to_dict(self) -> dict:
+        return {
+            "ref": list(self.ref), "line": self.line, "col": self.col,
+            "held": list(self.held), "hop": self.hop,
+            "awaited": self.awaited, "recv_type": self.recv_type,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallSite":
+        return cls(
+            ref=tuple(data["ref"]), line=data["line"], col=data["col"],
+            held=tuple(data["held"]), hop=data["hop"],
+            awaited=data["awaited"], recv_type=data["recv_type"],
+        )
+
+
+@dataclass
+class LockSite:
+    """One lock acquisition (``with lock:`` or explicit ``.acquire()``)."""
+
+    lock_id: str
+    line: int
+    col: int
+    held_before: Tuple[str, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "lock_id": self.lock_id, "line": self.line, "col": self.col,
+            "held_before": list(self.held_before),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LockSite":
+        return cls(
+            lock_id=data["lock_id"], line=data["line"], col=data["col"],
+            held_before=tuple(data["held_before"]),
+        )
+
+
+@dataclass
+class Mutation:
+    """An attribute store (``x.attr = / += ...``) on a typed object."""
+
+    owner: str                  #: dotted type name owning the attribute
+    attr: str
+    line: int
+    col: int
+    held: Tuple[str, ...]
+    in_init: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "owner": self.owner, "attr": self.attr, "line": self.line,
+            "col": self.col, "held": list(self.held), "in_init": self.in_init,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Mutation":
+        return cls(
+            owner=data["owner"], attr=data["attr"], line=data["line"],
+            col=data["col"], held=tuple(data["held"]), in_init=data["in_init"],
+        )
+
+
+@dataclass
+class PoolSpawn:
+    """A process-pool creation call site."""
+
+    name: str
+    line: int
+    col: int
+    safe_start_method: bool     #: carries start_method="spawn"/"forkserver"
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "line": self.line, "col": self.col,
+            "safe_start_method": self.safe_start_method,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PoolSpawn":
+        return cls(
+            name=data["name"], line=data["line"], col=data["col"],
+            safe_start_method=data["safe_start_method"],
+        )
+
+
+@dataclass
+class FunctionSummary:
+    """Everything the project phase needs to know about one function."""
+
+    qual: str                   #: e.g. ``Scheduler._count`` or ``helper``
+    name: str
+    line: int
+    is_async: bool
+    owner: str = ""             #: local class name when a method
+    returns: str = ""           #: return-annotation type, unresolved
+    calls: List[CallSite] = field(default_factory=list)
+    acquires: List[LockSite] = field(default_factory=list)
+    mutations: List[Mutation] = field(default_factory=list)
+    blocking: List[Tuple[int, int, str]] = field(default_factory=list)
+    awaits_under_lock: List[Tuple[int, int, str]] = field(default_factory=list)
+    thread_spawn_lines: List[int] = field(default_factory=list)
+    pool_spawns: List[PoolSpawn] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "qual": self.qual, "name": self.name, "line": self.line,
+            "is_async": self.is_async, "owner": self.owner,
+            "returns": self.returns,
+            "calls": [c.to_dict() for c in self.calls],
+            "acquires": [a.to_dict() for a in self.acquires],
+            "mutations": [m.to_dict() for m in self.mutations],
+            "blocking": [list(b) for b in self.blocking],
+            "awaits_under_lock": [list(a) for a in self.awaits_under_lock],
+            "thread_spawn_lines": list(self.thread_spawn_lines),
+            "pool_spawns": [p.to_dict() for p in self.pool_spawns],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionSummary":
+        return cls(
+            qual=data["qual"], name=data["name"], line=data["line"],
+            is_async=data["is_async"], owner=data["owner"],
+            returns=data["returns"],
+            calls=[CallSite.from_dict(c) for c in data["calls"]],
+            acquires=[LockSite.from_dict(a) for a in data["acquires"]],
+            mutations=[Mutation.from_dict(m) for m in data["mutations"]],
+            blocking=[tuple(b) for b in data["blocking"]],
+            awaits_under_lock=[tuple(a) for a in data["awaits_under_lock"]],
+            thread_spawn_lines=list(data["thread_spawn_lines"]),
+            pool_spawns=[PoolSpawn.from_dict(p) for p in data["pool_spawns"]],
+        )
+
+
+@dataclass
+class ClassSummary:
+    """One class: its methods live in the module's function table."""
+
+    name: str
+    line: int
+    bases: List[str] = field(default_factory=list)  #: raw base refs
+    lock_attrs: List[str] = field(default_factory=list)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    method_names: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "line": self.line, "bases": list(self.bases),
+            "lock_attrs": list(self.lock_attrs),
+            "attr_types": dict(self.attr_types),
+            "method_names": list(self.method_names),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClassSummary":
+        return cls(
+            name=data["name"], line=data["line"], bases=list(data["bases"]),
+            lock_attrs=list(data["lock_attrs"]),
+            attr_types=dict(data["attr_types"]),
+            method_names=list(data["method_names"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """The per-file analysis product consumed by :class:`ProjectGraph`."""
+
+    module: str                 #: dotted module name, e.g. ``repro.engine.scheduler``
+    path: str
+    imports: Dict[str, str] = field(default_factory=dict)  #: alias -> dotted target
+    functions: List[FunctionSummary] = field(default_factory=list)
+    classes: List[ClassSummary] = field(default_factory=list)
+    #: raw refs of functions handed to threads/executors and to the loop
+    thread_targets: List[List[str]] = field(default_factory=list)
+    loop_callbacks: List[List[str]] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module, "path": self.path,
+            "imports": dict(self.imports),
+            "functions": [f.to_dict() for f in self.functions],
+            "classes": [c.to_dict() for c in self.classes],
+            "thread_targets": [list(t) for t in self.thread_targets],
+            "loop_callbacks": [list(c) for c in self.loop_callbacks],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleSummary":
+        return cls(
+            module=data["module"], path=data["path"],
+            imports=dict(data["imports"]),
+            functions=[FunctionSummary.from_dict(f) for f in data["functions"]],
+            classes=[ClassSummary.from_dict(c) for c in data["classes"]],
+            thread_targets=[list(t) for t in data["thread_targets"]],
+            loop_callbacks=[list(c) for c in data["loop_callbacks"]],
+        )
+
+
+# -- module-name derivation --------------------------------------------------
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for ``path``, anchored at the ``repro`` package.
+
+    Files outside the package get a synthetic ``<stem>`` name; they can
+    still participate in the graph (scripts are linted too) but nothing
+    resolves *into* them via absolute imports.
+    """
+    parts = path.replace("\\", "/").split("/")
+    stem = parts[-1][:-3] if parts[-1].endswith(".py") else parts[-1]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            inner = parts[index + 1:-1]
+            if stem == "__init__":
+                return ".".join(["repro"] + inner)
+            return ".".join(["repro"] + inner + [stem])
+    return stem
+
+
+# -- extraction --------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_type(node: Optional[ast.AST]) -> str:
+    """Dotted type name from an annotation, unwrapping Optional/quotes."""
+    if node is None:
+        return ""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        if text.startswith("Optional[") and text.endswith("]"):
+            text = text[len("Optional["):-1].strip()
+        return text if all(p.isidentifier() for p in text.split(".")) else ""
+    if isinstance(node, ast.Subscript):
+        base = _dotted(node.value) or ""
+        if base.split(".")[-1] == "Optional":
+            return _annotation_type(node.slice)
+        return ""
+    if isinstance(node, ast.Index):  # pragma: no cover - py3.8 AST only
+        return _annotation_type(node.value)  # type: ignore[attr-defined]
+    return _dotted(node) or ""
+
+
+def _ref_of(func: ast.AST) -> Optional[Tuple[str, ...]]:
+    """Raw callee reference for a call's ``func`` expression.
+
+    Forms: ``("name", f)`` for ``f(...)``; ``("self", m)`` for
+    ``self.m(...)``; ``("var", base, rest)`` for ``base.rest(...)`` with
+    a Name base; ``("selfattr", attr, m)`` for ``self.attr.m(...)``;
+    ``("opaque", m)`` for a method on any other expression.
+    """
+    if isinstance(func, ast.Name):
+        return ("name", func.id)
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "self":
+                return ("self", func.attr)
+            dotted = _dotted(func)
+            if dotted is not None:
+                head, _, rest = dotted.partition(".")
+                return ("var", head, rest)
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "self"
+        ):
+            return ("selfattr", base.attr, func.attr)
+        return ("opaque", func.attr)
+    return None
+
+
+def _symbolic_call_type(node: ast.Call, type_of) -> str:
+    """Symbolic type expression for a call (see module docstring).
+
+    ``type_of`` types the receiver sub-expression (locals, ``self``
+    attributes, chained calls); when it knows nothing the callee's raw
+    dotted path is used so the project phase can resolve it through the
+    import table. A Capitalised final segment collapses to the class
+    itself (constructor call); anything else gains a trailing ``()``.
+    """
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        recv = type_of(func.value)
+        if recv:
+            if func.attr[:1].isupper():
+                return f"{recv}.{func.attr}"
+            return f"{recv}.{func.attr}()"
+    dotted = _dotted(func)
+    if dotted:
+        tail = dotted.split(".")[-1]
+        if tail[:1].isupper():
+            return dotted
+        return dotted + "()"
+    return ""
+
+
+def _unwrap_partial(node: ast.AST) -> ast.AST:
+    """``functools.partial(f, ...)`` -> ``f``."""
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func) or ""
+        if name.split(".")[-1] == "partial" and node.args:
+            return node.args[0]
+    return node
+
+
+def _call_keyword(call: ast.Call, name: str) -> Optional[ast.AST]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def _has_safe_start_method(call: ast.Call) -> bool:
+    """Does a pool-factory call carry an explicit safe start method?
+
+    Safe: a literal ``start_method="spawn"/"forkserver"``, a literal
+    ``mp_context=get_context("spawn"/"forkserver")``, or a *non-literal*
+    value for either keyword — the choice was made upstream, so the
+    fork-after-threads rule checks the wrapper's callers instead
+    (an unsafe literal like ``get_context("fork")`` stays flagged).
+    """
+    value = _call_keyword(call, "start_method")
+    if isinstance(value, ast.Constant):
+        if value.value in _SAFE_START_METHODS:
+            return True
+    elif value is not None:
+        return True
+    context = _call_keyword(call, "mp_context")
+    if isinstance(context, ast.Call):
+        name = _dotted(context.func) or ""
+        if name.split(".")[-1] == "get_context" and context.args:
+            first = context.args[0]
+            if isinstance(first, ast.Constant):
+                return first.value in _SAFE_START_METHODS
+        return True
+    if context is not None and not isinstance(context, ast.Constant):
+        return True
+    return False
+
+
+class _FunctionExtractor:
+    """Walks one function body tracking the lexically-held lock stack."""
+
+    def __init__(self, extractor: "_ModuleExtractor", summary: FunctionSummary,
+                 var_types: Dict[str, str]):
+        self.extractor = extractor
+        self.summary = summary
+        self.var_types = var_types
+        self.held: List[str] = []
+
+    # -- type inference ------------------------------------------------------
+
+    def type_of(self, node: ast.AST) -> str:
+        """Symbolic type of an expression, or ``""`` when unknown."""
+        if isinstance(node, ast.Name):
+            return self.var_types.get(node.id, "")
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                owner = self.extractor.classes.get(self.summary.owner)
+                if owner is not None:
+                    return owner.attr_types.get(node.attr, "")
+                return ""
+            base_type = self.type_of(base)
+            if base_type:
+                return self.extractor.attr_type_of(base_type, node.attr)
+            return ""
+        if isinstance(node, ast.Call):
+            return _symbolic_call_type(node, self.type_of)
+        if isinstance(node, ast.Await):
+            return ""
+        return ""
+
+    def _lock_id_of(self, node: ast.AST) -> str:
+        """Lock id when ``node`` is a lock-valued expression, else ``""``."""
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name) and base.id == "self":
+                owner = self.extractor.classes.get(self.summary.owner)
+                if owner is not None and node.attr in owner.lock_attrs:
+                    return f"{self.extractor.module}.{owner.name}.{node.attr}"
+        if isinstance(node, ast.Name):
+            module_lock = self.extractor.module_locks.get(node.id)
+            if module_lock:
+                return module_lock
+            var_type = self.var_types.get(node.id, "")
+            if _is_lock_type(var_type):
+                return _lock_type_id(var_type)
+        if isinstance(node, ast.Call):
+            func = node.func
+            tail = (
+                func.attr if isinstance(func, ast.Attribute)
+                else (_dotted(func) or "").split(".")[-1]
+            )
+            if tail in ("FileLock", "lock"):
+                # ``FileLock(path)`` directly, or the ``memo.lock(job)``
+                # convention: methods named ``lock`` hand out the store's
+                # cross-process file lock (one static node per hierarchy
+                # level is exactly what lock-order analysis wants).
+                return "repro.store.locks.FileLock"
+        inferred = self.type_of(node)
+        if _is_lock_type(inferred):
+            return _lock_type_id(inferred)
+        return ""
+
+    # -- statement walk ------------------------------------------------------
+
+    def walk_body(self, statements: Sequence[ast.stmt]) -> None:
+        for statement in statements:
+            self.visit_stmt(statement)
+
+    def visit_stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.extractor.extract_function(
+                node, owner=self.summary.owner,
+                prefix=self.summary.qual, outer_vars=self.var_types,
+            )
+            return
+        if isinstance(node, ast.ClassDef):
+            self.extractor.extract_class(node)
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            pushed = 0
+            for item in node.items:
+                self.visit_expr(item.context_expr)
+                if isinstance(node, ast.With):
+                    lock_id = self._lock_id_of(item.context_expr)
+                    if lock_id:
+                        self._record_acquire(lock_id, item.context_expr)
+                        self.held.append(lock_id)
+                        pushed += 1
+                if item.optional_vars is not None:
+                    self._bind_target(item.optional_vars, item.context_expr)
+            self.walk_body(node.body)
+            for _ in range(pushed):
+                self.held.pop()
+            return
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            self._visit_assign(node)
+            return
+        # Generic statement: visit child expressions, recurse into bodies.
+        for expr in _stmt_exprs(node):
+            self.visit_expr(expr)
+        for body in _stmt_bodies(node):
+            self.walk_body(body)
+
+    def _record_acquire(self, lock_id: str, node: ast.AST) -> None:
+        self.summary.acquires.append(
+            LockSite(
+                lock_id=lock_id,
+                line=getattr(node, "lineno", self.summary.line),
+                col=getattr(node, "col_offset", 0) + 1,
+                held_before=tuple(self.held),
+            )
+        )
+
+    def _bind_target(self, target: ast.AST, value: ast.AST) -> None:
+        """Track ``name = <expr>`` for the local type environment."""
+        if isinstance(target, ast.Name):
+            inferred = self.type_of(value)
+            if inferred:
+                self.var_types[target.id] = inferred
+
+    def _visit_assign(self, node: ast.stmt) -> None:
+        value = getattr(node, "value", None)
+        if value is not None:
+            self.visit_expr(value)
+        targets: List[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        elif isinstance(node, ast.AugAssign):
+            targets = [node.target]
+        for target in targets:
+            self._visit_mutation_target(target, node)
+            if value is not None and isinstance(node, ast.Assign):
+                self._bind_target(target, value)
+            elif isinstance(node, ast.AnnAssign) and isinstance(target, ast.Name):
+                annotated = _annotation_type(node.annotation)
+                if annotated:
+                    self.var_types[target.id] = annotated
+
+    def _visit_mutation_target(self, target: ast.AST, node: ast.stmt) -> None:
+        in_init = self.summary.name == "__init__"
+        if isinstance(target, ast.Tuple):
+            for element in target.elts:
+                self._visit_mutation_target(element, node)
+            return
+        if isinstance(target, ast.Subscript):
+            # ``x[...] = v`` mutates the container held by ``x``.
+            self._visit_mutation_target(target.value, node)
+            self.visit_expr(target.slice)
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        owner = ""
+        if isinstance(base, ast.Name) and base.id == "self":
+            owner_class = self.extractor.classes.get(self.summary.owner)
+            if owner_class is not None:
+                owner = f"{self.extractor.module}.{owner_class.name}"
+        else:
+            owner = self.type_of(base)
+        if owner:
+            self.summary.mutations.append(
+                Mutation(
+                    owner=owner, attr=target.attr,
+                    line=target.lineno, col=target.col_offset + 1,
+                    held=tuple(self.held), in_init=in_init,
+                )
+            )
+
+    # -- expression walk -----------------------------------------------------
+
+    def visit_expr(self, node: Optional[ast.AST], awaited: bool = False) -> None:
+        if node is None:
+            return
+        if isinstance(node, ast.Await):
+            if self.held:
+                self.summary.awaits_under_lock.append(
+                    (node.lineno, node.col_offset + 1, self.held[-1])
+                )
+            self.visit_expr(node.value, awaited=True)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, awaited=awaited)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return
+        for child in ast.iter_child_nodes(node):
+            self.visit_expr(child)
+
+    def _visit_call(self, node: ast.Call, awaited: bool) -> None:
+        ref = _ref_of(node.func)
+        name = _dotted(node.func) or ""
+        tail = name.split(".")[-1] if name else (
+            node.func.attr if isinstance(node.func, ast.Attribute) else ""
+        )
+        hop = False
+
+        # Thread / executor / loop-callback registrations.
+        if tail == "Thread":
+            target = _call_keyword(node, "target")
+            if target is not None:
+                target_ref = _ref_of(_unwrap_partial(target))
+                if target_ref is not None:
+                    self.extractor.summary.thread_targets.append(list(target_ref))
+            self.summary.thread_spawn_lines.append(node.lineno)
+        elif tail in _EXECUTOR_REGISTRARS:
+            index = _EXECUTOR_REGISTRARS[tail]
+            if len(node.args) > index:
+                target_ref = _ref_of(_unwrap_partial(node.args[index]))
+                if target_ref is not None:
+                    self.extractor.summary.thread_targets.append(list(target_ref))
+            hop = True
+        elif tail in _LOOP_CALLBACK_REGISTRARS:
+            index = _LOOP_CALLBACK_REGISTRARS[tail]
+            if len(node.args) > index:
+                target_ref = _ref_of(_unwrap_partial(node.args[index]))
+                if target_ref is not None:
+                    self.extractor.summary.loop_callbacks.append(list(target_ref))
+            hop = True
+
+        # Process-pool creation.
+        if tail in _POOL_FACTORY_NAMES:
+            self.summary.pool_spawns.append(
+                PoolSpawn(
+                    name=tail, line=node.lineno, col=node.col_offset + 1,
+                    safe_start_method=_has_safe_start_method(node),
+                )
+            )
+
+        # Direct blocking primitives.
+        blocked = self._blocking_desc(node, name, tail)
+        if blocked:
+            self.summary.blocking.append(
+                (node.lineno, node.col_offset + 1, blocked)
+            )
+
+        # Explicit .acquire() / .wait_released() on a lock-valued receiver.
+        if tail in ("acquire", "wait_released") and isinstance(node.func, ast.Attribute):
+            lock_id = self._lock_id_of(node.func.value)
+            if lock_id:
+                self._record_acquire(lock_id, node)
+
+        if ref is not None:
+            recv_type = ""
+            if isinstance(node.func, ast.Attribute):
+                recv_type = self.type_of(node.func.value)
+            self.summary.calls.append(
+                CallSite(
+                    ref=ref, line=node.lineno, col=node.col_offset + 1,
+                    held=tuple(self.held), hop=hop, awaited=awaited,
+                    recv_type=recv_type,
+                )
+            )
+        for arg in node.args:
+            self.visit_expr(arg)
+        for keyword in node.keywords:
+            self.visit_expr(keyword.value)
+        if not isinstance(node.func, (ast.Name, ast.Attribute)):
+            self.visit_expr(node.func)
+        elif isinstance(node.func, ast.Attribute):
+            self.visit_expr(node.func.value)
+
+    def _blocking_desc(self, node: ast.Call, name: str, tail: str) -> str:
+        """Description when this call is a known blocking primitive."""
+        if isinstance(node.func, ast.Name):
+            if node.func.id in BLOCKING_NAME_CALLS:
+                return f"{node.func.id}()"
+            resolved = self.extractor.imports.get(node.func.id, "")
+            if tuple(resolved.rsplit(".", 1)) in BLOCKING_MODULE_CALLS:
+                return resolved
+            return ""
+        if not isinstance(node.func, ast.Attribute):
+            return ""
+        if tail in BLOCKING_METHODS_ANY:
+            return f".{tail}()"
+        base = node.func.value
+        if isinstance(base, ast.Name):
+            resolved = self.extractor.imports.get(base.id, base.id)
+            if (resolved, tail) in BLOCKING_MODULE_CALLS:
+                return f"{resolved}.{tail}"
+        recv_type = self.type_of(base)
+        if recv_type and (recv_type, tail) in BLOCKING_TYPED_METHODS:
+            return f"{recv_type}.{tail}()"
+        return ""
+
+
+def _is_lock_type(dotted: str) -> bool:
+    tail = dotted.split(".")[-1]
+    return dotted in ("threading.Lock", "threading.RLock") or tail in (
+        "FileLock", "TrackedLock"
+    )
+
+
+def _lock_type_id(dotted: str) -> str:
+    tail = dotted.split(".")[-1]
+    if tail == "FileLock":
+        return "repro.store.locks.FileLock"
+    if tail == "TrackedLock":
+        return "repro.lint.sanitize.TrackedLock"
+    return dotted
+
+
+def _stmt_exprs(node: ast.stmt) -> List[ast.AST]:
+    """Top-level expressions of a statement (excluding nested bodies)."""
+    exprs: List[ast.AST] = []
+    for field_name, value in ast.iter_fields(node):
+        if field_name in ("body", "orelse", "finalbody", "handlers"):
+            continue
+        if isinstance(value, ast.expr):
+            exprs.append(value)
+        elif isinstance(value, list):
+            exprs.extend(v for v in value if isinstance(v, ast.expr))
+    return exprs
+
+
+def _stmt_bodies(node: ast.stmt) -> List[List[ast.stmt]]:
+    bodies: List[List[ast.stmt]] = []
+    for field_name in ("body", "orelse", "finalbody"):
+        value = getattr(node, field_name, None)
+        if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+            bodies.append(value)
+    for handler in getattr(node, "handlers", []) or []:
+        bodies.append(handler.body)
+    return bodies
+
+
+class _ModuleExtractor:
+    """Drives extraction over one module's AST."""
+
+    def __init__(self, tree: ast.AST, module: str, path: str,
+                 is_package: bool = False):
+        self.module = module
+        self.is_package = is_package
+        self.summary = ModuleSummary(module=module, path=path)
+        self.imports: Dict[str, str] = {}
+        self.classes: Dict[str, ClassSummary] = {}
+        self.module_locks: Dict[str, str] = {}
+        self._tree = tree
+
+    def attr_type_of(self, base_type: str, attr: str) -> str:
+        """Attribute type on a *locally defined* class (best effort)."""
+        local = self.classes.get(base_type.split(".")[-1])
+        if local is not None:
+            return local.attr_types.get(attr, "")
+        return ""
+
+    # -- extraction passes ---------------------------------------------------
+
+    def run(self) -> ModuleSummary:
+        body = getattr(self._tree, "body", [])
+        self._collect_imports(body)
+        self._collect_classes(body)
+        self._collect_module_locks(body)
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.extract_function(node)
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self.extract_function(item, owner=node.name)
+        self.summary.imports = dict(self.imports)
+        self.summary.classes = list(self.classes.values())
+        return self.summary
+
+    def _collect_imports(self, body: Sequence[ast.stmt]) -> None:
+        package = self.module.rsplit(".", 1)[0] if "." in self.module else ""
+        for node in ast.walk(self._tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.imports[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    anchor = self.module if self.is_package else package
+                    parts = anchor.split(".") if anchor else []
+                    if node.level > 1:
+                        parts = parts[: -(node.level - 1)] if len(parts) >= node.level - 1 else []
+                    base = ".".join(parts + ([node.module] if node.module else []))
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.imports[alias.asname or alias.name] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+
+    def _collect_classes(self, body: Sequence[ast.stmt]) -> None:
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                self.extract_class(node)
+
+    def _collect_module_locks(self, body: Sequence[ast.stmt]) -> None:
+        for node in body:
+            if not isinstance(node, ast.Assign):
+                continue
+            if not isinstance(node.value, ast.Call):
+                continue
+            name = _dotted(node.value.func) or ""
+            if name.split(".")[-1] not in _LOCK_FACTORY_NAMES:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.module_locks[target.id] = f"{self.module}.{target.id}"
+
+    def extract_class(self, node: ast.ClassDef) -> None:
+        if node.name in self.classes:
+            return
+        summary = ClassSummary(
+            name=node.name, line=node.lineno,
+            bases=[_dotted(base) or "" for base in node.bases],
+        )
+        self.classes[node.name] = summary
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                summary.method_names.append(item.name)
+                if item.name == "__init__":
+                    self._collect_init_attrs(item, summary)
+        # Annotated class-level attribute declarations.
+        for item in node.body:
+            if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+                annotated = _annotation_type(item.annotation)
+                if annotated:
+                    summary.attr_types.setdefault(item.target.id, annotated)
+
+    def _collect_init_attrs(self, init: ast.AST, summary: ClassSummary) -> None:
+        params: Dict[str, str] = {}
+        arguments = getattr(init, "args", None)
+        if arguments is not None:
+            for arg in list(arguments.args) + list(arguments.kwonlyargs):
+                annotated = _annotation_type(arg.annotation)
+                if annotated:
+                    params[arg.arg] = annotated
+
+        def param_type(expr: ast.AST) -> str:
+            if isinstance(expr, ast.Name):
+                return params.get(expr.id, "")
+            return ""
+
+        for node in ast.walk(init):
+            target: Optional[ast.Attribute] = None
+            value: Optional[ast.AST] = None
+            annotated = ""
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                if isinstance(node.targets[0], ast.Attribute):
+                    target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                if isinstance(node.target, ast.Attribute):
+                    target, value = node.target, node.value
+                    annotated = _annotation_type(node.annotation)
+            if (
+                target is None
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            attr = target.attr
+            if annotated:
+                summary.attr_types[attr] = annotated
+            if isinstance(value, ast.Call):
+                name = _dotted(value.func) or ""
+                tail = name.split(".")[-1]
+                if tail in _LOCK_FACTORY_NAMES:
+                    summary.lock_attrs.append(attr)
+                    summary.attr_types.setdefault(
+                        attr,
+                        name if name in ("threading.Lock", "threading.RLock")
+                        else tail,
+                    )
+                else:
+                    symbolic = _symbolic_call_type(value, param_type)
+                    if symbolic:
+                        summary.attr_types.setdefault(attr, symbolic)
+            elif isinstance(value, ast.Name) and value.id in params:
+                summary.attr_types.setdefault(attr, params[value.id])
+
+    def extract_function(
+        self,
+        node: ast.AST,
+        owner: str = "",
+        prefix: str = "",
+        outer_vars: Optional[Dict[str, str]] = None,
+    ) -> None:
+        name = node.name  # type: ignore[attr-defined]
+        qual = f"{prefix}.{name}" if prefix else (
+            f"{owner}.{name}" if owner else name
+        )
+        summary = FunctionSummary(
+            qual=qual, name=name,
+            line=node.lineno,  # type: ignore[attr-defined]
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            owner=owner,
+            returns=_annotation_type(getattr(node, "returns", None)),
+        )
+        self.summary.functions.append(summary)
+        var_types: Dict[str, str] = dict(outer_vars or {})
+        arguments = node.args  # type: ignore[attr-defined]
+        for arg in list(arguments.args) + list(arguments.kwonlyargs):
+            annotated = _annotation_type(arg.annotation)
+            if annotated:
+                var_types[arg.arg] = annotated
+        walker = _FunctionExtractor(self, summary, var_types)
+        walker.walk_body(node.body)  # type: ignore[attr-defined]
+
+
+def extract_summary(tree: ast.AST, path: str) -> ModuleSummary:
+    """Extract one file's :class:`ModuleSummary` from its parsed AST."""
+    normalized = path.replace("\\", "/")
+    extractor = _ModuleExtractor(
+        tree, module_name_for(path), path,
+        is_package=normalized.endswith("/__init__.py") or normalized == "__init__.py",
+    )
+    return extractor.run()
+
+
+# -- project resolution ------------------------------------------------------
+
+
+@dataclass
+class FunctionNode:
+    """A resolved function in the project graph."""
+
+    fid: str
+    module: str
+    path: str
+    summary: FunctionSummary
+    owner_fid: str = ""         #: dotted class id when a method
+    callees: List[Tuple[str, CallSite]] = field(default_factory=list)
+
+    @property
+    def is_async(self) -> bool:
+        return self.summary.is_async
+
+
+class ProjectGraph:
+    """Symbol table + call graph over a set of :class:`ModuleSummary`."""
+
+    def __init__(self, summaries: Iterable[ModuleSummary]):
+        self.modules: Dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            self.modules[summary.module] = summary
+        self.functions: Dict[str, FunctionNode] = {}
+        self.classes: Dict[str, ClassSummary] = {}
+        self.class_module: Dict[str, str] = {}
+        self._methods_by_name: Dict[str, List[str]] = {}
+        self._subclasses: Dict[str, List[str]] = {}
+        self._build_tables()
+        self._link_calls()
+        self.async_roots: Set[str] = set()
+        self.loop_reachable: Set[str] = set()
+        self.worker_roots: Set[str] = set()
+        self.worker_reachable: Set[str] = set()
+        self.may_block: Dict[str, Tuple[int, int, str]] = {}
+        self._compute_contexts()
+        self._compute_may_block()
+
+    # -- table construction --------------------------------------------------
+
+    def _build_tables(self) -> None:
+        for module, summary in self.modules.items():
+            for class_summary in summary.classes:
+                dotted = f"{module}.{class_summary.name}"
+                self.classes[dotted] = class_summary
+                self.class_module[dotted] = module
+            for function in summary.functions:
+                fid = f"{module}.{function.qual}"
+                owner_fid = f"{module}.{function.owner}" if function.owner else ""
+                node = FunctionNode(
+                    fid=fid, module=module, path=summary.path,
+                    summary=function, owner_fid=owner_fid,
+                )
+                self.functions[fid] = node
+                if function.owner:
+                    self._methods_by_name.setdefault(function.name, []).append(fid)
+        for dotted, class_summary in self.classes.items():
+            module = self.class_module[dotted]
+            for base_ref in class_summary.bases:
+                base_fid = self._resolve_symbol(module, base_ref)
+                if base_fid and base_fid in self.classes:
+                    self._subclasses.setdefault(base_fid, []).append(dotted)
+
+    def _resolve_symbol(self, module: str, dotted: str,
+                        _seen: Optional[Set[str]] = None) -> str:
+        """Resolve a (possibly aliased) dotted name to a project symbol id.
+
+        Follows the module's import table and re-export chains
+        (``from .scheduler import Scheduler`` in ``__init__``), with a
+        cycle guard. Returns a class/function id, a module name, or the
+        input unchanged when it leaves the project (stdlib etc.).
+        """
+        if not dotted:
+            return ""
+        seen = _seen or set()
+        key = f"{module}::{dotted}"
+        if key in seen:
+            return dotted
+        seen.add(key)
+        summary = self.modules.get(module)
+        head, _, rest = dotted.partition(".")
+        if summary is not None and head in summary.imports:
+            target = summary.imports[head]
+            dotted = f"{target}.{rest}" if rest else target
+        elif summary is not None:
+            local = f"{module}.{head}"
+            if local in self.classes or local in self.functions:
+                dotted = f"{module}.{dotted}"
+        # Find the longest known-module prefix, then walk attributes.
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.modules:
+                remainder = parts[cut:]
+                if not remainder:
+                    return prefix
+                current = prefix
+                for index, attr in enumerate(remainder):
+                    target_summary = self.modules[current]
+                    candidate = f"{current}.{attr}"
+                    if candidate in self.classes or candidate in self.functions:
+                        trailing = remainder[index + 1:]
+                        return ".".join([candidate] + trailing) if trailing else candidate
+                    if attr in target_summary.imports:
+                        next_dotted = ".".join(
+                            [target_summary.imports[attr]] + remainder[index + 1:]
+                        )
+                        return self._resolve_symbol(current, next_dotted, seen)
+                    if candidate in self.modules:
+                        current = candidate
+                        continue
+                    return dotted
+                return current
+        if dotted in self.classes or dotted in self.functions:
+            return dotted
+        return dotted
+
+    def resolve_type(self, module: str, type_ref: str) -> str:
+        """Dotted project class id for a raw type reference, or the raw ref."""
+        resolved = self._resolve_symbol(module, type_ref)
+        return resolved
+
+    # -- symbolic type resolution --------------------------------------------
+
+    def resolve_type_expr(self, module: str, expr: str, _depth: int = 0) -> str:
+        """Concrete type for a symbolic expression, relative to ``module``.
+
+        ``obs.active().counter()`` peels the last ``().method()`` hop,
+        resolves the receiver recursively, finds the method on the
+        receiver's class and chains through its return annotation; the
+        base cases are a plain symbol (class → itself, annotation alias)
+        and a plain call (function/method → its return annotation).
+        Returns ``""`` when any link is missing — unresolved stays
+        unresolved rather than guessed.
+        """
+        if not expr or _depth > 8:
+            return ""
+        if not expr.endswith("()"):
+            resolved = self._resolve_symbol(module, expr)
+            if resolved in self.classes:
+                return resolved
+            return resolved
+        inner = expr[:-2]
+        split = inner.rfind("().")
+        if split >= 0:
+            receiver, method = inner[:split + 2], inner[split + 3:]
+            recv_type = self.resolve_type_expr(module, receiver, _depth + 1)
+            if not recv_type:
+                return ""
+            fid = self._method_on_type(recv_type, method)
+            return self._returned_type(fid, _depth) if fid else ""
+        target = self._resolve_symbol(module, inner)
+        if target in self.classes:
+            return target
+        if target in self.functions:
+            return self._returned_type(target, _depth)
+        return ""
+
+    def _returned_type(self, fid: str, _depth: int) -> str:
+        """Resolve a function's return annotation in *its own* module."""
+        node = self.functions.get(fid)
+        if node is None or not node.summary.returns:
+            return ""
+        return self.resolve_type_expr(node.module, node.summary.returns, _depth + 1)
+
+    # -- call linking --------------------------------------------------------
+
+    def _method_on_type(self, type_id: str, method: str,
+                        _seen: Optional[Set[str]] = None) -> str:
+        """Find ``method`` on ``type_id`` or its project base classes."""
+        seen = _seen or set()
+        if type_id in seen:
+            return ""
+        seen.add(type_id)
+        class_summary = self.classes.get(type_id)
+        if class_summary is None:
+            return ""
+        if method in class_summary.method_names:
+            module = self.class_module[type_id]
+            return f"{module}.{class_summary.name}.{method}"
+        for base_ref in class_summary.bases:
+            base_id = self._resolve_symbol(self.class_module[type_id], base_ref)
+            found = self._method_on_type(base_id, method, seen)
+            if found:
+                return found
+        return ""
+
+    def _typed_targets(self, type_id: str, method: str) -> List[str]:
+        """Method on the type plus overrides in project subclasses."""
+        targets = []
+        primary = self._method_on_type(type_id, method)
+        if primary:
+            targets.append(primary)
+        queue = deque(self._subclasses.get(type_id, []))
+        while queue:
+            sub = queue.popleft()
+            queue.extend(self._subclasses.get(sub, []))
+            class_summary = self.classes.get(sub)
+            if class_summary and method in class_summary.method_names:
+                targets.append(f"{self.class_module[sub]}.{sub.split('.')[-1]}.{method}")
+        return targets
+
+    def resolve_call(self, node: FunctionNode, site: CallSite) -> List[str]:
+        """Function ids a call site may reach (empty = external/unknown)."""
+        return self._resolve_call_impl(node, site)[0]
+
+    def _resolve_call_impl(
+        self, node: FunctionNode, site: CallSite
+    ) -> Tuple[List[str], bool]:
+        """Targets plus whether they came from the conservative fallback."""
+        kind = site.ref[0]
+        module = node.module
+        if kind == "name":
+            resolved = self._resolve_symbol(module, site.ref[1])
+            if resolved in self.functions:
+                return [resolved], False
+            if resolved in self.classes:
+                init = self._method_on_type(resolved, "__init__")
+                return ([init] if init else []), False
+            return [], False
+        if kind == "self":
+            if node.owner_fid:
+                targets = self._typed_targets(node.owner_fid, site.ref[1])
+                if targets:
+                    return targets, False
+            return [], False
+        if kind == "var":
+            base, rest = site.ref[1], site.ref[2]
+            if site.recv_type:
+                type_id = self.resolve_type_expr(module, site.recv_type)
+                targets = self._typed_targets(type_id, rest.split(".")[-1])
+                if targets:
+                    return targets, False
+                if type_id and type_id not in self.classes:
+                    # Receiver type is known but external (stdlib etc.):
+                    # the conservative fallback would wire unrelated
+                    # project methods of the same name — don't.
+                    return [], False
+            resolved = self._resolve_symbol(module, f"{base}.{rest}")
+            if resolved in self.functions:
+                return [resolved], False
+            if resolved in self.classes:
+                init = self._method_on_type(resolved, "__init__")
+                return ([init] if init else []), False
+            return self._conservative(rest.split(".")[-1]), True
+        if kind == "selfattr":
+            attr, method = site.ref[1], site.ref[2]
+            if site.recv_type:
+                type_id = self.resolve_type_expr(module, site.recv_type)
+                targets = self._typed_targets(type_id, method)
+                if targets:
+                    return targets, False
+                if type_id and type_id not in self.classes:
+                    return [], False
+            if node.owner_fid:
+                owner = self.classes.get(node.owner_fid)
+                if owner is not None:
+                    attr_type = owner.attr_types.get(attr, "")
+                    if attr_type:
+                        type_id = self.resolve_type_expr(module, attr_type)
+                        targets = self._typed_targets(type_id, method)
+                        if targets:
+                            return targets, False
+                        if type_id and type_id not in self.classes:
+                            return [], False
+            return self._conservative(method), True
+        if kind == "opaque":
+            method = site.ref[1]
+            if site.recv_type:
+                type_id = self.resolve_type_expr(module, site.recv_type)
+                targets = self._typed_targets(type_id, method)
+                if targets:
+                    return targets, False
+                if type_id and type_id not in self.classes:
+                    return [], False
+            return self._conservative(method), True
+        return [], False
+
+    def _conservative(self, method: str) -> List[str]:
+        """Dynamic-dispatch fallback: every project method of that name.
+
+        Skipped for ubiquitous builtin/protocol names — see module
+        docstring — where the fallback would wire unrelated code.
+        """
+        if method in COMMON_METHOD_NAMES:
+            return []
+        return list(self._methods_by_name.get(method, []))
+
+    def _link_calls(self) -> None:
+        # recv_type is a symbolic expression recorded at extraction;
+        # resolve_type_expr grounds it against the full symbol table here.
+        for node in self.functions.values():
+            for site in node.summary.calls:
+                targets, conservative = self._resolve_call_impl(node, site)
+                edge_site = site
+                if site.hop and targets and not conservative:
+                    # Extraction flags any ``x.submit(...)`` as an
+                    # executor hop; when the receiver *typed-resolves* to
+                    # a project method the call runs inline on the
+                    # caller's context (e.g. ``Scheduler.submit``), so
+                    # the edge must propagate that context after all.
+                    edge_site = replace(site, hop=False)
+                for target in targets:
+                    if target in self.functions:
+                        node.callees.append((target, edge_site))
+
+    # -- context classification ----------------------------------------------
+
+    def _resolve_target_ref(self, module: str, owner_fid: str,
+                            ref: Sequence[str]) -> List[str]:
+        site = CallSite(ref=tuple(ref), line=0, col=0, held=())
+        probe = FunctionNode(
+            fid="", module=module, path="",
+            summary=FunctionSummary(qual="", name="", line=0, is_async=False),
+            owner_fid=owner_fid,
+        )
+        return self.resolve_call(probe, site)
+
+    def _module_roots(self, refs: List[List[str]], module: str) -> Set[str]:
+        roots: Set[str] = set()
+        summary = self.modules.get(module)
+        class_ids = [
+            f"{module}.{class_summary.name}"
+            for class_summary in (summary.classes if summary else [])
+        ]
+        for ref in refs:
+            if tuple(ref)[0] in ("self", "selfattr"):
+                # A bound-method reference: try every class in the module
+                # (the extraction loses the enclosing class for nested
+                # closures, so this over-approximates within the module).
+                for class_id in class_ids:
+                    roots.update(self._resolve_target_ref(module, class_id, ref))
+            else:
+                roots.update(self._resolve_target_ref(module, "", ref))
+        return {fid for fid in roots if fid in self.functions}
+
+    def _reachable(self, roots: Set[str]) -> Set[str]:
+        seen = set(roots)
+        queue = deque(roots)
+        while queue:
+            fid = queue.popleft()
+            node = self.functions.get(fid)
+            if node is None:
+                continue
+            for target, site in node.callees:
+                if site.hop:
+                    continue  # target runs in another context
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return seen
+
+    def _compute_contexts(self) -> None:
+        for module, summary in self.modules.items():
+            for function in summary.functions:
+                if function.is_async:
+                    self.async_roots.add(f"{module}.{function.qual}")
+            self.async_roots.update(
+                self._module_roots(summary.loop_callbacks, module)
+            )
+            self.worker_roots.update(
+                self._module_roots(summary.thread_targets, module)
+            )
+        self.loop_reachable = self._reachable(self.async_roots)
+        self.worker_reachable = self._reachable(self.worker_roots)
+
+    # -- may-block fixpoint --------------------------------------------------
+
+    def _compute_may_block(self) -> None:
+        """Transitive blocking: (line, col, chain description) per fid."""
+        for fid, node in self.functions.items():
+            if node.summary.blocking:
+                line, col, desc = node.summary.blocking[0]
+                self.may_block[fid] = (line, col, desc)
+        changed = True
+        while changed:
+            changed = False
+            for fid, node in self.functions.items():
+                if fid in self.may_block:
+                    continue
+                for target, site in node.callees:
+                    if site.hop:
+                        continue
+                    if site.awaited and self.functions[target].is_async:
+                        continue  # awaiting a coroutine yields, not blocks
+                    if target in self.may_block:
+                        _, _, desc = self.may_block[target]
+                        short = target.split(".")[-2:]
+                        self.may_block[fid] = (
+                            site.line, site.col,
+                            f"{'.'.join(short)} -> {desc}",
+                        )
+                        changed = True
+                        break
+
+    # -- queries used by the rules -------------------------------------------
+
+    def lexically_async(self, fid: str) -> bool:
+        """In loop context by its own definition (async def or callback)."""
+        return fid in self.async_roots
+
+    def function_contexts(self, fid: str) -> Set[str]:
+        contexts: Set[str] = set()
+        if fid in self.loop_reachable:
+            contexts.add("loop")
+        if fid in self.worker_reachable:
+            contexts.add("worker")
+        return contexts
+
+
+def build_project(summaries: Iterable[ModuleSummary]) -> ProjectGraph:
+    """Join per-file summaries into the resolved project graph."""
+    return ProjectGraph(summaries)

@@ -1,0 +1,274 @@
+"""Concurrency rules: whole-program hazards of the engine/service layer.
+
+All five rules are :class:`~repro.lint.engine.ProjectRule` subclasses
+driven once over the resolved :class:`~repro.lint.graph.ProjectGraph`
+(the lint engine's project phase). They police the contracts the
+Mocktails fidelity claims rest on — byte-identical results under any
+schedule:
+
+``conc-blocking-in-async``
+    A coroutine or event-loop callback reaches a blocking primitive
+    (``time.sleep``, file/socket/subprocess I/O, ``Event.wait``, a
+    blocking ``Queue``) without an executor hop. Reported at the call
+    site inside the loop-context function, with the transitive chain.
+
+``conc-await-under-lock``
+    ``await`` while lexically holding a synchronous lock: the coroutine
+    parks with the lock held and every thread contending on it stalls.
+
+``conc-unguarded-shared-state``
+    An attribute mutated from both loop and worker contexts with no
+    common lock held across all mutation sites (``__init__`` sites are
+    construction and exempt).
+
+``conc-lock-order``
+    Two locks acquired in inconsistent orders somewhere in the program
+    (lexically nested ``with`` blocks, or a call made while holding a
+    lock into code that takes another). A cycle in the acquisition
+    graph is a deadlock schedule waiting to happen; a self-edge is a
+    re-entrancy deadlock for non-reentrant locks.
+
+``conc-fork-after-threads``
+    A process pool created via ``fork`` in a function reachable from a
+    worker thread (or lexically after spawning one): the child inherits
+    the parent's lock states mid-flight. Safe when the spawn carries an
+    explicit ``spawn``/``forkserver`` start method, or delegates the
+    choice upward via a non-literal ``mp_context``/``start_method``.
+
+Known approximations are documented in DESIGN.md ("Concurrency
+analysis"); the guiding choice is to under-approximate reachability
+(typed edges plus a name-matched conservative fallback) rather than
+flood real code with speculative findings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..engine import ProjectLintContext, ProjectRule, register
+from ..graph import FunctionNode, ProjectGraph
+
+BLOCKING_IN_ASYNC = "conc-blocking-in-async"
+AWAIT_UNDER_LOCK = "conc-await-under-lock"
+UNGUARDED_SHARED_STATE = "conc-unguarded-shared-state"
+LOCK_ORDER = "conc-lock-order"
+FORK_AFTER_THREADS = "conc-fork-after-threads"
+
+
+@register
+class BlockingInAsyncRule(ProjectRule):
+    """Blocking primitive reachable from a coroutine without a hop."""
+
+    rule_id = BLOCKING_IN_ASYNC
+    description = "blocking call reachable from the event loop"
+
+    def check_project(self, context: ProjectLintContext) -> None:
+        graph = context.graph
+        for fid in sorted(graph.async_roots):
+            node = graph.functions.get(fid)
+            if node is None or fid not in graph.may_block:
+                continue
+            line, col, chain = graph.may_block[fid]
+            kind = "coroutine" if node.is_async else "event-loop callback"
+            context.report(
+                node.path, line, col, self.rule_id,
+                f"{kind} {node.summary.qual} reaches blocking {chain}; "
+                "hop through an executor (run_in_executor/to_thread) or "
+                "use a non-blocking accessor",
+            )
+
+
+@register
+class AwaitUnderLockRule(ProjectRule):
+    """``await`` while lexically holding a synchronous lock."""
+
+    rule_id = AWAIT_UNDER_LOCK
+    description = "await while holding a synchronous lock"
+
+    def check_project(self, context: ProjectLintContext) -> None:
+        graph = context.graph
+        for fid in sorted(graph.functions):
+            node = graph.functions[fid]
+            for line, col, lock_id in node.summary.awaits_under_lock:
+                context.report(
+                    node.path, line, col, self.rule_id,
+                    f"{node.summary.qual} awaits while holding {lock_id}; "
+                    "the coroutine parks with the lock held and every "
+                    "thread contending on it stalls",
+                )
+
+
+@register
+class UnguardedSharedStateRule(ProjectRule):
+    """Attribute mutated from both loop and worker contexts, lockless."""
+
+    rule_id = UNGUARDED_SHARED_STATE
+    description = "cross-context attribute mutation without a common lock"
+
+    def check_project(self, context: ProjectLintContext) -> None:
+        graph = context.graph
+        sites: Dict[Tuple[str, str], List[Tuple[FunctionNode, object]]] = {}
+        for fid in sorted(graph.functions):
+            node = graph.functions[fid]
+            contexts = graph.function_contexts(fid)
+            if not contexts:
+                continue
+            for mutation in node.summary.mutations:
+                if mutation.in_init:
+                    continue
+                owner = graph.resolve_type_expr(node.module, mutation.owner)
+                if owner not in graph.classes:
+                    continue
+                sites.setdefault((owner, mutation.attr), []).append(
+                    (node, mutation)
+                )
+        for (owner, attr), entries in sorted(sites.items()):
+            contexts: Set[str] = set()
+            for node, _ in entries:
+                contexts.update(graph.function_contexts(node.fid))
+            if not ({"loop", "worker"} <= contexts):
+                continue
+            held_sets = [set(mutation.held) for _, mutation in entries]
+            if set.intersection(*held_sets):
+                continue  # every site holds a common guard
+            anchor_node, anchor = min(
+                (
+                    (node, mutation)
+                    for node, mutation in entries
+                    if not mutation.held
+                ),
+                key=lambda pair: (pair[0].path, pair[1].line, pair[1].col),
+                default=entries[0],
+            )
+            writers = sorted({node.summary.qual for node, _ in entries})
+            context.report(
+                anchor_node.path, anchor.line, anchor.col, self.rule_id,
+                f"{owner}.{attr} is mutated from both loop and worker "
+                f"contexts ({', '.join(writers)}) with no common lock "
+                "held; guard every mutation site with the owning lock",
+            )
+
+
+@register
+class LockOrderRule(ProjectRule):
+    """Statically inconsistent lock-acquisition order."""
+
+    rule_id = LOCK_ORDER
+    description = "inconsistent lock acquisition order"
+
+    def check_project(self, context: ProjectLintContext) -> None:
+        graph = context.graph
+        edges = self._acquisition_edges(graph)
+        adjacency: Dict[str, Set[str]] = {}
+        for (held, acquired) in edges:
+            adjacency.setdefault(held, set()).add(acquired)
+        for (held, acquired) in sorted(edges):
+            node, line, col = edges[(held, acquired)]
+            if held == acquired:
+                context.report(
+                    node.path, line, col, self.rule_id,
+                    f"{node.summary.qual} acquires {acquired} while "
+                    "already holding it — a self-deadlock for "
+                    "non-reentrant locks",
+                )
+            elif self._reaches(adjacency, acquired, held):
+                context.report(
+                    node.path, line, col, self.rule_id,
+                    f"{node.summary.qual} acquires {acquired} while "
+                    f"holding {held}, but elsewhere {held} is acquired "
+                    f"while holding {acquired}: a deadlock schedule "
+                    "exists; fix the hierarchy to a single order",
+                )
+
+    @staticmethod
+    def _reaches(adjacency: Dict[str, Set[str]], start: str, goal: str) -> bool:
+        seen = {start}
+        stack = [start]
+        while stack:
+            current = stack.pop()
+            for nxt in adjacency.get(current, ()):
+                if nxt == goal:
+                    return True
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def _acquisition_edges(
+        self, graph: ProjectGraph
+    ) -> Dict[Tuple[str, str], Tuple[FunctionNode, int, int]]:
+        # Transitive acquire sets, hop edges excluded (another context's
+        # acquisitions are not nested under the caller's held set).
+        transitive: Dict[str, Set[str]] = {
+            fid: {site.lock_id for site in node.summary.acquires}
+            for fid, node in graph.functions.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fid, node in graph.functions.items():
+                mine = transitive[fid]
+                for target, site in node.callees:
+                    if site.hop:
+                        continue
+                    extra = transitive.get(target, set())
+                    if not extra <= mine:
+                        mine |= extra
+                        changed = True
+        edges: Dict[Tuple[str, str], Tuple[FunctionNode, int, int]] = {}
+
+        def record(held: str, acquired: str,
+                   node: FunctionNode, line: int, col: int) -> None:
+            key = (held, acquired)
+            if key not in edges:
+                edges[key] = (node, line, col)
+
+        for fid in sorted(graph.functions):
+            node = graph.functions[fid]
+            for site in node.summary.acquires:
+                for held in site.held_before:
+                    record(held, site.lock_id, node, site.line, site.col)
+            for target, call in node.callees:
+                if call.hop or not call.held:
+                    continue
+                for acquired in sorted(transitive.get(target, ())):
+                    for held in call.held:
+                        record(held, acquired, node, call.line, call.col)
+        return edges
+
+
+@register
+class ForkAfterThreadsRule(ProjectRule):
+    """Process pool forked where worker threads may already run."""
+
+    rule_id = FORK_AFTER_THREADS
+    description = "fork-based process pool reachable after thread creation"
+
+    def check_project(self, context: ProjectLintContext) -> None:
+        graph = context.graph
+        for fid in sorted(graph.functions):
+            node = graph.functions[fid]
+            for spawn in node.summary.pool_spawns:
+                if spawn.safe_start_method:
+                    continue
+                lexical = [
+                    line for line in node.summary.thread_spawn_lines
+                    if line < spawn.line
+                ]
+                if fid in graph.worker_reachable:
+                    context.report(
+                        node.path, spawn.line, spawn.col, self.rule_id,
+                        f"{node.summary.qual} creates a process pool "
+                        f"({spawn.name}) and is reachable from a worker "
+                        "thread: a fork start method inherits lock state "
+                        "mid-flight; pass start_method=\"forkserver\" or "
+                        "\"spawn\"",
+                    )
+                elif lexical:
+                    context.report(
+                        node.path, spawn.line, spawn.col, self.rule_id,
+                        f"{node.summary.qual} creates a process pool "
+                        f"({spawn.name}) after spawning a thread on line "
+                        f"{lexical[0]}; use start_method=\"forkserver\" "
+                        "or \"spawn\"",
+                    )

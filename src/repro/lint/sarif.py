@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 export for lint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the exchange
+format code hosts ingest for inline review annotations; emitting it
+makes ``python -m repro.lint --format sarif`` pluggable into GitHub
+code scanning and editor SARIF viewers without an adapter.
+
+Only the stable core of the spec is produced — tool driver, rule
+metadata for the rules that actually fired, and one ``result`` per
+finding with a physical location. Keys are emitted sorted and the
+payload contains nothing volatile (no timestamps, no absolute paths,
+no tool version), so the output is byte-reproducible and suitable for
+golden-file testing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from .engine import Finding, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+
+_TOOL_NAME = "repro-lint"
+_TOOL_URI = "https://github.com/mocktails/repro"
+
+
+def _rule_metadata(rule_ids: List[str]) -> List[dict]:
+    registry = all_rules()
+    rules = []
+    for rule_id in rule_ids:
+        entry: Dict[str, object] = {"id": rule_id}
+        rule_class = registry.get(rule_id)
+        if rule_class is not None and rule_class.description:
+            entry["shortDescription"] = {"text": rule_class.description}
+        rules.append(entry)
+    return rules
+
+
+def to_sarif(findings: List[Finding]) -> dict:
+    """The findings as a SARIF 2.1.0 ``log`` object (plain dicts)."""
+    fired = sorted({finding.rule_id for finding in findings})
+    rule_index = {rule_id: index for index, rule_id in enumerate(fired)}
+    results = []
+    for finding in findings:
+        results.append(
+            {
+                "ruleId": finding.rule_id,
+                "ruleIndex": rule_index[finding.rule_id],
+                "level": "warning",
+                "message": {"text": finding.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": str(finding.path).replace("\\", "/"),
+                            },
+                            "region": {
+                                "startLine": finding.line,
+                                # SARIF columns are 1-based; findings
+                                # carry ast's 0-based col_offset.
+                                "startColumn": finding.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": _rule_metadata(fired),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(findings: List[Finding]) -> str:
+    """Byte-stable serialized SARIF for ``--format sarif``."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

@@ -9,6 +9,7 @@ but the standard library.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import IO, List, Optional, Union
 
@@ -35,7 +36,9 @@ class JsonlEventSink(EventSink):
     Each event is written with a single ``write`` call and flushed
     immediately, so a crashed or killed run keeps every event up to the
     failure point — the whole reason to stream instead of dumping at
-    exit.
+    exit. Scheduler workers and the service loop share one sink, so
+    ``emit`` serializes under a lock: without it two lines can
+    interleave mid-buffer and the ``emitted`` tally drops updates.
     """
 
     def __init__(self, path: Union[str, Path]):
@@ -44,23 +47,32 @@ class JsonlEventSink(EventSink):
         # that must survive a crash mid-run.
         self._handle: Optional[IO[str]] = self.path.open("w", encoding="utf-8")  # lint: ignore[io-atomic-write]
         self.emitted = 0
+        self._lock = threading.Lock()
 
     def emit(self, event: dict) -> None:
-        handle = self._handle
-        if handle is None:
-            raise ValueError(f"{self.path}: sink is closed")
-        handle.write(json.dumps(event, separators=(",", ":"), default=str) + "\n")
-        handle.flush()
-        self.emitted += 1
+        line = json.dumps(event, separators=(",", ":"), default=str) + "\n"
+        with self._lock:
+            handle = self._handle
+            if handle is None:
+                raise ValueError(f"{self.path}: sink is closed")
+            handle.write(line)
+            handle.flush()
+            self.emitted += 1
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
 
 class MemoryEventSink(EventSink):
-    """Collect events in a list — for tests and in-process consumers."""
+    """Collect events in a list — for tests and in-process consumers.
+
+    ``list.append`` is atomic under the GIL, so a lock-free sink stays
+    correct for concurrent emitters; tests that assert on ordering run
+    single-threaded.
+    """
 
     def __init__(self) -> None:
         self.events: List[dict] = []

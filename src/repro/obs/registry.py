@@ -4,8 +4,10 @@ The registry is the in-process half of the observability layer
 (``repro.obs``). Instrumented code grabs the *active* registry once (at
 construction or at the top of a run) via :func:`active` and holds on to
 handle objects; the handles are plain ``__slots__`` objects whose update
-methods are a single attribute store, so instrumentation stays cheap
-when enabled.
+methods are one short critical section, so instrumentation stays cheap
+when enabled while staying exact under the engine/service layer's
+thread concurrency (``x += 1`` is a LOAD/ADD/STORE triple under the
+GIL and loses updates when preempted mid-read).
 
 When no registry is active, :func:`active` returns ``None`` and every
 instrumentation site degrades to one ``is None`` test — the disabled
@@ -19,6 +21,7 @@ and is a no-op when no sink is attached.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, Iterator, Optional
 
@@ -26,27 +29,36 @@ from .events import EventSink
 
 
 class Counter:
-    """A monotonically increasing integer metric."""
+    """A monotonically increasing integer metric (thread-safe)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
-    """A point-in-time value (last write wins)."""
+    """A point-in-time value (last write wins; deltas are exact)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: float) -> None:
+        """Atomic read-modify-write; use for +=/-= style updates."""
+        with self._lock:
+            self.value += delta
 
 
 class Histogram:
@@ -57,21 +69,23 @@ class Histogram:
     producers (queue-depth sampling per enqueued burst) are hot.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "_lock")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -92,10 +106,11 @@ class QueueGauges:
 
     The service layer's two load signals as one handle: how many jobs
     are waiting (``<prefix>.queue_depth``) and how many are executing
-    (``<prefix>.inflight``). Updates are single attribute stores on the
-    underlying :class:`Gauge` handles, so the instrumented fast path
-    stays cheap; construct via :func:`queue_gauges`, which returns
-    ``None`` when observability is off (the zero-cost disabled path).
+    (``<prefix>.inflight``). Updates go through :meth:`Gauge.add` —
+    the queue is fed from the submitting thread and drained by workers,
+    so the read-modify-write must be atomic; construct via
+    :func:`queue_gauges`, which returns ``None`` when observability is
+    off (the zero-cost disabled path).
     """
 
     __slots__ = ("depth", "inflight")
@@ -105,18 +120,18 @@ class QueueGauges:
         self.inflight = registry.gauge(f"{prefix}.inflight")
 
     def enqueued(self) -> None:
-        self.depth.value += 1
+        self.depth.add(1)
 
     def dequeued(self) -> None:
         """A queued item left without running (rejected late / cancelled)."""
-        self.depth.value -= 1
+        self.depth.add(-1)
 
     def started(self) -> None:
-        self.depth.value -= 1
-        self.inflight.value += 1
+        self.depth.add(-1)
+        self.inflight.add(1)
 
     def finished(self) -> None:
-        self.inflight.value -= 1
+        self.inflight.add(-1)
 
 
 class JobTimer:
@@ -169,10 +184,17 @@ class _PhaseScope:
 
 
 class MetricsRegistry:
-    """Named counters/gauges/histograms plus per-phase wall-clock timers."""
+    """Named counters/gauges/histograms plus per-phase wall-clock timers.
+
+    Get-or-create and phase accumulation are guarded by ``_lock`` — the
+    scheduler's worker threads and the service's event loop both mint
+    handles by name, and an unguarded ``dict.get``/store pair can hand
+    two racing callers two different handles for the same name (one of
+    which then silently drops every update).
+    """
 
     __slots__ = ("sink", "_counters", "_gauges", "_histograms", "_phases",
-                 "_started_at")
+                 "_started_at", "_lock")
 
     def __init__(self, sink: Optional[EventSink] = None) -> None:
         self.sink = sink
@@ -181,25 +203,29 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._phases: Dict[str, float] = {}
         self._started_at = time.time()
+        self._lock = threading.Lock()
 
     # -- handles ------------------------------------------------------------
 
     def counter(self, name: str) -> Counter:
-        handle = self._counters.get(name)
-        if handle is None:
-            self._counters[name] = handle = Counter()
+        with self._lock:
+            handle = self._counters.get(name)
+            if handle is None:
+                self._counters[name] = handle = Counter()
         return handle
 
     def gauge(self, name: str) -> Gauge:
-        handle = self._gauges.get(name)
-        if handle is None:
-            self._gauges[name] = handle = Gauge()
+        with self._lock:
+            handle = self._gauges.get(name)
+            if handle is None:
+                self._gauges[name] = handle = Gauge()
         return handle
 
     def histogram(self, name: str) -> Histogram:
-        handle = self._histograms.get(name)
-        if handle is None:
-            self._histograms[name] = handle = Histogram()
+        with self._lock:
+            handle = self._histograms.get(name)
+            if handle is None:
+                self._histograms[name] = handle = Histogram()
         return handle
 
     # -- phases -------------------------------------------------------------
@@ -210,11 +236,13 @@ class MetricsRegistry:
 
     def add_phase_time(self, name: str, seconds: float) -> None:
         """Record externally measured wall time (e.g. bench timings)."""
-        self._phases[name] = self._phases.get(name, 0.0) + seconds
+        with self._lock:
+            self._phases[name] = self._phases.get(name, 0.0) + seconds
 
     @property
     def phases(self) -> Dict[str, float]:
-        return dict(self._phases)
+        with self._lock:
+            return dict(self._phases)
 
     # -- events -------------------------------------------------------------
 
@@ -231,19 +259,24 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict:
         """All registry values as plain JSON-serializable dicts."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
+            phases = sorted(self._phases.items())
         return {
-            "counters": {name: c.value for name, c in sorted(self._counters.items())},
-            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
-            "histograms": {
-                name: h.to_dict() for name, h in sorted(self._histograms.items())
-            },
+            "counters": {name: c.value for name, c in counters},
+            "gauges": {name: g.value for name, g in gauges},
+            "histograms": {name: h.to_dict() for name, h in histograms},
             "phases_seconds": {
-                name: round(seconds, 6) for name, seconds in sorted(self._phases.items())
+                name: round(seconds, 6) for name, seconds in phases
             },
         }
 
     def counters(self) -> Iterator[tuple]:
-        return iter(sorted((name, c.value) for name, c in self._counters.items()))
+        with self._lock:
+            pairs = [(name, c.value) for name, c in self._counters.items()]
+        return iter(sorted(pairs))
 
     def close(self) -> None:
         if self.sink is not None:

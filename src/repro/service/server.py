@@ -343,7 +343,11 @@ class JobServer:
             session.outstanding -= 1
             self.tally["completed"] += 1
             try:
-                payload = wire_payload(handle.job, handle.result())
+                # This runs on the event loop; result() would park the
+                # whole loop on an Event.wait. The handle is guaranteed
+                # terminal before any listener fires, so the non-blocking
+                # accessor never raises here.
+                payload = wire_payload(handle.job, handle.result_nowait())
             except Exception as error:
                 # A wire-summary bug must degrade to a structured error,
                 # never a client waiting forever on a vanished result.

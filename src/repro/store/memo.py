@@ -41,6 +41,7 @@ import dataclasses
 import hashlib
 import json
 import pickle
+import threading
 from pathlib import Path
 from typing import Any, List, Optional, Union
 
@@ -148,6 +149,11 @@ class ExperimentMemo:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        # One memo is shared by every scheduler worker thread; the
+        # tallies are read-modify-write and need a leaf lock (never
+        # held across I/O — see the lock-ordering contract in
+        # repro.store.locks).
+        self._tally_lock = threading.Lock()
 
     # -- key index -----------------------------------------------------------
 
@@ -184,6 +190,15 @@ class ExperimentMemo:
         if registry is not None:
             registry.counter(f"store.memo.{counter}").inc()
 
+    def _miss(self, corrupt: bool = False) -> None:
+        with self._tally_lock:
+            self.misses += 1
+            if corrupt:
+                self.corrupt += 1
+        if corrupt:
+            self._count("corrupt")
+        self._count("misses")
+
     def fetch(self, job: Any) -> Optional[Any]:
         """The memoized payload for ``job``, or ``None`` on a miss.
 
@@ -194,8 +209,7 @@ class ExperimentMemo:
         key = cache_key(job)
         digest = self._read_digest(key)
         if digest is None:
-            self.misses += 1
-            self._count("misses")
+            self._miss()
             return None
         try:
             blob = self.cas.get(digest)
@@ -203,26 +217,20 @@ class ExperimentMemo:
         except CorruptArtifactError:
             self.cas.evict(digest)
             self._drop_key(key)
-            self.corrupt += 1
-            self.misses += 1
-            self._count("corrupt")
-            self._count("misses")
+            self._miss(corrupt=True)
             return None
         except KeyError:
             self._drop_key(key)
-            self.misses += 1
-            self._count("misses")
+            self._miss()
             return None
         except Exception:
             # Undecodable pickle: treat exactly like a corrupt blob.
             self.cas.evict(digest)
             self._drop_key(key)
-            self.corrupt += 1
-            self.misses += 1
-            self._count("corrupt")
-            self._count("misses")
+            self._miss(corrupt=True)
             return None
-        self.hits += 1
+        with self._tally_lock:
+            self.hits += 1
         self._count("hits")
         return payload
 
@@ -242,16 +250,18 @@ class ExperimentMemo:
 
     def stats(self) -> dict:
         cas_stats = self.cas.stats()
+        with self._tally_lock:
+            session = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+            }
         return {
             "root": str(self.root),
             "entries": len(self.keys()),
             "blobs": cas_stats["blobs"],
             "bytes": cas_stats["bytes"],
-            "session": {
-                "hits": self.hits,
-                "misses": self.misses,
-                "corrupt": self.corrupt,
-            },
+            "session": session,
         }
 
     def verify(self, evict_corrupt: bool = True) -> dict:

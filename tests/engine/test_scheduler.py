@@ -242,3 +242,61 @@ def test_stats_shape(scheduler):
         "submitted", "deduped", "executed", "memoized", "failed",
         "retried", "rejected",
     }
+
+
+# ---------------------------------------------------------------------------
+# Concurrency-fix regressions (found by repro.lint --select conc)
+# ---------------------------------------------------------------------------
+
+
+def test_result_nowait_requires_a_terminal_handle(scheduler):
+    gate = _gate("nowait")
+    handle = scheduler.submit(GatedJob("nowait", 7))
+    try:
+        with pytest.raises(RuntimeError, match="result_nowait"):
+            handle.result_nowait()
+    finally:
+        gate.set()
+    handle.wait(10)
+    assert handle.result_nowait() == 7
+
+
+def test_result_nowait_raises_job_failed(scheduler):
+    handle = scheduler.submit(BoomJob("nowait-boom"))
+    handle.wait(10)
+    with pytest.raises(JobFailed, match="nowait-boom"):
+        handle.result_nowait()
+
+
+def test_listeners_fire_with_done_already_set(scheduler):
+    """The service's loop callback depends on this ordering.
+
+    ``JobServer`` resolves results inside a subscriber via
+    ``result_nowait()`` — legal only because ``_transition`` sets the
+    done event (under the handle lock) *before* any listener runs.
+    """
+    seen = []
+    handle = scheduler.submit(EchoJob(13))
+    handle.subscribe(
+        lambda h, state: seen.append((state, h.result_nowait()))
+        if state == DONE else None
+    )
+    handle.wait(10)
+    assert (DONE, 26) in seen
+
+
+def test_tally_survives_concurrent_counting(scheduler):
+    """``Scheduler._count`` holds ``_tally_lock``: no lost updates."""
+    per_thread, threads = 2000, 8
+    assert scheduler.tally["retried"] == 0
+
+    def hammer():
+        for _ in range(per_thread):
+            scheduler._count("retried")
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert scheduler.tally["retried"] == per_thread * threads

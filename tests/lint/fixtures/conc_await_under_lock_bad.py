@@ -1,0 +1,11 @@
+# lint-path: src/repro/demo/held.py
+"""Planted: await while lexically holding a synchronous lock."""
+import asyncio
+import threading
+
+_lock = threading.Lock()
+
+
+async def refresh():
+    with _lock:
+        await asyncio.sleep(0.1)  # EXPECT: conc-await-under-lock

@@ -1,0 +1,12 @@
+# lint-path: src/repro/demo/held.py
+"""Clean: the lock is released before the coroutine parks."""
+import asyncio
+import threading
+
+_lock = threading.Lock()
+
+
+async def refresh():
+    with _lock:
+        delay = 0.1
+    await asyncio.sleep(delay)

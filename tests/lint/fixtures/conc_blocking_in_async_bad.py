@@ -1,0 +1,20 @@
+# lint-path: src/repro/demo/loopwork.py
+"""Planted: blocking calls reachable from the event loop."""
+import asyncio
+import time
+
+
+def slow_step():
+    time.sleep(0.5)  # EXPECT: conc-blocking-in-async
+
+
+def register(loop):
+    loop.call_soon(slow_step)
+
+
+async def direct():
+    time.sleep(0.1)  # EXPECT: conc-blocking-in-async
+
+
+async def transitive():
+    slow_step()  # EXPECT: conc-blocking-in-async

@@ -1,0 +1,17 @@
+# lint-path: src/repro/demo/loopwork.py
+"""Clean: loop code hops blocking work to executors or awaits natively."""
+import asyncio
+import time
+
+
+def slow_step():
+    time.sleep(0.5)
+
+
+async def hopped():
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, slow_step)
+
+
+async def native():
+    await asyncio.sleep(0.1)

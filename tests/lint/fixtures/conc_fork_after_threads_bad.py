@@ -1,0 +1,23 @@
+# lint-path: src/repro/demo/fanout.py
+"""Planted: fork-preferred pools where worker threads already run."""
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def noop():
+    pass
+
+
+def start():
+    threading.Thread(target=worker_side).start()
+
+
+def worker_side():
+    pool = ProcessPoolExecutor(2)  # EXPECT: conc-fork-after-threads
+    return pool
+
+
+def lexical():
+    threading.Thread(target=noop).start()
+    pool = ProcessPoolExecutor(2)  # EXPECT: conc-fork-after-threads
+    return pool

@@ -1,0 +1,15 @@
+# lint-path: src/repro/demo/fanout.py
+"""Clean: pools carry explicit spawn-safe start methods."""
+import multiprocessing
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def start():
+    threading.Thread(target=worker_side).start()
+
+
+def worker_side():
+    return ProcessPoolExecutor(
+        2, mp_context=multiprocessing.get_context("spawn")
+    )

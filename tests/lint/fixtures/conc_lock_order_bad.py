@@ -1,0 +1,29 @@
+# lint-path: src/repro/demo/ordering.py
+"""Planted: inconsistent acquisition order plus a re-entrant acquire."""
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:  # EXPECT: conc-lock-order
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:  # EXPECT: conc-lock-order
+                pass
+
+
+class Again:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def twice(self):
+        with self._lock:
+            with self._lock:  # EXPECT: conc-lock-order
+                pass

@@ -1,0 +1,19 @@
+# lint-path: src/repro/demo/ordering.py
+"""Clean: every path acquires the pair in the same order."""
+import threading
+
+
+class Pair:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def also_forward(self):
+        with self._a:
+            with self._b:
+                pass

@@ -1,0 +1,17 @@
+# lint-path: src/repro/demo/tally.py
+"""Planted: attribute written from loop and worker contexts, lockless."""
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self.count = 0
+
+    def start(self):
+        threading.Thread(target=self.from_worker).start()
+
+    def from_worker(self):
+        self.count += 1  # EXPECT: conc-unguarded-shared-state
+
+    async def from_loop(self):
+        self.count += 1

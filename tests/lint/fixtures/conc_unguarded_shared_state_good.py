@@ -1,0 +1,20 @@
+# lint-path: src/repro/demo/tally.py
+"""Clean: every cross-context mutation holds the owning lock."""
+import threading
+
+
+class Tally:
+    def __init__(self):
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def start(self):
+        threading.Thread(target=self.from_worker).start()
+
+    def from_worker(self):
+        with self._lock:
+            self.count += 1
+
+    async def from_loop(self):
+        with self._lock:
+            self.count += 1

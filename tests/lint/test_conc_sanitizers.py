@@ -1,0 +1,175 @@
+"""Runtime concurrency sanitizers: lock-order checker and stall monitor."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.lint.sanitize import (
+    LockOrderChecker,
+    LoopStallMonitor,
+    TrackedLock,
+    disable_lock_order_check,
+    enable_lock_order_check,
+    lock_order_checker,
+    make_lock,
+)
+from repro.store.locks import FileLock
+
+
+@pytest.fixture
+def checker():
+    checker = enable_lock_order_check()
+    try:
+        yield checker
+    finally:
+        disable_lock_order_check()
+
+
+def test_consistent_order_has_no_violations():
+    checker = LockOrderChecker()
+    for _ in range(3):
+        checker.acquired("A")
+        checker.acquired("B")
+        checker.released("B")
+        checker.released("A")
+    assert checker.violations == []
+    assert checker.acquisitions == 6
+    assert checker.edge_count() == 1  # A -> B, recorded once
+
+
+def test_inverted_order_is_a_cycle_violation():
+    checker = LockOrderChecker()
+    checker.acquired("A")
+    checker.acquired("B")
+    checker.released("B")
+    checker.released("A")
+    checker.acquired("B")
+    checker.acquired("A")  # closes B -> A against the earlier A -> B
+    assert len(checker.violations) == 1
+    assert "cycle" in checker.violations[0]
+    assert "A" in checker.violations[0] and "B" in checker.violations[0]
+
+
+def test_transitive_cycle_is_detected():
+    checker = LockOrderChecker()
+    checker.acquired("A"); checker.acquired("B")
+    checker.released("B"); checker.released("A")
+    checker.acquired("B"); checker.acquired("C")
+    checker.released("C"); checker.released("B")
+    checker.acquired("C"); checker.acquired("A")  # A -> B -> C -> A
+    assert len(checker.violations) == 1
+
+
+def test_reentrant_acquisition_is_flagged():
+    checker = LockOrderChecker()
+    checker.acquired("A")
+    checker.acquired("A")
+    assert len(checker.violations) == 1
+    assert "re-entrant" in checker.violations[0]
+
+
+def test_held_stacks_are_per_thread():
+    checker = LockOrderChecker()
+    barrier = threading.Barrier(2)
+
+    def hold(name):
+        checker.acquired(name)
+        barrier.wait()
+        checker.released(name)
+
+    threads = [threading.Thread(target=hold, args=(name,))
+               for name in ("A", "B")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    # Both locks were held simultaneously, but by different threads:
+    # no nesting edge and no violation.
+    assert checker.violations == []
+    assert checker.edge_count() == 0
+
+
+def test_tracked_lock_feeds_the_checker():
+    checker = LockOrderChecker()
+    outer = TrackedLock("outer", checker)
+    inner = TrackedLock("inner", checker)
+    with outer:
+        with inner:
+            pass
+    with inner:
+        with outer:
+            pass
+    assert len(checker.violations) == 1
+    report = checker.report()
+    assert report["acquisitions"] == 4
+    assert report["edges"] == 2
+
+
+def test_make_lock_is_plain_when_off_and_tracked_when_on(checker):
+    tracked = make_lock("engine.demo")
+    assert isinstance(tracked, TrackedLock)
+    assert lock_order_checker() is checker
+    disable_lock_order_check()
+    plain = make_lock("engine.demo")
+    assert isinstance(plain, type(threading.Lock()))
+    assert lock_order_checker() is None
+
+
+def test_filelock_joins_the_acquisition_graph(tmp_path, checker):
+    lock = FileLock(tmp_path / "key.lock", timeout=5.0)
+    in_process = TrackedLock("engine.state", checker)
+    # FileLock is the outermost level: taking it under an in-process
+    # lock after the legal order was observed closes a cycle.
+    with lock:
+        with in_process:
+            pass
+    with in_process:
+        lock.acquire()
+        lock.release()
+    assert len(checker.violations) == 1
+    assert "repro.store.locks.FileLock" in checker.violations[0]
+
+
+def test_filelock_observer_detaches_on_disable(tmp_path):
+    checker = enable_lock_order_check()
+    disable_lock_order_check()
+    with FileLock(tmp_path / "key.lock", timeout=5.0):
+        pass
+    assert checker.acquisitions == 0
+
+
+def test_stall_monitor_flags_a_blocking_callback():
+    monitor = LoopStallMonitor(threshold=0.05, interval=0.01)
+
+    async def scenario():
+        loop = asyncio.get_running_loop()
+        monitor.start(loop)
+        await asyncio.sleep(0.05)
+        time.sleep(0.2)  # the planted stall: blocks the loop directly
+        await asyncio.sleep(0.05)
+        monitor.stop()
+
+    asyncio.run(scenario())
+    report = monitor.report()
+    assert report["stalls"], f"no stall recorded: {report}"
+    assert report["max_lag_seconds"] >= 0.1
+    assert report["ticks"] > 0
+
+
+def test_stall_monitor_clean_loop_records_nothing():
+    monitor = LoopStallMonitor(threshold=0.25, interval=0.01)
+
+    async def scenario():
+        monitor.start(asyncio.get_running_loop())
+        for _ in range(5):
+            await asyncio.sleep(0.01)
+        monitor.stop()
+
+    asyncio.run(scenario())
+    report = monitor.report()
+    assert report["stalls"] == []
+    assert report["ticks"] > 0

@@ -1,0 +1,184 @@
+"""Call-graph unit tests: resolution, cycles, fallbacks, contexts.
+
+These exercise :mod:`repro.lint.graph` directly — per-file summary
+extraction joined by :func:`build_project` — independent of the rules
+driven over the resulting graph.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.graph import build_project, extract_summary
+
+
+def summarize(path: str, source: str):
+    return extract_summary(ast.parse(source), path)
+
+
+def graph_for(**files):
+    """Build a project graph from ``{"pkg/mod.py": source}`` mappings."""
+    return build_project(
+        summarize(path, source) for path, source in files.items()
+    )
+
+
+def callee_ids(graph, fid):
+    return {target for target, _ in graph.functions[fid].callees}
+
+
+def test_cross_module_call_resolution():
+    graph = graph_for(**{
+        "src/repro/alpha.py": (
+            "from repro.beta import helper\n"
+            "\n"
+            "def entry():\n"
+            "    helper()\n"
+        ),
+        "src/repro/beta.py": (
+            "def helper():\n"
+            "    pass\n"
+        ),
+    })
+    assert "repro.beta.helper" in callee_ids(graph, "repro.alpha.entry")
+
+
+def test_reexport_chain_resolution():
+    graph = graph_for(**{
+        "src/repro/pkg/__init__.py": "from .impl import work\n",
+        "src/repro/pkg/impl.py": "def work():\n    pass\n",
+        "src/repro/user.py": (
+            "from repro import pkg\n"
+            "\n"
+            "def entry():\n"
+            "    pkg.work()\n"
+        ),
+    })
+    assert "repro.pkg.impl.work" in callee_ids(graph, "repro.user.entry")
+
+
+def test_call_cycle_terminates_and_propagates_blocking():
+    graph = graph_for(**{
+        "src/repro/cyc.py": (
+            "import time\n"
+            "\n"
+            "def ping():\n"
+            "    pong()\n"
+            "\n"
+            "def pong():\n"
+            "    time.sleep(1)\n"
+            "    ping()\n"
+            "\n"
+            "async def entry():\n"
+            "    ping()\n"
+        ),
+    })
+    # The ping <-> pong cycle must not hang the fixpoint, and blocking
+    # must still propagate through it to the coroutine.
+    assert "repro.cyc.entry" in graph.may_block
+    _, _, chain = graph.may_block["repro.cyc.entry"]
+    assert "time.sleep" in chain
+
+
+def test_dynamic_dispatch_falls_back_to_conservative_edges():
+    graph = graph_for(**{
+        "src/repro/dyn.py": (
+            "class Fast:\n"
+            "    def compute(self):\n"
+            "        pass\n"
+            "\n"
+            "class Slow:\n"
+            "    def compute(self):\n"
+            "        pass\n"
+            "\n"
+            "def drive(engine):\n"
+            "    engine.compute()\n"
+        ),
+    })
+    # An unannotated receiver resolves to every project method of that
+    # name — over-approximate rather than miss a real edge.
+    assert callee_ids(graph, "repro.dyn.drive") >= {
+        "repro.dyn.Fast.compute",
+        "repro.dyn.Slow.compute",
+    }
+
+
+def test_known_external_receiver_suppresses_conservative_fallback():
+    graph = graph_for(**{
+        "src/repro/ext.py": (
+            "import asyncio\n"
+            "\n"
+            "class Handle:\n"
+            "    def wait(self):\n"
+            "        pass\n"
+            "\n"
+            "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._stopping = asyncio.Event()\n"
+            "\n"
+            "    async def run(self):\n"
+            "        await self._stopping.wait()\n"
+        ),
+    })
+    # The receiver types to asyncio.Event — known external — so the
+    # name-matched fallback must NOT wire Handle.wait in.
+    assert "repro.ext.Handle.wait" not in callee_ids(graph, "repro.ext.Server.run")
+
+
+def test_symbolic_type_chain_resolves_through_returns():
+    source = (
+        "class Widget:\n"
+        "    def spin(self):\n"
+        "        pass\n"
+        "\n"
+        "class Maker:\n"
+        "    def make(self) -> Widget:\n"
+        "        return Widget()\n"
+        "\n"
+        "def use():\n"
+        "    Maker().make().spin()\n"
+    )
+    graph = graph_for(**{"src/repro/chain.py": source})
+    assert graph.resolve_type_expr(
+        "repro.chain", "repro.chain.Maker().make()"
+    ) == "repro.chain.Widget"
+    assert "repro.chain.Widget.spin" in callee_ids(graph, "repro.chain.use")
+
+
+def test_thread_target_marks_worker_context():
+    graph = graph_for(**{
+        "src/repro/ctx.py": (
+            "import threading\n"
+            "\n"
+            "def work():\n"
+            "    step()\n"
+            "\n"
+            "def step():\n"
+            "    pass\n"
+            "\n"
+            "def start():\n"
+            "    threading.Thread(target=work).start()\n"
+        ),
+    })
+    assert graph.function_contexts("repro.ctx.work") == {"worker"}
+    # ... and reachability extends transitively to its callees.
+    assert graph.function_contexts("repro.ctx.step") == {"worker"}
+    assert graph.function_contexts("repro.ctx.start") == set()
+
+
+def test_executor_submit_is_a_hop_not_a_loop_call():
+    graph = graph_for(**{
+        "src/repro/hop.py": (
+            "import time\n"
+            "\n"
+            "def blocking():\n"
+            "    time.sleep(1)\n"
+            "\n"
+            "async def entry(executor):\n"
+            "    executor.submit(blocking)\n"
+        ),
+    })
+    # The submitted function runs on a worker, not the loop: blocking
+    # must not propagate across the hop, but worker context must.
+    assert "repro.hop.entry" not in graph.may_block
+    assert "worker" in graph.function_contexts("repro.hop.blocking")

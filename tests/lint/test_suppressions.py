@@ -71,6 +71,48 @@ def test_suppression_only_applies_to_its_own_line():
     ]
 
 
+def test_decorator_line_suppression_covers_the_def_header():
+    # The finding anchors at the default expression on the def line; the
+    # suppression sits on the decorator line. Both fall in the same
+    # statement span, so the suppression applies and is counted used.
+    source = (
+        "import functools\n"
+        "\n"
+        "@functools.lru_cache  # lint: ignore[api-mutable-default]\n"
+        "def cached(seen=[]):\n"
+        "    return seen\n"
+    )
+    assert lint_source(source, path=PATH) == []
+
+
+def test_def_line_suppression_covers_multiline_header():
+    source = (
+        "def wide(\n"
+        "    seen=[],  # lint: ignore[api-mutable-default]\n"
+        "):\n"
+        "    return seen\n"
+    )
+    assert lint_source(source, path=PATH) == []
+
+
+def test_span_anchoring_stops_at_the_body():
+    # The span ends at the header: a suppression on the decorator line
+    # must NOT leak onto findings inside the function body.
+    source = (
+        "import time\n"
+        "import functools\n"
+        "\n"
+        "@functools.lru_cache  # lint: ignore[det-wall-clock]\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    findings = lint_source(source, path=PATH)
+    assert sorted((f.line, f.rule_id) for f in findings) == [
+        (4, UNUSED_SUPPRESSION),
+        (6, "det-wall-clock"),
+    ]
+
+
 def test_suppression_inside_string_literal_is_not_parsed():
     source = 'text = "# lint: ignore[det-wall-clock]"\n'
     assert lint_source(source, path=PATH) == []

@@ -97,6 +97,32 @@ def test_fetch_miss_then_hit(memo):
     assert memo.hits == 1 and memo.misses == 1
 
 
+def test_hit_miss_tally_survives_concurrent_fetches(memo):
+    """Regression for conc-unguarded-shared-state on ``hits``/``misses``.
+
+    ``fetch`` is called from every scheduler worker; the session tally
+    now increments under ``_tally_lock``, so hammering one hot entry
+    from many threads loses no updates.
+    """
+    import threading
+
+    job = SizeJob("mcf", 1000)
+    memo.store(job, {"trace": 1})
+    per_thread, threads = 500, 8
+
+    def hammer():
+        for _ in range(per_thread):
+            memo.fetch(job)
+
+    workers = [threading.Thread(target=hammer) for _ in range(threads)]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert memo.hits == per_thread * threads
+    assert memo.misses == 0
+
+
 def test_survives_across_instances(tmp_path):
     job = SizeJob("mcf", 1000)
     ExperimentMemo(tmp_path / "cache").store(job, {"trace": 1})
