@@ -24,6 +24,14 @@ same micro-bench: the K-representative profile build is timed against
 the full columnar build (floor: 3x faster at the ~10% default K) and
 the weighted estimate's Fig. 6/13/14 geomean error is recorded and
 asserted against the plan's declared error bound.
+Batched memory-system replay (:mod:`repro.dram.batched`, schema 9) is
+held to the same bar as the other columnar stages: the open-loop
+crossbar + FR-FCFS DRAM replay of the 20k synthetic trace is timed
+scalar vs batched, asserted bit-identical field-for-field, and the
+speedup recorded as ``speedup_dram_replay`` (floor: 3x). The serial
+figure runs additionally attribute their wall time to
+``replay.synthesis`` / ``replay.crossbar`` / ``replay.dram`` phase
+timers (``figure_phase_seconds``).
 The job-queue service (:mod:`repro.engine` + :mod:`repro.service`,
 schema 7) is stormed with 1,000 duplicate-heavy clients against one
 server: the engine must compute each unique job exactly once
@@ -155,6 +163,28 @@ def test_perf_snapshot(bench_jobs, capsys):
     )
     assert sweep_columnar.l1 == sweep_scalar.l1, "batched L1 stats differ from scalar"
     assert sweep_columnar.l2 == sweep_scalar.l2, "batched L2 stats differ from scalar"
+
+    # -- batched memory-system replay vs scalar (schema 9) -----------------
+    # The same 20k synthetic trace the core "replay" timing uses, through
+    # both engines; MemorySystemStats must match field for field.
+    replay_scalar, timings["dram_replay_scalar"] = _timed_best(
+        lambda: simulate_trace(synthetic, backend="scalar")
+    )
+    replay_columns = ColumnarTrace.from_trace(synthetic)
+    replay_batched, timings["dram_replay_batched"] = _timed_best(
+        lambda: simulate_trace(replay_columns, backend="columnar")
+    )
+    dram_replay_identical = replay_batched == replay_scalar
+    assert dram_replay_identical, "batched DRAM replay stats differ from scalar"
+    speedup_dram_replay = None
+    if have_numpy and timings["dram_replay_batched"]:
+        speedup_dram_replay = (
+            timings["dram_replay_scalar"] / timings["dram_replay_batched"]
+        )
+        assert speedup_dram_replay >= 3.0, (
+            f"batched DRAM replay only {speedup_dram_replay:.2f}x faster "
+            "than scalar (floor: 3x)"
+        )
 
     # Without numpy both "columnar" runs fall back to scalar code, so the
     # ratio measures nothing; record null speedups instead of noise.
@@ -357,10 +387,19 @@ def test_perf_snapshot(bench_jobs, capsys):
             "fig14": jobs_for("fig14", PERF_SPEC_REQUESTS, benchmarks=FIG14_BENCHMARKS),
         }
 
+        phases_before = registry.phases
         serial_results = {}
         for name, runner in runners.items():
             _clear_caches()
             serial_results[name], timings[f"{name}_serial"] = _timed(runner)
+        phases_after = registry.phases
+        # Where the serial figure wall time went: synthesis (profile build
+        # + synthetic-trace generation) vs crossbar injection vs the final
+        # DRAM drain (schema 9).
+        figure_phase_seconds = {
+            name: round(phases_after.get(name, 0.0) - phases_before.get(name, 0.0), 4)
+            for name in ("replay.synthesis", "replay.crossbar", "replay.dram")
+        }
 
         # -- figure runners: parallel prewarm + aggregate ------------------
         parallel_identical = None
@@ -446,7 +485,7 @@ def test_perf_snapshot(bench_jobs, capsys):
             speedup = serial_total / parallel_total if parallel_total else None
 
         snapshot = {
-            "schema": 8,
+            "schema": 9,
             "written_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
             "host": {
                 "cpus": cpus,
@@ -477,6 +516,13 @@ def test_perf_snapshot(bench_jobs, capsys):
             "columnar_identical": columnar_identical,
             "speedup_profile_build": speedup_profile_build,
             "speedup_cache_sweep": speedup_cache_sweep,
+            # Batched memory-system replay (repro.dram.batched, schema 9):
+            # the open-loop crossbar + FR-FCFS replay vs its scalar twin
+            # on bit-identical MemorySystemStats, plus the serial figure
+            # wall time attributed to synthesis/crossbar/DRAM phases.
+            "dram_replay_identical": dram_replay_identical,
+            "speedup_dram_replay": speedup_dram_replay,
+            "figure_phase_seconds": figure_phase_seconds,
             # Streaming map-reduce build (repro.stream): bit-identical to
             # the single-pass build, throughput within 1.5x of in-memory
             # columnar (null ratio without numpy), with tracemalloc peak
@@ -547,6 +593,14 @@ def test_perf_snapshot(bench_jobs, capsys):
         if speedup_cache_sweep is not None:
             print(f"  batched cache sweep:     {speedup_cache_sweep:.1f}x "
                   "over scalar (bit-identical)")
+        if speedup_dram_replay is not None:
+            print(f"  batched DRAM replay:     {speedup_dram_replay:.1f}x "
+                  "over scalar (bit-identical)")
+        print("  figure phases:           "
+              + ", ".join(
+                  f"{name.split('.')[1]} {seconds:.1f}s"
+                  for name, seconds in sorted(figure_phase_seconds.items())
+              ))
         if streaming_over_columnar is not None:
             print(f"  streamed profile build:  {streaming_over_columnar:.2f}x "
                   "of in-memory columnar (bit-identical)")

@@ -28,6 +28,7 @@ def _load_bench(path):
     _check_schema6_fields(path, data)
     _check_schema7_fields(path, data)
     _check_schema8_fields(path, data)
+    _check_schema9_fields(path, data)
     return data
 
 
@@ -167,6 +168,33 @@ def _check_schema8_fields(path, data):
     if missing:
         print(f"error: {path} (schema {schema}) is missing required lint "
               f"bench entries: {', '.join(missing)}; "
+              "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
+        raise SystemExit(2)
+
+
+#: Snapshot fields introduced with batched memory-system replay
+#: (schema 9): the scalar-vs-batched DRAM replay micro timings, their
+#: speedup on bit-identical stats, and the serial figure wall time
+#: attributed to synthesis/crossbar/DRAM phases.
+_SCHEMA9_TIMINGS = ("dram_replay_scalar", "dram_replay_batched")
+_SCHEMA9_FIELDS = (
+    "dram_replay_identical",
+    "speedup_dram_replay",
+    "figure_phase_seconds",
+)
+
+
+def _check_schema9_fields(path, data):
+    """Fail loudly when a schema>=9 snapshot lacks the replay entries."""
+    schema = data.get("schema")
+    if not isinstance(schema, int) or schema < 9:
+        return  # pre-batched-replay snapshot: nothing to require
+    timings = data["timings_seconds"]
+    missing = [key for key in _SCHEMA9_TIMINGS if key not in timings]
+    missing += [f"top-level '{key}'" for key in _SCHEMA9_FIELDS if key not in data]
+    if missing:
+        print(f"error: {path} (schema {schema}) is missing required batched "
+              f"replay bench entries: {', '.join(missing)}; "
               "re-run scripts/bench.sh to regenerate it", file=sys.stderr)
         raise SystemExit(2)
 

@@ -8,6 +8,14 @@ The mapping interleaves channels at burst granularity and places the
 column below the bank (gem5's ``RoRaBaChCo`` spirit): a sequential
 stream walks the columns of one row in one bank — maximizing row hits —
 before moving to the next bank.
+
+Two decode paths share the same arithmetic: the scalar
+:meth:`AddressMap.decode` / :meth:`AddressMap.split_request` pair the
+event loop uses per burst, and the vectorized
+:meth:`AddressMap.decode_many` / :meth:`AddressMap.expand_many` pair the
+batched replay engine (:mod:`repro.dram.batched`) runs over whole
+address columns at once. Both produce identical coordinates for
+identical addresses.
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..core.columnar import numpy_or_none
 from ..core.request import MemoryRequest, Operation
 from .config import MemoryConfig
 
@@ -82,6 +91,47 @@ class Burst:
         return self.operation is Operation.READ
 
 
+class DecodedBursts:
+    """Column-wise decode of a burst address column (numpy int64 arrays).
+
+    The vectorized twin of :class:`DramCoordinates`: parallel arrays of
+    channel, rank, bank, row, column and the flat ``bank_id``, one entry
+    per input address. Values equal :meth:`AddressMap.decode` element
+    for element.
+    """
+
+    __slots__ = ("channel", "rank", "bank", "row", "column", "bank_id")
+
+    def __init__(self, channel, rank, bank, row, column, bank_id) -> None:
+        self.channel = channel
+        self.rank = rank
+        self.bank = bank
+        self.row = row
+        self.column = column
+        self.bank_id = bank_id
+
+
+class BurstColumns:
+    """Vectorized request→burst expansion over address/size columns.
+
+    ``request_index[k]`` is the request owning burst ``k``;
+    ``addresses[k]`` is the aligned burst address; ``offsets`` has one
+    entry per request plus a terminator, so request ``i`` owns bursts
+    ``offsets[i]:offsets[i+1]``. Burst order equals the scalar
+    :meth:`AddressMap.split_request` order over the request sequence.
+    """
+
+    __slots__ = ("request_index", "addresses", "offsets")
+
+    def __init__(self, request_index, addresses, offsets) -> None:
+        self.request_index = request_index
+        self.addresses = addresses
+        self.offsets = offsets
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+
 class AddressMap:
     """Decodes byte addresses into DRAM coordinates for a configuration."""
 
@@ -114,6 +164,76 @@ class AddressMap:
             rest //= config.num_channels
         row = rest
         return DramCoordinates(channel, rank, bank, row, column)
+
+    def decode_many(self, addresses) -> DecodedBursts:
+        """Vectorized :meth:`decode` over a whole address column.
+
+        ``addresses`` is a numpy ``uint64`` (or int64) array of byte
+        addresses; the result holds ``int64`` coordinate columns equal
+        to the scalar decode element for element. Requires numpy.
+        """
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - callers gate on numpy
+            raise RuntimeError("decode_many requires numpy")
+        config = self.config
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        burst_number = addresses // np.uint64(config.burst_size)
+        if config.address_mapping == "ch_lo":
+            channel = burst_number % np.uint64(config.num_channels)
+            rest = burst_number // np.uint64(config.num_channels)
+        else:
+            rest = burst_number
+            channel = None  # placed after bank/rank decode below
+        column = rest % np.uint64(config.columns_per_row)
+        rest = rest // np.uint64(config.columns_per_row)
+        bank = rest % np.uint64(config.banks_per_rank)
+        rest = rest // np.uint64(config.banks_per_rank)
+        rank = rest % np.uint64(config.ranks_per_channel)
+        rest = rest // np.uint64(config.ranks_per_channel)
+        if config.address_mapping == "ch_hi":
+            channel = rest % np.uint64(config.num_channels)
+            rest = rest // np.uint64(config.num_channels)
+        row = rest
+        channel = channel.astype(np.int64)
+        rank = rank.astype(np.int64)
+        bank = bank.astype(np.int64)
+        return DecodedBursts(
+            channel=channel,
+            rank=rank,
+            bank=bank,
+            row=row.astype(np.int64),
+            column=column.astype(np.int64),
+            bank_id=rank * _BANK_STRIDE + bank,
+        )
+
+    def expand_many(self, addresses, sizes) -> BurstColumns:
+        """Vectorized :meth:`split_request` over address/size columns.
+
+        Returns the aligned burst addresses of every request in order,
+        with the owning request index per burst — the columnar twin of
+        building per-request ``Burst`` lists. Requires numpy.
+        """
+        np = numpy_or_none()
+        if np is None:  # pragma: no cover - callers gate on numpy
+            raise RuntimeError("expand_many requires numpy")
+        burst_size = self.config.burst_size
+        addresses = np.asarray(addresses, dtype=np.uint64)
+        sizes = np.asarray(sizes, dtype=np.uint64)
+        first = addresses // np.uint64(burst_size)
+        last = (addresses + sizes - np.uint64(1)) // np.uint64(burst_size)
+        counts = (last - first + np.uint64(1)).astype(np.int64)
+        offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        request_index = np.repeat(
+            np.arange(len(counts), dtype=np.int64), counts
+        )
+        position = np.arange(int(offsets[-1]), dtype=np.int64) - offsets[request_index]
+        burst_number = first[request_index] + position.astype(np.uint64)
+        return BurstColumns(
+            request_index=request_index,
+            addresses=burst_number * np.uint64(burst_size),
+            offsets=offsets,
+        )
 
     def split_request(self, request: MemoryRequest, request_id: int) -> List[Burst]:
         """Split a request into aligned bursts covering its byte range."""

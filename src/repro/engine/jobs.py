@@ -61,7 +61,13 @@ class JobValidationError(ValueError):
 
 @dataclass(frozen=True)
 class DramJob:
-    """One baseline/McC(/STM) DRAM simulation trio (Figs. 6-13)."""
+    """One baseline/McC(/STM) DRAM simulation trio (Figs. 6-13).
+
+    The executor replays through the backend-dispatched driver
+    (:mod:`repro.sim.driver`), so pool workers — which inherit
+    ``MOCKTAILS_BACKEND`` from the parent's environment — use the
+    batched memory-system engine exactly when the parent would.
+    """
 
     name: str
     num_requests: int = DEFAULT_REQUESTS

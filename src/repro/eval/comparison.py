@@ -91,13 +91,22 @@ def dram_comparison(
 
     baseline_stats = simulate_trace(trace, config)
 
-    mcc_profile = build_profile(trace, hierarchy, name=name)
-    mcc_stats = simulate_trace(synthesize(mcc_profile, seed=seed + 1), config)
+    # Phase attribution: profile building + synthetic-trace generation is
+    # "synthesis"; simulate_trace attributes its own time to
+    # replay.crossbar / replay.dram. Timing never changes statistics.
+    with obs.phase("replay.synthesis"):
+        mcc_profile = build_profile(trace, hierarchy, name=name)
+        mcc_trace = synthesize(mcc_profile, seed=seed + 1)
+    mcc_stats = simulate_trace(mcc_trace, config)
 
     stm_stats = None
     if include_stm:
-        stm_profile = build_profile(trace, hierarchy, leaf_factory=stm_leaf_factory, name=name)
-        stm_stats = simulate_trace(synthesize(stm_profile, seed=seed + 1), config)
+        with obs.phase("replay.synthesis"):
+            stm_profile = build_profile(
+                trace, hierarchy, leaf_factory=stm_leaf_factory, name=name
+            )
+            stm_trace = synthesize(stm_profile, seed=seed + 1)
+        stm_stats = simulate_trace(stm_trace, config)
 
     run = WorkloadRun(
         name=name,

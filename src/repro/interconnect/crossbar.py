@@ -71,3 +71,19 @@ class Crossbar:
                 registry.counter("crossbar.stalls").inc()
                 registry.counter("crossbar.stall_cycles").inc(delay)
         return delay
+
+    def send_many(self, requests) -> int:
+        """Forward a batch of time-ordered requests; returns summed delay.
+
+        The batch port of the scalar path: accepts any iterable of
+        :class:`MemoryRequest` (including ``ColumnarTrace.iter_requests()``
+        output) and forwards each in order. The vectorized batch engine
+        (:class:`repro.dram.batched.BatchedReplay`) owns its crossbar
+        directly and bypasses this loop; ``send_many`` is what block
+        consumers call when that engine cannot engage.
+        """
+        send = self.send
+        total = 0
+        for request in requests:
+            total += send(request)
+        return total

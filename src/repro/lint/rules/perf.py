@@ -22,6 +22,7 @@ HOT_PATH_MODULES: Tuple[Tuple[str, ...], ...] = (
     ("cache", "batched.py"),
     ("dram", "controller.py"),
     ("dram", "address_map.py"),
+    ("dram", "batched.py"),
     ("interconnect", "crossbar.py"),
     ("obs", "registry.py"),
     ("sample", "fingerprint.py"),

@@ -42,6 +42,7 @@ from .registry import (
     disable,
     enable,
     job_timer,
+    phase,
     queue_gauges,
 )
 
@@ -63,6 +64,7 @@ __all__ = [
     "host_info",
     "job_timer",
     "measure_peak_memory",
+    "phase",
     "queue_gauges",
     "wall_time",
     "write_manifest",

@@ -87,6 +87,42 @@ class Histogram:
             if self.max is None or value > self.max:
                 self.max = value
 
+    def observe_many(self, value: float, count: int) -> None:
+        """Record ``count`` observations of the same ``value`` at once.
+
+        The batched replay engine's bulk twin of calling
+        :meth:`observe` in a loop: identical resulting summary, one
+        critical section.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += value * count
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+
+    def observe_summary(
+        self, count: int, total: float, minimum: float, maximum: float
+    ) -> None:
+        """Merge a precomputed summary of ``count`` observations.
+
+        Equivalent to observing each underlying sample individually as
+        long as the caller's (count, total, min, max) are exact — which
+        integer-valued columns below 2**53 guarantee.
+        """
+        if count <= 0:
+            return
+        with self._lock:
+            self.count += count
+            self.total += total
+            if self.min is None or minimum < self.min:
+                self.min = minimum
+            if self.max is None or maximum > self.max:
+                self.max = maximum
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
@@ -330,3 +366,31 @@ def job_timer(name: str) -> Optional[JobTimer]:
     """A :class:`JobTimer` on the active registry, or ``None`` when off."""
     registry = _active
     return JobTimer(registry, name) if registry is not None else None
+
+
+class _NullScope:
+    """No-op context manager: the disabled path of :func:`phase`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullScope":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SCOPE = _NullScope()
+
+
+def phase(name: str):
+    """A phase timer scope on the active registry; no-op scope when off.
+
+    The replay drivers wrap their injection and drain stages in these so
+    figure wall time can be attributed per phase. Timing never alters
+    statistics, and the disabled path is one shared no-op object.
+    """
+    registry = _active
+    if registry is not None:
+        return registry.phase(name)
+    return _NULL_SCOPE

@@ -1,0 +1,271 @@
+"""Batched memory-system replay must be bit-identical to the scalar loop.
+
+The contract under test (see ``repro/dram/batched.py``): for every
+workload and configuration where the fast path engages, the batched
+engine produces a :class:`~repro.dram.stats.MemorySystemStats` equal
+*field for field* — including every per-channel
+:class:`~repro.dram.stats.ControllerStats` — to the scalar
+crossbar + FR-FCFS event loop; where the fast path cannot engage, it
+falls back to scalar code and equality is trivial but still asserted.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import obs
+from repro.core.columnar import ColumnarTrace
+from repro.core.hierarchy import two_level_ts
+from repro.core.profiler import build_profile
+from repro.dram.batched import BatchedReplay, batched_replay_supported
+from repro.dram.config import ChargeCacheConfig, DRAMTiming, MemoryConfig
+from repro.interconnect.crossbar import CrossbarConfig
+from repro.sim.driver import simulate_blocks, simulate_synthetic, simulate_trace
+from repro.workloads import TABLE_II_WORKLOADS, make_generator
+
+REQUESTS = 2_500
+
+
+def _assert_stats_equal(scalar, batched, label):
+    """Field-for-field equality with a per-field diagnostic on failure."""
+    for field in dataclasses.fields(scalar):
+        if field.name == "channels":
+            continue
+        assert getattr(batched, field.name) == getattr(scalar, field.name), (
+            f"{label}: top-level {field.name} differs"
+        )
+    assert len(batched.channels) == len(scalar.channels)
+    for index, (expected, actual) in enumerate(zip(scalar.channels, batched.channels)):
+        for field in dataclasses.fields(expected):
+            assert getattr(actual, field.name) == getattr(expected, field.name), (
+                f"{label}: channel {index} {field.name} differs"
+            )
+    assert batched == scalar, f"{label}: stats differ"
+
+
+def _trace(name, num_requests=REQUESTS, seed=7):
+    return make_generator(name, seed=seed).generate(num_requests)
+
+
+class TestWorkloadSweep:
+    """Every Table II workload, default config: batched == scalar."""
+
+    @pytest.mark.parametrize("name", TABLE_II_WORKLOADS)
+    def test_bit_identical(self, name):
+        trace = _trace(name)
+        scalar = simulate_trace(trace, backend="scalar")
+        batched = simulate_trace(
+            ColumnarTrace.from_trace(trace), backend="columnar"
+        )
+        _assert_stats_equal(scalar, batched, name)
+
+
+#: Configurations chosen to stress every regime: the default (mixed
+#: quiescent/contended), tiny queues (constant queue-full backpressure
+#: relief), watermark extremes, channel-count extremes, the plain
+#: ``open`` page policy (tier-1 scan ineligible) and a non-default
+#: crossbar. Refresh and ChargeCache configs gate the fast path off
+#: entirely and are covered separately below.
+CONFIG_VARIANTS = {
+    "default": MemoryConfig(),
+    "tiny-queues": MemoryConfig(read_queue_size=3, write_queue_size=4),
+    "tight-watermarks": MemoryConfig(
+        write_queue_size=8, write_high_threshold=0.5, write_low_threshold=0.25
+    ),
+    "one-channel": MemoryConfig(num_channels=1),
+    "eight-channels": MemoryConfig(num_channels=8),
+    "open-policy": MemoryConfig(page_policy="open"),
+    "slow-timing": MemoryConfig(
+        timing=DRAMTiming(t_rp=40, t_rcd=30, t_cl=25, t_burst=8)
+    ),
+}
+
+#: A contended and an uncontended workload exercise both tiers.
+SWEEP_WORKLOADS = ("hevc1", "opencl1", "crypto1", "fbc-tiled1")
+
+
+class TestConfigSweep:
+    @pytest.mark.parametrize("label", sorted(CONFIG_VARIANTS))
+    @pytest.mark.parametrize("name", SWEEP_WORKLOADS)
+    def test_bit_identical(self, name, label):
+        config = CONFIG_VARIANTS[label]
+        trace = _trace(name)
+        scalar = simulate_trace(trace, config, backend="scalar")
+        batched = simulate_trace(
+            ColumnarTrace.from_trace(trace), config, backend="columnar"
+        )
+        _assert_stats_equal(scalar, batched, f"{name}/{label}")
+
+    def test_crossbar_variant(self):
+        crossbar = CrossbarConfig(latency=20, min_gap=4)
+        trace = _trace("trex1")
+        scalar = simulate_trace(trace, crossbar_config=crossbar, backend="scalar")
+        batched = simulate_trace(
+            ColumnarTrace.from_trace(trace), crossbar_config=crossbar,
+            backend="columnar",
+        )
+        _assert_stats_equal(scalar, batched, "trex1/crossbar")
+
+
+class TestGatedConfigs:
+    """Configs the fast path must refuse — results still identical."""
+
+    @pytest.mark.parametrize(
+        "label,config",
+        [
+            ("refresh", MemoryConfig(timing=DRAMTiming(t_refi=7_800, t_rfc=160))),
+            ("chargecache", MemoryConfig(charge_cache=ChargeCacheConfig())),
+        ],
+    )
+    def test_gate_and_equality(self, label, config):
+        assert not batched_replay_supported(config)
+        trace = _trace("hevc2")
+        scalar = simulate_trace(trace, config, backend="scalar")
+        batched = simulate_trace(
+            ColumnarTrace.from_trace(trace), config, backend="columnar"
+        )
+        _assert_stats_equal(scalar, batched, label)
+
+    def test_default_config_supported(self):
+        from repro.core.columnar import numpy_or_none
+
+        if numpy_or_none() is None:
+            pytest.skip("fast path requires numpy")
+        assert batched_replay_supported(MemoryConfig())
+        assert batched_replay_supported(None)
+
+    def test_event_sink_gates_off(self, tmp_path):
+        obs.enable(obs.JsonlEventSink(str(tmp_path / "events.jsonl")))
+        try:
+            assert not batched_replay_supported(MemoryConfig())
+        finally:
+            obs.disable()
+
+    def test_no_numpy_gates_off(self, monkeypatch):
+        monkeypatch.setenv("MOCKTAILS_NO_NUMPY", "1")
+        assert not batched_replay_supported(MemoryConfig())
+        # Forcing columnar without numpy must still match scalar.
+        trace = _trace("cpu-d", 800)
+        scalar = simulate_trace(trace, backend="scalar")
+        fallback = simulate_trace(trace, backend="columnar")
+        _assert_stats_equal(scalar, fallback, "no-numpy")
+
+    def test_completion_hook_forces_scalar_sends(self):
+        trace = _trace("trex2", 1_200)
+        seen_scalar = []
+        seen_batched = []
+
+        def scalar_run():
+            from repro.dram.memory_system import MemorySystem
+            from repro.interconnect.crossbar import Crossbar
+
+            memory = MemorySystem()
+            memory.on_request_complete = lambda rid, lat: seen_scalar.append((rid, lat))
+            crossbar = Crossbar(memory)
+            for request in trace:
+                crossbar.send(request)
+            memory.drain()
+            return memory.stats
+
+        engine = BatchedReplay()
+        engine.memory.on_request_complete = (
+            lambda rid, lat: seen_batched.append((rid, lat))
+        )
+        engine.feed(ColumnarTrace.from_trace(trace), final=True)
+        batched = engine.finish()
+        _assert_stats_equal(scalar_run(), batched, "completion-hook")
+        assert seen_batched == seen_scalar
+
+
+class TestEntryPoints:
+    def test_blocks_route_into_engine(self):
+        trace = _trace("manhattan")
+        columns = ColumnarTrace.from_trace(trace)
+        scalar = simulate_trace(trace, backend="scalar")
+        batched = simulate_blocks(
+            columns.iter_blocks(block_requests=700), backend="columnar"
+        )
+        fallback = simulate_blocks(
+            columns.iter_blocks(block_requests=700), backend="scalar"
+        )
+        _assert_stats_equal(scalar, batched, "blocks/columnar")
+        _assert_stats_equal(scalar, fallback, "blocks/scalar")
+
+    def test_lazy_stream_feed(self):
+        trace = _trace("opencl2")
+        scalar = simulate_trace(trace, backend="scalar")
+        batched = simulate_trace(iter(list(trace)), backend="columnar")
+        _assert_stats_equal(scalar, batched, "lazy-stream")
+
+    def test_synthetic_replay(self):
+        profile = build_profile(_trace("hevc3", 2_000), two_level_ts())
+        scalar = simulate_synthetic(profile, seed=11, backend="scalar")
+        batched = simulate_synthetic(profile, seed=11, backend="columnar")
+        _assert_stats_equal(scalar, batched, "synthetic")
+
+    def test_incremental_feeds_match_one_shot(self):
+        trace = _trace("hevc1")
+        columns = ColumnarTrace.from_trace(trace)
+        one_shot = simulate_trace(columns, backend="columnar")
+        engine = BatchedReplay()
+        blocks = list(columns.iter_blocks(block_requests=300))
+        for index, block in enumerate(blocks):
+            engine.feed(block, final=index == len(blocks) - 1)
+        _assert_stats_equal(one_shot, engine.finish(), "incremental")
+
+    def test_empty_block_is_noop(self):
+        engine = BatchedReplay()
+        engine.feed(ColumnarTrace.from_trace([]), final=True)
+        stats = engine.finish()
+        assert stats.latency_count == 0
+
+
+class TestObservability:
+    def test_registry_values_match_scalar(self):
+        """Counters and histograms, not just stats, must be identical."""
+        trace = _trace("hevc1")
+        columns = ColumnarTrace.from_trace(trace)
+        snapshots = {}
+        for backend, source in (("scalar", trace), ("columnar", columns)):
+            obs.enable()
+            try:
+                simulate_trace(source, backend=backend)
+                snapshots[backend] = obs.active().snapshot()
+            finally:
+                obs.disable()
+            # Wall time legitimately differs; everything else must not.
+            snapshots[backend].pop("phases_seconds")
+        assert snapshots["columnar"] == snapshots["scalar"]
+
+    def test_phase_timers_recorded(self):
+        obs.enable()
+        try:
+            simulate_trace(
+                ColumnarTrace.from_trace(_trace("cpu-g", 600)), backend="columnar"
+            )
+            phases = obs.active().phases
+        finally:
+            obs.disable()
+        assert "replay.crossbar" in phases
+        assert "replay.dram" in phases
+
+
+class TestFigureJson:
+    def test_fig6_quick_byte_identical(self, tmp_path, monkeypatch):
+        """The CLI figure JSON must not depend on the backend at all."""
+        from repro.eval.__main__ import main
+        from repro.eval.comparison import clear_cache
+
+        outputs = {}
+        for backend in ("scalar", "columnar"):
+            clear_cache()
+            path = tmp_path / f"fig6-{backend}.json"
+            assert main([
+                "quick", "fig6", "--requests", "1200",
+                "--backend", backend, "--json-out", str(path),
+            ]) == 0
+            outputs[backend] = path.read_bytes()
+        monkeypatch.delenv("MOCKTAILS_BACKEND", raising=False)
+        assert outputs["columnar"] == outputs["scalar"]
+        json.loads(outputs["scalar"])  # sanity: well-formed experiment JSON
